@@ -1,0 +1,177 @@
+"""Ablations of the design choices the model rests on.
+
+Each ablation switches off (or sweeps) one modeling decision DESIGN.md
+calls out and shows which paper finding depends on it:
+
+* frame-buffer power-gating — the no-gating constraint (duty_alpha = 1)
+  is what makes 65 nm 2D-In lose to 130 nm (Finding 1);
+* ROI compression — Finding 1's in-vs-off crossover moves with the data
+  volume the encoder removes;
+* exposure-slot count — the balanced-pipeline delay split (Sec. 4.1)
+  feeds the ADC sampling rate and hence the FoM energy;
+* explicit-vs-FoM ADC energy — the Fig. 7g/7h mismatch mechanism.
+"""
+
+from conftest import write_result
+
+from repro import simulate, units
+from repro.energy.report import Category
+from repro.sim.simulator import simulate as _simulate
+from repro.usecases import UseCaseConfig, run_edgaze
+from repro.usecases.edgaze import build_edgaze
+from repro.usecases.fig5 import (
+    FIG5_MAPPING,
+    build_fig5_stages,
+    build_fig5_system,
+)
+from repro.usecases.rhythmic import build_rhythmic
+
+
+def _edgaze_with_gated_frame_buffer(node, duty_alpha):
+    stages, system, mapping = build_edgaze(UseCaseConfig("2D-In", node))
+    system.find_unit("FrameBuffer").duty_alpha = duty_alpha
+    system.find_unit("DNNBuffer").duty_alpha = duty_alpha
+    return _simulate(stages, system, mapping, frame_rate=30)
+
+
+def test_ablation_frame_buffer_gating(benchmark):
+    """Finding 1's 65nm>130nm inversion requires the no-gating constraint."""
+
+    def run():
+        grid = {}
+        for node in (130, 65):
+            for alpha in (1.0, 0.1):
+                grid[(node, alpha)] = _edgaze_with_gated_frame_buffer(
+                    node, alpha)
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    lines = ["Ablation — Ed-Gaze 2D-In with/without frame-buffer gating",
+             f"{'node':>6} {'duty':>6} {'total uJ':>10} {'MEM-D uJ':>10}"]
+    for (node, alpha), report in grid.items():
+        lines.append(f"{node:>6} {alpha:>6.1f} "
+                     f"{report.total_energy / units.uJ:>10.1f} "
+                     f"{report.category_energy(Category.MEM_D) / units.uJ:>10.1f}")
+    constrained = (grid[(65, 1.0)].total_energy
+                   > grid[(130, 1.0)].total_energy)
+    gated = (grid[(65, 0.1)].total_energy
+             < grid[(130, 0.1)].total_energy)
+    lines += ["",
+              f"with duty=1.0 (paper's constraint): 65nm worse than 130nm "
+              f"-> {constrained}",
+              f"with duty=0.1 (hypothetical gating): 65nm better again "
+              f"-> {gated}"]
+    write_result("ablation_frame_buffer_gating", "\n".join(lines))
+
+    # The inversion exists if and only if the buffer cannot be gated.
+    assert constrained
+    assert gated
+
+
+def _rhythmic_with_roi(compression):
+    config = UseCaseConfig("2D-In", 130)
+    stages, system, mapping = build_rhythmic(config)
+    stages[1].output_compression = compression
+    return _simulate(stages, system, mapping, frame_rate=30)
+
+
+def test_ablation_roi_crossover(benchmark):
+    """Finding 1: in-sensor pays only while the encoder removes data."""
+
+    def run():
+        off = None
+        inside = {}
+        from repro.usecases import run_rhythmic
+        off = run_rhythmic(UseCaseConfig("2D-Off", 130))
+        for compression in (0.25, 0.5, 0.75, 1.0):
+            inside[compression] = _rhythmic_with_roi(compression)
+        return off, inside
+
+    off, inside = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    lines = ["Ablation — Rhythmic 2D-In saving vs ROI compression (130nm)",
+             f"{'ROI out fraction':>18} {'total uJ':>10} {'saving%':>9}"]
+    savings = {}
+    for compression, report in inside.items():
+        saving = 1 - report.total_energy / off.total_energy
+        savings[compression] = saving
+        lines.append(f"{compression:>18.2f} "
+                     f"{report.total_energy / units.uJ:>10.1f} "
+                     f"{100 * saving:>9.1f}")
+    write_result("ablation_roi_crossover", "\n".join(lines))
+
+    # Saving shrinks monotonically as the encoder removes less data, and
+    # flips negative when it removes nothing (pure overhead).
+    ordered = [savings[c] for c in sorted(savings)]
+    assert ordered == sorted(ordered, reverse=True)
+    assert savings[0.25] > 0
+    assert savings[1.0] < 0
+
+
+def test_ablation_exposure_slots(benchmark):
+    """The Sec. 4.1 delay split: more analog slots squeeze each stage."""
+
+    def run():
+        results = {}
+        for slots in (0, 1, 2):
+            report = simulate(build_fig5_stages(), build_fig5_system(),
+                              dict(FIG5_MAPPING), frame_rate=30,
+                              exposure_slots=slots)
+            results[slots] = report
+        return results
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    lines = ["Ablation — exposure slots vs inferred analog delay (Fig. 5)",
+             f"{'slots':>6} {'T_A (ms)':>10} {'SEN (nJ)':>10}"]
+    for slots, report in results.items():
+        lines.append(
+            f"{slots:>6} "
+            f"{report.analog_stage_delay / units.ms:>10.2f} "
+            f"{report.category_energy(Category.SEN) / units.nJ:>10.2f}")
+    write_result("ablation_exposure_slots", "\n".join(lines))
+
+    # More slots always shrink the per-stage delay budget.
+    assert (results[0].analog_stage_delay
+            > results[1].analog_stage_delay
+            > results[2].analog_stage_delay)
+
+
+def test_ablation_adc_energy_source(benchmark):
+    """FoM-survey vs explicit ADC energy: the Fig. 7g/7h mismatch knob."""
+    from repro.validation.chips.jssc21_ii import JSSC21_II
+
+    def run():
+        explicit = JSSC21_II.simulate()
+        stages, system, mapping = JSSC21_II.build()
+        # Swap the calibrated explicit conversion energy for the survey.
+        from repro.hw.analog.array import AnalogArray
+        from repro.hw.analog.components import ColumnADC
+        adc_array = system.find_unit("ADCArray")
+        adc_array._entries = []
+        adc_array.add_component(ColumnADC(bits=10), (1, 320))
+        from repro.hw.interface import Interface
+        system.set_offchip_interface(Interface("pads", 0.0))
+        fom_based = _simulate(stages, system, mapping,
+                              frame_rate=JSSC21_II.frame_rate)
+        return explicit, fom_based
+
+    explicit, fom_based = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    pixels = JSSC21_II.num_pixels
+    lines = ["Ablation — JSSC'21-II ADC energy: explicit vs FoM survey",
+             f"explicit:   "
+             f"{explicit.energy_per_pixel(pixels) / units.pJ:6.1f} pJ/px",
+             f"FoM survey: "
+             f"{fom_based.energy_per_pixel(pixels) / units.pJ:6.1f} pJ/px",
+             "",
+             "The gap is the Sec. 5 error mechanism: absent detailed",
+             "circuit parameters, the survey median under/over-estimates",
+             "design-specific converters (paper: 31.7% ADC error on 7g)."]
+    write_result("ablation_adc_energy_source", "\n".join(lines))
+
+    ratio = (fom_based.energy_per_pixel(pixels)
+             / explicit.energy_per_pixel(pixels))
+    # The two estimates differ materially but stay the same order.
+    assert 0.1 < ratio < 1.0

@@ -1,0 +1,34 @@
+"""Fig. 1 — share of imaging / computational / stacked CIS papers, 2000-2022."""
+
+from conftest import write_result
+
+from repro.survey import percentages_by_year
+
+
+def _series():
+    return percentages_by_year()
+
+
+def test_fig01_survey(benchmark):
+    rows = benchmark(_series)
+
+    lines = ["Fig. 1 — Normalized percentage of CIS design styles per year",
+             f"{'year':>6} {'imaging%':>10} {'computational%':>15} "
+             f"{'stacked%':>10}"]
+    for row in rows:
+        lines.append(f"{row['year']:>6} {row['imaging']:>10.1f} "
+                     f"{row['computational']:>15.1f} "
+                     f"{row['stacked_computational']:>10.1f}")
+    write_result("fig01_survey", "\n".join(lines))
+
+    first, last = rows[0], rows[-1]
+    benchmark.extra_info["computational_2000_pct"] = round(
+        first["computational"] + first["stacked_computational"], 1)
+    benchmark.extra_info["computational_2022_pct"] = round(
+        last["computational"] + last["stacked_computational"], 1)
+
+    # Paper shape: increasingly more CIS designs are computational.
+    assert (last["computational"] + last["stacked_computational"]
+            > first["computational"] + first["stacked_computational"])
+    assert last["stacked_computational"] > 0
+    assert first["stacked_computational"] == 0

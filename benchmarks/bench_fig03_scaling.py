@@ -1,0 +1,37 @@
+"""Fig. 3 — CIS process node vs IRDS CMOS node vs pixel pitch scaling."""
+
+from conftest import write_result
+
+from repro.survey import (
+    cis_node_trend,
+    node_gap_by_year,
+    pixel_pitch_trend,
+)
+
+
+def _series():
+    return (cis_node_trend(), pixel_pitch_trend(), node_gap_by_year())
+
+
+def test_fig03_scaling(benchmark):
+    (node_slope, _), (pitch_slope, _), gap_rows = benchmark(_series)
+
+    lines = ["Fig. 3 — CIS node scaling vs IRDS roadmap",
+             f"CIS node halving period:    {-1 / node_slope:.1f} years",
+             f"pixel pitch halving period: {-1 / pitch_slope:.1f} years",
+             f"{'year':>6} {'CIS node (fit, nm)':>20} {'IRDS (nm)':>10} "
+             f"{'gap':>8}"]
+    for row in gap_rows:
+        lines.append(f"{row['year']:>6} {row['cis_node_nm']:>20.0f} "
+                     f"{row['irds_node_nm']:>10.0f} "
+                     f"{row['gap_ratio']:>7.1f}x")
+    write_result("fig03_scaling", "\n".join(lines))
+
+    benchmark.extra_info["cis_halving_years"] = round(-1 / node_slope, 1)
+    benchmark.extra_info["gap_2022"] = round(gap_rows[-1]["gap_ratio"], 1)
+
+    # Paper shapes: the CIS node lags IRDS with a widening gap, and the
+    # CIS node slope follows the pixel-pitch slope.
+    assert gap_rows[-1]["gap_ratio"] > gap_rows[0]["gap_ratio"]
+    assert gap_rows[-1]["gap_ratio"] > 10
+    assert abs(node_slope - pitch_slope) < 0.25 * abs(node_slope)

@@ -1,0 +1,48 @@
+"""Fig. 5 / Fig. 6 — the example CIS and its stall-free pipeline timing."""
+
+from conftest import write_result
+
+from repro import units
+from repro.sim.chart import pipeline_chart
+from repro.usecases.fig5 import (
+    FIG5_MAPPING,
+    build_fig5_stages,
+    build_fig5_system,
+    run_fig5,
+)
+
+
+def test_fig06_pipeline_timing(benchmark):
+    report = benchmark(run_fig5)
+
+    frame_time = report.frame_time
+    t_a = report.analog_stage_delay
+    t_d = report.digital_latency
+    lines = ["Fig. 6 — balanced-pipeline timing of the Fig. 5 example",
+             f"frame time T_FR        {units.format_time(frame_time)}",
+             f"analog stage delay T_A {units.format_time(t_a)}",
+             f"digital latency T_D    {units.format_time(t_d)}",
+             f"3 x T_A + T_D          {units.format_time(3 * t_a + t_d)}",
+             "",
+             pipeline_chart(build_fig5_stages(), build_fig5_system(),
+                            dict(FIG5_MAPPING), frame_rate=30),
+             "",
+             "energy:",
+             report.to_table()]
+    write_result("fig06_pipeline", "\n".join(lines))
+
+    benchmark.extra_info["t_a_ms"] = round(t_a / units.ms, 3)
+    benchmark.extra_info["t_d_us"] = round(t_d / units.us, 3)
+
+    # Fig. 6's identity: exposure + readout + ADC slots plus the digital
+    # window exactly fill the frame budget — the no-stall design point.
+    assert abs(3 * t_a + t_d - frame_time) < 1e-12
+
+
+def test_fig06_cycle_accurate_agrees(benchmark):
+    """The event-driven simulator confirms the analytical T_D."""
+    exact = benchmark(lambda: run_fig5(cycle_accurate=True))
+    analytical = run_fig5()
+    ratio = exact.digital_latency / analytical.digital_latency
+    benchmark.extra_info["cycle_accurate_over_analytical"] = round(ratio, 4)
+    assert 0.95 < ratio < 1.05

@@ -1,0 +1,47 @@
+"""Fig. 7 — validation of the energy model against nine silicon chips.
+
+Fig. 7a: estimated vs reported energy per pixel, Pearson correlation and
+MAPE.  Fig. 7b-j: the per-chip component breakdowns.
+"""
+
+from conftest import write_result
+
+from repro import units
+from repro.validation import run_validation
+
+
+def test_fig07_validation(benchmark):
+    summary = benchmark.pedantic(run_validation, rounds=3, iterations=1)
+
+    lines = [summary.to_table(), "",
+             "Fig. 7b-j — per-chip component breakdowns (pJ/px):"]
+    for result in summary.results:
+        parts = "  ".join(
+            f"{category}: {energy / units.pJ:.2f}"
+            for category, energy in sorted(
+                result.breakdown_per_pixel().items()))
+        lines.append(f"  {result.chip.name:<12} {parts}")
+    lines += ["", "Per-component errors vs published breakdowns "
+                  "(paper quotes 0.4% JSSC'19 PE, 12.4% JSSC'21-I pixel, "
+                  "33.3% TCAS-I'22 pixel):"]
+    for result in summary.results:
+        errors = result.breakdown_errors()
+        if not errors:
+            continue
+        parts = "  ".join(f"{category}: {100 * error:.1f}%"
+                          for category, error in sorted(errors.items()))
+        lines.append(f"  {result.chip.name:<12} {parts}")
+    write_result("fig07_validation", "\n".join(lines))
+
+    mape = summary.mean_absolute_percentage_error
+    pearson = summary.pearson_correlation
+    benchmark.extra_info["mape_pct"] = round(100 * mape, 1)
+    benchmark.extra_info["pearson"] = round(pearson, 4)
+    benchmark.extra_info["paper_mape_pct"] = 7.5
+    benchmark.extra_info["paper_pearson"] = 0.9999
+
+    # Paper headline: MAPE 7.5 %, Pearson 0.9999, over a range spanning
+    # several orders of magnitude.
+    assert mape < 0.15
+    assert pearson > 0.999
+    assert summary.energy_span_orders > 3.0

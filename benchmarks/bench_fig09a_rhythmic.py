@@ -1,0 +1,60 @@
+"""Fig. 9a — Rhythmic Pixel Regions: 2D-In vs 2D-Off vs 3D-In energy."""
+
+from conftest import write_result
+
+from repro import units
+from repro.energy.report import Category
+from repro.usecases import rhythmic_configs, run_rhythmic
+
+_CATEGORIES = (Category.SEN, Category.MEM_D, Category.COMP_D,
+               Category.MIPI, Category.UTSV)
+
+
+def _run_grid():
+    return {cfg.label: run_rhythmic(cfg) for cfg in rhythmic_configs()}
+
+
+def test_fig09a_rhythmic(benchmark):
+    reports = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
+
+    header = f"{'config':<18} {'total uJ':>9} " + " ".join(
+        f"{c.value:>9}" for c in _CATEGORIES)
+    lines = ["Fig. 9a — Rhythmic Pixel Regions energy per frame (uJ)",
+             header]
+    for label, report in reports.items():
+        cells = " ".join(
+            f"{report.category_energy(c) / units.uJ:>9.2f}"
+            for c in _CATEGORIES)
+        lines.append(f"{label:<18} {report.total_energy / units.uJ:>9.1f} "
+                     f"{cells}")
+
+    def saving(node):
+        off = reports[f"2D-Off ({node}nm)"].total_energy
+        inside = reports[f"2D-In ({node}nm)"].total_energy
+        return 1 - inside / off
+
+    stack_savings = []
+    for node in (130, 65):
+        base = reports[f"2D-In ({node}nm)"].total_energy
+        stacked = reports[f"3D-In ({node}nm)"].total_energy
+        stack_savings.append(1 - stacked / base)
+
+    lines += ["",
+              f"2D-In saving vs 2D-Off @130nm: {100 * saving(130):.1f}% "
+              f"(paper: 14.5%)",
+              f"2D-In saving vs 2D-Off @65nm:  {100 * saving(65):.1f}% "
+              f"(paper: 33.4%)",
+              f"3D-In saving vs 2D-In (avg):   "
+              f"{100 * sum(stack_savings) / 2:.1f}% (paper: 15.8%)"]
+    write_result("fig09a_rhythmic", "\n".join(lines))
+
+    benchmark.extra_info["saving_130nm_pct"] = round(100 * saving(130), 1)
+    benchmark.extra_info["saving_65nm_pct"] = round(100 * saving(65), 1)
+
+    # Paper shapes: in-sensor wins for this communication-dominant
+    # workload, more so at the newer CIS node; 3D wins over 2D-In.
+    assert saving(130) > 0
+    assert saving(65) > saving(130)
+    assert all(s > 0 for s in stack_savings)
+    off = reports["2D-Off (65nm)"]
+    assert off.category_energy(Category.MIPI) > 0.5 * off.total_energy

@@ -1,0 +1,67 @@
+"""Fig. 9b — Ed-Gaze: 2D-In vs 2D-Off vs 3D-In vs 3D-In-STT energy."""
+
+from conftest import write_result
+
+from repro import units
+from repro.energy.report import Category
+from repro.usecases import edgaze_configs, run_edgaze
+
+_CATEGORIES = (Category.SEN, Category.MEM_D, Category.COMP_D,
+               Category.MIPI, Category.UTSV)
+
+
+def _run_grid():
+    return {cfg.label: run_edgaze(cfg) for cfg in edgaze_configs()}
+
+
+def test_fig09b_edgaze(benchmark):
+    reports = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
+
+    header = f"{'config':<20} {'total uJ':>9} " + " ".join(
+        f"{c.value:>9}" for c in _CATEGORIES)
+    lines = ["Fig. 9b — Ed-Gaze energy per frame (uJ)", header]
+    for label, report in reports.items():
+        cells = " ".join(
+            f"{report.category_energy(c) / units.uJ:>9.2f}"
+            for c in _CATEGORIES)
+        lines.append(f"{label:<20} {report.total_energy / units.uJ:>9.1f} "
+                     f"{cells}")
+
+    in65 = reports["2D-In (65nm)"]
+    in130 = reports["2D-In (130nm)"]
+    mem_share = (in65.category_energy(Category.MEM_D)
+                 / in65.total_energy)
+    stt_savings = []
+    for node in (130, 65):
+        sram = reports[f"3D-In ({node}nm)"].total_energy
+        stt = reports[f"3D-In-STT ({node}nm)"].total_energy
+        stt_savings.append(1 - stt / sram)
+
+    lines += ["",
+              f"2D-In(65nm) / 2D-Off(65nm): "
+              f"{in65.total_energy / reports['2D-Off (65nm)'].total_energy:.2f}x"
+              f" (in-sensor loses for compute-dominant workloads)",
+              f"2D-In 65nm vs 130nm: "
+              f"{in65.total_energy / in130.total_energy:.2f}x "
+              f"(65 nm leakage anomaly)",
+              f"MEM share of 2D-In(65nm): {100 * mem_share:.1f}% "
+              f"(paper: 71.3%)",
+              f"3D-In-STT saving vs 3D-In: "
+              f"{100 * stt_savings[0]:.1f}% / {100 * stt_savings[1]:.1f}% "
+              f"(paper: 68.5% / 69.1%)"]
+    write_result("fig09b_edgaze", "\n".join(lines))
+
+    benchmark.extra_info["mem_share_2din_65_pct"] = round(
+        100 * mem_share, 1)
+    benchmark.extra_info["stt_saving_pct"] = round(
+        100 * stt_savings[1], 1)
+
+    # Paper shapes (Findings 1 and 2).
+    for node in (130, 65):
+        assert (reports[f"2D-In ({node}nm)"].total_energy
+                > reports[f"2D-Off ({node}nm)"].total_energy)
+        assert (reports[f"3D-In ({node}nm)"].total_energy
+                < reports[f"2D-In ({node}nm)"].total_energy)
+    assert in65.total_energy > in130.total_energy
+    assert 0.55 < mem_share < 0.90
+    assert all(0.35 < s < 0.85 for s in stt_savings)

@@ -1,0 +1,59 @@
+"""Fig. 12 — normalized energy breakdown among the three Ed-Gaze stages."""
+
+from conftest import write_result
+
+from repro.usecases import UseCaseConfig, run_edgaze, run_edgaze_mixed
+
+#: Stage grouping of Fig. 12: S1 = downsampling (incl. sensing), S2 =
+#: frame subtraction, S3 = the ROI DNN.
+_S1 = ("Input", "Downsample")
+_S2 = ("FrameSubtract",)
+_S3 = ("RoiDNN",)
+
+
+def _stage_shares(report):
+    by_stage = report.by_stage()
+    groups = {
+        "S1": sum(by_stage.get(name, 0.0) for name in _S1),
+        "S2": sum(by_stage.get(name, 0.0) for name in _S2),
+        "S3": sum(by_stage.get(name, 0.0) for name in _S3),
+    }
+    total = sum(groups.values()) or 1.0
+    return {key: value / total for key, value in groups.items()}
+
+
+def _run_grid():
+    grid = {}
+    for node in (130, 65):
+        grid[f"2D-In ({node}nm)"] = _stage_shares(
+            run_edgaze(UseCaseConfig("2D-In", node)))
+        grid[f"2D-In-Mixed ({node}nm)"] = _stage_shares(
+            run_edgaze_mixed(node))
+    return grid
+
+
+def test_fig12_stage_breakdown(benchmark):
+    grid = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
+
+    lines = ["Fig. 12 — normalized energy share per stage (S1/S2/S3)",
+             f"{'config':<24} {'S1%':>7} {'S2%':>7} {'S3%':>7}"]
+    for label, shares in grid.items():
+        lines.append(f"{label:<24} {100 * shares['S1']:>7.1f} "
+                     f"{100 * shares['S2']:>7.1f} "
+                     f"{100 * shares['S3']:>7.1f}")
+    write_result("fig12_stage_breakdown", "\n".join(lines))
+
+    mixed65 = grid["2D-In-Mixed (65nm)"]
+    digital65 = grid["2D-In (65nm)"]
+    benchmark.extra_info["s3_share_mixed65_pct"] = round(
+        100 * mixed65["S3"], 1)
+
+    # Paper shape: after moving S1/S2 into analog, S3 (the DNN) becomes
+    # the dominant stage — the effectiveness of analog processing.
+    for node in (130, 65):
+        shares = grid[f"2D-In-Mixed ({node}nm)"]
+        assert shares["S3"] > 0.6
+        assert shares["S3"] > shares["S1"] + shares["S2"]
+    # And at the leaky 65 nm node the first two stages dominate the
+    # fully-digital design before mixing.
+    assert digital65["S1"] + digital65["S2"] > digital65["S3"]

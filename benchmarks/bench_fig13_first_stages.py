@@ -1,0 +1,58 @@
+"""Fig. 13 — compute vs memory breakdown of the first two Ed-Gaze stages."""
+
+from conftest import write_result
+
+from repro import units
+from repro.energy.report import Category
+from repro.usecases import UseCaseConfig, run_edgaze, run_edgaze_mixed
+
+_FIRST_STAGES = ("Input", "Downsample", "FrameSubtract")
+_COMPUTE = (Category.COMP_D, Category.COMP_A)
+_MEMORY = (Category.MEM_D, Category.MEM_A)
+
+
+def _first_stage_split(report):
+    compute = sum(e.energy for e in report.entries
+                  if e.stage in _FIRST_STAGES and e.category in _COMPUTE)
+    memory = sum(e.energy for e in report.entries
+                 if e.stage in _FIRST_STAGES and e.category in _MEMORY)
+    sensing = sum(e.energy for e in report.entries
+                  if e.stage in _FIRST_STAGES
+                  and e.category is Category.SEN)
+    return {"compute": compute, "memory": memory, "sensing": sensing}
+
+
+def _run_grid():
+    grid = {}
+    for node in (130, 65):
+        grid[f"digital ({node}nm)"] = _first_stage_split(
+            run_edgaze(UseCaseConfig("2D-In", node)))
+        grid[f"mixed ({node}nm)"] = _first_stage_split(
+            run_edgaze_mixed(node))
+    return grid
+
+
+def test_fig13_first_stages(benchmark):
+    grid = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
+
+    lines = ["Fig. 13 — first two stages: compute vs memory (uJ)",
+             f"{'config':<18} {'compute':>10} {'memory':>10} "
+             f"{'sensing':>10}"]
+    for label, split in grid.items():
+        lines.append(f"{label:<18} {split['compute'] / units.uJ:>10.3f} "
+                     f"{split['memory'] / units.uJ:>10.3f} "
+                     f"{split['sensing'] / units.uJ:>10.3f}")
+    write_result("fig13_first_stages", "\n".join(lines))
+
+    benchmark.extra_info["mixed65_compute_uJ"] = round(
+        grid["mixed (65nm)"]["compute"] / units.uJ, 3)
+
+    # Paper shape: in the mixed design the first-stage *memory* energy
+    # collapses while the *compute* energy slightly increases (8-bit
+    # OpAmp precision, Eq. 6) — the saving comes from memory, not compute.
+    for node in (130, 65):
+        digital = grid[f"digital ({node}nm)"]
+        mixed = grid[f"mixed ({node}nm)"]
+        assert mixed["memory"] < digital["memory"]
+        assert mixed["compute"] > digital["compute"]
+        assert mixed["sensing"] < digital["sensing"]

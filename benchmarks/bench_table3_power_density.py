@@ -1,0 +1,73 @@
+"""Table 3 — power density (mW/mm^2) across placements and workloads."""
+
+from conftest import write_result
+
+from repro import units
+from repro.area import power_density
+from repro.area.model import CPU_POWER_DENSITY, GPU_POWER_DENSITY
+from repro.usecases import (
+    UseCaseConfig,
+    build_edgaze,
+    build_rhythmic,
+    run_edgaze,
+    run_rhythmic,
+)
+
+_PAPER = {
+    ("Rhythmic", 130): {"2D-Off": 0.05, "2D-In": 0.09, "3D-In": 0.06},
+    ("Rhythmic", 65): {"2D-Off": 0.03, "2D-In": 0.05, "3D-In": 0.04},
+    ("Ed-Gaze", 130): {"2D-Off": 0.19, "2D-In": 0.30, "3D-In": 0.78},
+    ("Ed-Gaze", 65): {"2D-Off": 0.11, "2D-In": 2.24, "3D-In": 0.70},
+}
+
+
+def _run_grid():
+    grid = {}
+    for workload, build, run in (("Rhythmic", build_rhythmic, run_rhythmic),
+                                 ("Ed-Gaze", build_edgaze, run_edgaze)):
+        for node in (130, 65):
+            for placement in ("2D-Off", "2D-In", "3D-In"):
+                config = UseCaseConfig(placement, node)
+                _, system, _ = build(config)
+                report = run(config)
+                grid[(workload, node, placement)] = power_density(
+                    system, report)
+    return grid
+
+
+def test_table3_power_density(benchmark):
+    grid = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
+
+    unit = units.mW / units.mm2
+    lines = ["Table 3 — power density (mW/mm^2); paper values in parens",
+             f"{'workload':<10} {'nodes':<10} {'2D-Off':>16} "
+             f"{'2D-In':>16} {'3D-In':>16}"]
+    for workload in ("Rhythmic", "Ed-Gaze"):
+        for node in (130, 65):
+            cells = []
+            for placement in ("2D-Off", "2D-In", "3D-In"):
+                ours = grid[(workload, node, placement)] / unit
+                paper = _PAPER[(workload, node)][placement]
+                cells.append(f"{ours:6.2f} ({paper:4.2f})")
+            lines.append(f"{workload:<10} {node}/22nm   "
+                         + " ".join(f"{c:>16}" for c in cells))
+    lines += ["",
+              f"CPU hotspot reference: "
+              f"{CPU_POWER_DENSITY / unit:.0f} mW/mm^2; "
+              f"GPU: {GPU_POWER_DENSITY / unit:.0f} mW/mm^2 — all sensor "
+              f"variants sit orders of magnitude below."]
+    write_result("table3_power_density", "\n".join(lines))
+
+    edgaze_65 = {p: grid[("Ed-Gaze", 65, p)] for p in
+                 ("2D-Off", "2D-In", "3D-In")}
+    benchmark.extra_info["edgaze_65_2din"] = round(
+        edgaze_65["2D-In"] / unit, 2)
+
+    # Paper shapes: Rhythmic's density is insensitive to stacking; at
+    # 65/22 nm Ed-Gaze's 2D-In is the densest (leakage); everything is far
+    # below CPU/GPU hotspot territory.
+    rhythmic_130 = [grid[("Rhythmic", 130, p)] for p in
+                    ("2D-Off", "2D-In", "3D-In")]
+    assert max(rhythmic_130) < 4 * min(rhythmic_130)
+    assert edgaze_65["2D-In"] > edgaze_65["3D-In"] > edgaze_65["2D-Off"]
+    assert all(d < 0.05 * GPU_POWER_DENSITY for d in grid.values())

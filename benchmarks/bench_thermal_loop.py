@@ -1,0 +1,55 @@
+"""Extension — the Sec. 6.2 thermal loop the paper leaves to future work.
+
+Not a paper figure: this bench regenerates the energy → power-density →
+temperature → low-light-SNR table that quantifies the thermal-noise
+argument behind Finding 2.
+"""
+
+from conftest import write_result
+
+from repro import units
+from repro.noise import (
+    FunctionalPixel,
+    imaging_snr_at_operating_point,
+    thermal_operating_point,
+)
+from repro.usecases import UseCaseConfig, run_edgaze
+from repro.usecases.edgaze import build_edgaze
+
+
+def _run():
+    pixel = FunctionalPixel(dark_current_e_per_s=2000.0)
+    rows = {}
+    for placement in ("2D-Off", "2D-In", "3D-In"):
+        config = UseCaseConfig(placement, 65)
+        _, system, _ = build_edgaze(config)
+        report = run_edgaze(config)
+        point = thermal_operating_point(system, report)
+        snr = imaging_snr_at_operating_point(system, report, pixel,
+                                             seed=7)
+        rows[placement] = (point, snr)
+    return rows
+
+
+def test_thermal_loop(benchmark):
+    rows = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    lines = ["Extension — thermal loop on Ed-Gaze @65 nm",
+             f"{'placement':<10} {'density mW/mm^2':>16} {'dT (K)':>8} "
+             f"{'SNR @100e- (dB)':>16}"]
+    for placement, (point, snr) in rows.items():
+        density = point.power_density / (units.mW / units.mm2)
+        lines.append(f"{placement:<10} {density:>16.2f} "
+                     f"{point.temperature_rise:>8.2f} {snr:>16.1f}")
+    write_result("thermal_loop", "\n".join(lines))
+
+    hot_point, hot_snr = rows["2D-In"]
+    cool_point, cool_snr = rows["2D-Off"]
+    stacked_point, stacked_snr = rows["3D-In"]
+    benchmark.extra_info["snr_penalty_db"] = round(cool_snr - hot_snr, 2)
+
+    # The quantified Sec. 6.2 claims: the dense 2D-In design runs hotter
+    # and images worse in the dark; stacking sits in between.
+    assert hot_point.temperature_rise > stacked_point.temperature_rise
+    assert stacked_point.temperature_rise > cool_point.temperature_rise
+    assert hot_snr < cool_snr

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it writes the
+reproduced rows/series to ``benchmarks/results/<name>.txt``, attaches the
+headline numbers to the pytest-benchmark ``extra_info`` record, and asserts
+the shape claims the paper makes about that experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist a regenerated table/series under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

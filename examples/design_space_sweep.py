@@ -1,0 +1,97 @@
+"""Iterative design refinement: the Fig. 4 feedback loop in action.
+
+Builds a custom always-on classifier sensor, then demonstrates the three
+kinds of feedback CamJ gives a designer:
+
+1. a frame-rate sweep showing where the digital pipeline stops fitting the
+   frame budget (TimingError -> "re-design the accelerator");
+2. a stall diagnosis when a line buffer is sized below the kernel window;
+3. a node sweep quantifying what a newer digital node buys.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro import (
+    ActivePixelSensor,
+    AnalogArray,
+    ColumnADC,
+    Conv2DStage,
+    ComputeUnit,
+    Layer,
+    LineBuffer,
+    PixelInput,
+    SENSOR_LAYER,
+    SensorSystem,
+    StallError,
+    TimingError,
+    simulate,
+    units,
+)
+from repro.tech import mac_energy
+
+
+def build(node_nm=65, line_rows=3, clock_hz=50 * units.MHz):
+    source = PixelInput((128, 128, 1), name="Input")
+    conv = Conv2DStage("Classifier", input_size=(128, 128, 1),
+                       num_kernels=8, kernel_size=(3, 3),
+                       stride=(2, 2, 1))
+    conv.set_input_stage(source)
+
+    system = SensorSystem("AlwaysOnClassifier",
+                          layers=[Layer(SENSOR_LAYER, node_nm)])
+    pixels = AnalogArray("Pixels")
+    pixels.add_component(ActivePixelSensor(), (128, 128))
+    adcs = AnalogArray("ADCs")
+    adcs.add_component(ColumnADC(bits=8), (1, 128))
+    pixels.set_output(adcs)
+    line_buffer = LineBuffer("Lines", size=(line_rows, 128),
+                             write_energy_per_word=0.4 * units.pJ,
+                             read_energy_per_word=0.4 * units.pJ)
+    adcs.set_output(line_buffer)
+    pe = ComputeUnit("ConvPE",
+                     input_pixels_per_cycle=(3, 1),
+                     output_pixels_per_cycle=(1, 1),
+                     energy_per_cycle=9 * mac_energy(node_nm),
+                     num_stages=3,
+                     clock_hz=clock_hz)
+    pe.set_input(line_buffer)
+    pe.set_sink()
+    system.add_analog_array(pixels)
+    system.add_analog_array(adcs)
+    system.add_memory(line_buffer)
+    system.add_compute_unit(pe)
+    system.set_pixel_array_geometry(128, 128)
+    mapping = {"Input": "Pixels", "Classifier": "ConvPE"}
+    return [source, conv], system, mapping
+
+
+def main():
+    print("=== 1. frame-rate sweep: where does the design stop fitting? ===")
+    for fps in (30, 120, 480, 2000, 10000, 50000):
+        stages, system, mapping = build()
+        try:
+            report = simulate(stages, system, mapping, frame_rate=fps)
+            print(f"  {fps:6d} FPS: {units.format_energy(report.total_energy)}"
+                  f"/frame, {units.format_power(report.total_power)}")
+        except TimingError as error:
+            print(f"  {fps:6d} FPS: REJECTED — {error}")
+            break
+
+    print("\n=== 2. stall feedback: a 2-row buffer under a 3x3 kernel ===")
+    stages, system, mapping = build(line_rows=2)
+    try:
+        simulate(stages, system, mapping, frame_rate=30)
+    except StallError as error:
+        print(f"  StallError: {error}")
+
+    print("\n=== 3. node sweep at 30 FPS ===")
+    for node in (130, 110, 90, 65, 45, 28):
+        stages, system, mapping = build(node_nm=node)
+        report = simulate(stages, system, mapping, frame_rate=30)
+        print(f"  {node:4d} nm: {units.format_energy(report.total_energy)}"
+              f"/frame  (digital "
+              f"{units.format_energy(report.digital_energy)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Costing an irregular algorithm through the memory-trace hook.
+
+Stencil descriptions cover the regular algorithms; for irregular ones
+(here: a sparse event-driven tracker touching memory data-dependently)
+the paper's escape hatch is an offline-collected memory trace billed
+against a memory model — the DRAMPower-style integration of Sec. 3.3.
+
+Run:  python examples/irregular_trace.py
+"""
+
+from repro import units
+from repro.memlib import DRAMModel, SRAMModel, STTRAMModel
+from repro.sw.trace import MemoryTrace
+
+#: A miniature trace of a sparse tracker: bursty reads around detected
+#: events, occasional state write-backs.  Real traces come from an
+#: instrumented run of the algorithm.
+_TRACE_TEXT = """
+# op bytes timestamp(s)
+R 4096 0.000   # event window fetch
+R 4096 0.002
+W  512 0.003   # track state update
+R 8192 0.010   # second event burst
+R 4096 0.011
+W  512 0.012
+R 2048 0.025
+W 1024 0.030   # final state write-back
+"""
+
+
+def main():
+    trace = MemoryTrace.parse(_TRACE_TEXT)
+    print(f"trace: {trace}")
+    print(f"  {trace.num_reads} reads / {trace.num_writes} writes over "
+          f"{trace.duration * 1e3:.0f} ms\n")
+
+    frame_time = 1 / 30
+    candidates = {
+        "64KB SRAM @65nm": SRAMModel(capacity_bytes=64 * units.KB,
+                                     node_nm=65),
+        "64KB SRAM @22nm": SRAMModel(capacity_bytes=64 * units.KB,
+                                     node_nm=22),
+        "64KB STT-RAM @22nm": STTRAMModel(capacity_bytes=64 * units.KB,
+                                          node_nm=22),
+        "stacked DRAM": DRAMModel(capacity_bytes=8 * units.MB),
+    }
+    print(f"{'memory':<22} {'dynamic':>12} {'leak/refresh':>14} "
+          f"{'total':>12}")
+    for name, memory in candidates.items():
+        dynamic, leakage = trace.energy_against(memory,
+                                                frame_time=frame_time)
+        print(f"{name:<22} {units.format_energy(dynamic):>12} "
+              f"{units.format_energy(leakage):>14} "
+              f"{units.format_energy(dynamic + leakage):>12}")
+
+    print("\nThe sparse tracker touches little data, so standing power "
+          "(leakage/refresh)\ndecides the ranking — the same mechanism as "
+          "the paper's Finding 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Quickstart: the paper's Fig. 5 example, end to end.
+
+A 32x32 pixel array bins every 2x2 tile in the charge domain, digitizes
+the 16x16 result through column ADCs, runs a 3x3 digital edge detector fed
+by a line buffer, and ships the edge map off-chip over MIPI CSI-2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ActivePixelSensor,
+    AnalogArray,
+    ColumnADC,
+    ComputeUnit,
+    Layer,
+    LineBuffer,
+    PixelInput,
+    ProcessStage,
+    SENSOR_LAYER,
+    SensorSystem,
+    simulate,
+    units,
+)
+
+
+def camj_sw_config():
+    """Algorithm description: the DAG of Fig. 5's right column."""
+    input_data = PixelInput((32, 32, 1), name="Input")
+    bin_stage = ProcessStage("Binning", input_size=(32, 32, 1),
+                             kernel=(2, 2, 1), stride=(2, 2, 1))
+    edge_stage = ProcessStage("EdgeDetection", input_size=(16, 16, 1),
+                              kernel=(3, 3, 1), stride=(1, 1, 1),
+                              padding="same")
+    bin_stage.set_input_stage(input_data)
+    edge_stage.set_input_stage(bin_stage)
+    return [input_data, bin_stage, edge_stage]
+
+
+def camj_hw_config():
+    """Hardware description: the architecture drawn at the top of Fig. 5."""
+    system = SensorSystem("Fig5-CIS", layers=[Layer(SENSOR_LAYER, 65)])
+
+    pixel_array = AnalogArray("PixelArray", num_input=(1, 32),
+                              num_output=(1, 16))
+    pixel_array.add_component(
+        ActivePixelSensor("BinningPixel", num_shared_pixels=4),  # 4x 4T-APS
+        (16, 16))
+    adc_array = AnalogArray("ADCArray", num_input=(1, 16),
+                            num_output=(1, 16))
+    adc_array.add_component(ColumnADC(bits=10), (1, 16))
+
+    line_buffer = LineBuffer("LineBuffer", size=(3, 16),
+                             write_energy_per_word=0.3 * units.pJ,
+                             read_energy_per_word=0.3 * units.pJ,
+                             pixels_per_write_word=1,
+                             pixels_per_read_word=1)
+    edge_unit = ComputeUnit("EdgeUnit",
+                            input_pixels_per_cycle=(1, 3, 1),
+                            output_pixels_per_cycle=(1, 1, 1),
+                            energy_per_cycle=3.0 * units.pJ,
+                            num_stages=2)
+
+    pixel_array.set_output(adc_array)
+    adc_array.set_output(line_buffer)
+    edge_unit.set_input(line_buffer)
+    edge_unit.set_sink()
+
+    system.add_analog_array(pixel_array)
+    system.add_analog_array(adc_array)
+    system.add_memory(line_buffer)
+    system.add_compute_unit(edge_unit)
+    system.set_pixel_array_geometry(32, 32)
+    return system
+
+
+def camj_mapping():
+    """Mapping description: which stage runs on which hardware unit."""
+    return {
+        "Input": "PixelArray",
+        "Binning": "PixelArray",
+        "EdgeDetection": "EdgeUnit",
+    }
+
+
+def main():
+    stages = camj_sw_config()
+    system = camj_hw_config()
+    report = simulate(stages, system, camj_mapping(), frame_rate=30)
+
+    print(report.to_table())
+    print()
+    print(f"digital latency T_D  = "
+          f"{units.format_time(report.digital_latency)}")
+    print(f"analog stage delay T_A = "
+          f"{units.format_time(report.analog_stage_delay)}")
+    print(f"(3 x T_A + T_D = "
+          f"{units.format_time(3 * report.analog_stage_delay + report.digital_latency)}"
+          f" = the 33.3 ms frame time of Fig. 6)")
+    print()
+    from repro.sim.chart import pipeline_chart
+    print(pipeline_chart(stages, system, camj_mapping(), frame_rate=30))
+    print()
+    print("per-component breakdown:")
+    for name, energy in sorted(report.by_component().items()):
+        print(f"  {name:35s} {units.format_energy(energy)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Validation run: rebuild the nine Table 2 chips and reproduce Fig. 7.
+
+Prints the estimated vs reported energy per pixel of every chip, the
+per-category breakdown (the Fig. 7b-j bars), and the headline metrics
+(MAPE, Pearson correlation).
+
+Run:  python examples/validate_chips.py
+"""
+
+from repro import units
+from repro.validation import run_validation
+
+
+def main():
+    summary = run_validation()
+    print(summary.to_table())
+    print(f"\nreported energies span "
+          f"{summary.energy_span_orders:.1f} orders of magnitude\n")
+
+    for result in summary.results:
+        chip = result.chip
+        print(f"{chip.name} — {chip.description}")
+        print(f"  {chip.reference}")
+        print(f"  {chip.process_node}, {chip.num_pixels} px @ "
+              f"{chip.frame_rate:g} FPS")
+        for category, energy in sorted(result.breakdown_per_pixel().items()):
+            print(f"    {category:8s} {energy / units.pJ:10.2f} pJ/px")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""CamJ reproduction: energy modeling for in-sensor visual computing.
+
+The public API mirrors the paper's three-part programming interface
+(Fig. 5): describe the algorithm as stages, the hardware as a
+:class:`SensorSystem` of analog arrays plus digital units, map one onto
+the other, and call :func:`simulate` under an FPS target.
+
+    >>> from repro import (PixelInput, ProcessStage, SensorSystem,
+    ...                    AnalogArray, simulate)
+"""
+
+from repro import units
+from repro.exceptions import (
+    CamJError,
+    CheckError,
+    ConfigurationError,
+    DAGError,
+    DomainMismatchError,
+    MappingError,
+    SimulationError,
+    StallError,
+    TimingError,
+)
+from repro.sw import (
+    Conv2DStage,
+    DepthwiseConv2DStage,
+    DNNProcessStage,
+    FullyConnectedStage,
+    PixelInput,
+    ProcessStage,
+    Stage,
+    StageGraph,
+)
+from repro.hw.analog import (
+    ActiveAnalogMemory,
+    ActivePixelSensor,
+    AnalogAbs,
+    AnalogAdder,
+    AnalogArray,
+    AnalogComparator,
+    AnalogComponent,
+    AnalogLog,
+    AnalogMAC,
+    AnalogMax,
+    AnalogScaling,
+    CellUsage,
+    ColumnADC,
+    CurrentDomainMAC,
+    DigitalPixelSensor,
+    PassiveAnalogMemory,
+    PWMPixel,
+    SampleAndHold,
+    SignalDomain,
+    SwitchedCapSubtractor,
+)
+from repro.hw.chip import SensorSystem
+from repro.hw.digital import (
+    ComputeUnit,
+    DoubleBuffer,
+    FIFO,
+    LineBuffer,
+    SystolicArray,
+)
+from repro.hw.interface import Interface, MIPI_CSI2, MicroTSV
+from repro.hw.layer import COMPUTE_LAYER, Layer, OFF_CHIP, SENSOR_LAYER
+from repro.memlib import DRAMModel, SRAMModel, STTRAMModel
+from repro.energy import Category, EnergyEntry, EnergyReport
+from repro.sim import Mapping, simulate
+from repro.area import estimate_area, power_density
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    # exceptions
+    "CamJError", "CheckError", "ConfigurationError", "DAGError",
+    "DomainMismatchError", "MappingError", "SimulationError", "StallError",
+    "TimingError",
+    # software description
+    "Stage", "PixelInput", "ProcessStage", "DNNProcessStage", "Conv2DStage",
+    "DepthwiseConv2DStage", "FullyConnectedStage", "StageGraph",
+    # analog hardware
+    "SignalDomain", "AnalogArray", "AnalogComponent", "CellUsage",
+    "ActivePixelSensor", "DigitalPixelSensor", "PWMPixel", "ColumnADC",
+    "AnalogMAC", "CurrentDomainMAC", "AnalogAdder", "AnalogMax",
+    "AnalogScaling", "AnalogLog", "AnalogAbs", "AnalogComparator",
+    "PassiveAnalogMemory", "ActiveAnalogMemory", "SampleAndHold",
+    "SwitchedCapSubtractor",
+    # digital hardware
+    "ComputeUnit", "SystolicArray", "FIFO", "LineBuffer", "DoubleBuffer",
+    # system assembly
+    "SensorSystem", "Layer", "SENSOR_LAYER", "COMPUTE_LAYER", "OFF_CHIP",
+    "Interface", "MIPI_CSI2", "MicroTSV",
+    # memory substrate
+    "SRAMModel", "STTRAMModel", "DRAMModel",
+    # simulation and reporting
+    "Mapping", "simulate", "EnergyReport", "EnergyEntry", "Category",
+    "estimate_area", "power_density",
+]

@@ -1,0 +1,164 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Quick access to the headline experiments without writing any code:
+
+    python -m repro validate     # Fig. 7 validation (nine chips)
+    python -m repro fig5         # the paper's running example
+    python -m repro rhythmic     # Fig. 9a exploration
+    python -m repro edgaze       # Fig. 9b exploration
+    python -m repro mixed        # Fig. 11 mixed-signal comparison
+    python -m repro threelayer   # Sony IMX400-style burst stack
+    python -m repro survey       # Fig. 1 / Fig. 3 trend data
+    python -m repro chip "JSSC'21-II"   # one validation chip in detail
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import units
+
+
+def _cmd_validate(_args) -> int:
+    from repro.validation import run_validation
+    print(run_validation().to_table())
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.analysis import identify_bottlenecks
+    from repro.usecases.fig5 import run_fig5
+    report = run_fig5(frame_rate=args.fps)
+    print(report.to_table())
+    print("\nbottlenecks:")
+    for bottleneck in identify_bottlenecks(report):
+        print(" ", bottleneck.describe())
+    return 0
+
+
+def _cmd_rhythmic(_args) -> int:
+    from repro.usecases import rhythmic_configs, run_rhythmic
+    for config in rhythmic_configs():
+        report = run_rhythmic(config)
+        print(f"{config.label:16s} "
+              f"{units.format_energy(report.total_energy)}/frame "
+              f"({units.format_power(report.total_power)})")
+    return 0
+
+
+def _cmd_edgaze(_args) -> int:
+    from repro.usecases import edgaze_configs, run_edgaze
+    for config in edgaze_configs():
+        report = run_edgaze(config)
+        print(f"{config.label:18s} "
+              f"{units.format_energy(report.total_energy)}/frame "
+              f"({units.format_power(report.total_power)})")
+    return 0
+
+
+def _cmd_mixed(_args) -> int:
+    from repro.analysis import compare_reports
+    from repro.usecases import UseCaseConfig, run_edgaze, run_edgaze_mixed
+    for node in (130, 65):
+        digital = run_edgaze(UseCaseConfig("2D-In", node))
+        mixed = run_edgaze_mixed(node)
+        print(compare_reports(digital, mixed).describe())
+        print()
+    return 0
+
+
+def _cmd_threelayer(args) -> int:
+    from repro.usecases.threelayer import run_three_layer
+    report = run_three_layer(burst_fps=args.fps)
+    print(report.to_table())
+    print("\nper-layer energy:")
+    for layer, energy in report.by_layer().items():
+        print(f"  {layer:10s} {units.format_energy(energy)}")
+    return 0
+
+
+def _cmd_chip(args) -> int:
+    from repro.validation import chip_by_name, run_chip
+    try:
+        chip = chip_by_name(args.name)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 1
+    result = run_chip(chip)
+    print(f"{chip.name} — {chip.description}")
+    print(f"  {chip.reference}")
+    print(f"  {chip.process_node}, {chip.num_pixels} px @ "
+          f"{chip.frame_rate:g} FPS")
+    print(f"  {result.describe()}")
+    for category, energy in sorted(result.breakdown_per_pixel().items()):
+        print(f"    {category:8s} {energy / units.pJ:10.3f} pJ/px")
+    errors = result.breakdown_errors()
+    if errors:
+        print("  per-component errors vs published breakdown:")
+        for category, error in sorted(errors.items()):
+            print(f"    {category:8s} {100 * error:5.1f}%")
+    return 0
+
+
+def _cmd_survey(_args) -> int:
+    from repro.survey import (cis_node_trend, node_gap_by_year,
+                              percentages_by_year)
+    rows = percentages_by_year()
+    print("Fig. 1 — computational share of CIS papers:")
+    for row in rows[::4]:
+        share = row["computational"] + row["stacked_computational"]
+        print(f"  {row['year']}: {share:5.1f}% "
+              f"(stacked {row['stacked_computational']:.1f}%)")
+    slope, _ = cis_node_trend()
+    print(f"\nFig. 3 — CIS node halving period: {-1 / slope:.1f} years")
+    for row in node_gap_by_year()[-3:]:
+        print(f"  {row['year']}: CIS ~{row['cis_node_nm']:.0f} nm vs "
+              f"IRDS {row['irds_node_nm']:.0f} nm "
+              f"({row['gap_ratio']:.1f}x behind)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CamJ reproduction: CIS energy modeling experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("validate", help="Fig. 7 nine-chip validation")
+    fig5 = sub.add_parser("fig5", help="the paper's running example")
+    fig5.add_argument("--fps", type=float, default=30.0)
+    sub.add_parser("rhythmic", help="Fig. 9a exploration")
+    sub.add_parser("edgaze", help="Fig. 9b exploration")
+    sub.add_parser("mixed", help="Fig. 11 mixed-signal comparison")
+    three = sub.add_parser("threelayer", help="IMX400-style burst stack")
+    three.add_argument("--fps", type=float, default=960.0)
+    sub.add_parser("survey", help="Fig. 1 / Fig. 3 trend data")
+    chip = sub.add_parser("chip", help="one validation chip in detail")
+    chip.add_argument("name", help="Table 2 chip name, e.g. JSSC'21-II")
+    return parser
+
+
+_COMMANDS = {
+    "validate": _cmd_validate,
+    "chip": _cmd_chip,
+    "fig5": _cmd_fig5,
+    "rhythmic": _cmd_rhythmic,
+    "edgaze": _cmd_edgaze,
+    "mixed": _cmd_mixed,
+    "threelayer": _cmd_threelayer,
+    "survey": _cmd_survey,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Design-analysis tooling on top of energy reports.
+
+The paper positions CamJ inside an iterative refinement loop (Sec. 3.1):
+estimate, *identify energy bottlenecks*, re-design the offending
+component, re-estimate.  This subpackage provides that loop's analysis
+half: bottleneck ranking, report-to-report comparison, and parameter
+sweeps.
+"""
+
+from repro.analysis.bottleneck import (
+    Bottleneck,
+    identify_bottlenecks,
+    dominant_category,
+)
+from repro.analysis.compare import (
+    ReportDelta,
+    compare_reports,
+    savings_fraction,
+)
+from repro.analysis.sweep import (
+    SweepPoint,
+    sweep_frame_rate,
+    sweep_nodes,
+)
+from repro.analysis.pareto import (
+    DesignPoint,
+    design_point,
+    pareto_front,
+    dominated_points,
+)
+
+__all__ = [
+    "Bottleneck",
+    "identify_bottlenecks",
+    "dominant_category",
+    "ReportDelta",
+    "compare_reports",
+    "savings_fraction",
+    "SweepPoint",
+    "sweep_frame_rate",
+    "sweep_nodes",
+    "DesignPoint",
+    "design_point",
+    "pareto_front",
+    "dominated_points",
+]

@@ -1,0 +1,81 @@
+"""Report-to-report comparison: quantify what a re-design bought.
+
+The Sec. 6 explorations are all pairwise comparisons of energy reports
+(2D-In vs 2D-Off, SRAM vs STT-RAM, digital vs mixed); this module provides
+that arithmetic with per-category attribution of the delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import units
+from repro.energy.report import Category, EnergyReport
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReportDelta:
+    """Energy difference between a baseline and a candidate design."""
+
+    baseline_name: str
+    candidate_name: str
+    baseline_total: float
+    candidate_total: float
+    by_category: Dict[Category, float]  # candidate - baseline, per category
+
+    @property
+    def total_delta(self) -> float:
+        """Candidate minus baseline (negative = candidate saves energy)."""
+        return self.candidate_total - self.baseline_total
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of the baseline the candidate saves."""
+        return -self.total_delta / self.baseline_total
+
+    def biggest_mover(self) -> Category:
+        """The category whose change contributes most to the delta."""
+        return max(self.by_category, key=lambda c: abs(self.by_category[c]))
+
+    def describe(self) -> str:
+        direction = "saves" if self.total_delta < 0 else "costs"
+        lines = [f"{self.candidate_name} vs {self.baseline_name}: "
+                 f"{direction} "
+                 f"{units.format_energy(abs(self.total_delta))} "
+                 f"({100 * abs(self.savings_fraction):.1f}%)"]
+        for category, delta in sorted(self.by_category.items(),
+                                      key=lambda kv: kv[1]):
+            if delta == 0:
+                continue
+            sign = "-" if delta < 0 else "+"
+            lines.append(f"  {category.value:<7} {sign}"
+                         f"{units.format_energy(abs(delta))}")
+        return "\n".join(lines)
+
+
+def compare_reports(baseline: EnergyReport, candidate: EnergyReport
+                    ) -> ReportDelta:
+    """Per-category delta between two simulated designs."""
+    if baseline.total_energy <= 0:
+        raise ConfigurationError(
+            "baseline report has no energy; nothing to compare against")
+    base_rollup = baseline.by_category()
+    cand_rollup = candidate.by_category()
+    categories = set(base_rollup) | set(cand_rollup)
+    deltas = {category: (cand_rollup.get(category, 0.0)
+                         - base_rollup.get(category, 0.0))
+              for category in categories}
+    return ReportDelta(
+        baseline_name=baseline.system_name,
+        candidate_name=candidate.system_name,
+        baseline_total=baseline.total_energy,
+        candidate_total=candidate.total_energy,
+        by_category=deltas)
+
+
+def savings_fraction(baseline: EnergyReport, candidate: EnergyReport
+                     ) -> float:
+    """Shorthand: fraction of the baseline's energy the candidate saves."""
+    return compare_reports(baseline, candidate).savings_fraction

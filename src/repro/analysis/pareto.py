@@ -1,0 +1,64 @@
+"""Pareto analysis over design candidates.
+
+The Sec. 6 explorations trade *energy per frame* against *power density*
+(Table 3 shows they conflict: 3D stacking cuts energy but concentrates
+power).  A Pareto front over candidate designs makes that tension
+explicit and tells the designer which candidates are strictly dominated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro import units
+from repro.area.model import power_density
+from repro.energy.report import EnergyReport
+from repro.exceptions import ConfigurationError
+from repro.hw.chip import SensorSystem
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate design with its two competing objectives."""
+
+    label: str
+    energy_per_frame: float
+    power_density: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Strict Pareto dominance: no worse on both, better on one."""
+        no_worse = (self.energy_per_frame <= other.energy_per_frame
+                    and self.power_density <= other.power_density)
+        better = (self.energy_per_frame < other.energy_per_frame
+                  or self.power_density < other.power_density)
+        return no_worse and better
+
+    def describe(self) -> str:
+        density = self.power_density / (units.mW / units.mm2)
+        return (f"{self.label:<20} "
+                f"{units.format_energy(self.energy_per_frame):>10}/frame  "
+                f"{density:6.2f} mW/mm^2")
+
+
+def design_point(label: str, system: SensorSystem,
+                 report: EnergyReport) -> DesignPoint:
+    """Package one simulated design as a Pareto candidate."""
+    return DesignPoint(label=label,
+                       energy_per_frame=report.total_energy,
+                       power_density=power_density(system, report))
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """The non-dominated subset, sorted by energy."""
+    if not points:
+        raise ConfigurationError("pareto front needs at least one point")
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points)]
+    return sorted(front, key=lambda p: p.energy_per_frame)
+
+
+def dominated_points(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """The candidates a designer can discard outright."""
+    front = set(id(p) for p in pareto_front(points))
+    return [p for p in points if id(p) not in front]

@@ -1,0 +1,79 @@
+"""Parameter sweeps over a rebuildable design.
+
+A sweep drives a *builder* — any callable returning ``(stages, system,
+mapping)`` — across a parameter range and records the resulting reports,
+marking points where the design stops being feasible (TimingError /
+StallError) instead of aborting: infeasibility boundaries are exactly what
+a designer sweeps to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.energy.report import EnergyReport
+from repro.exceptions import CamJError, ConfigurationError
+from repro.sim.simulator import simulate
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a sweep."""
+
+    parameter: float
+    report: Optional[EnergyReport]
+    failure: Optional[str]
+
+    @property
+    def feasible(self) -> bool:
+        return self.report is not None
+
+
+def _evaluate(builder: Callable, frame_rate: float) -> EnergyReport:
+    stages, system, mapping = builder()
+    return simulate(stages, system, mapping, frame_rate=frame_rate)
+
+
+def sweep_frame_rate(builder: Callable, frame_rates: Sequence[float]
+                     ) -> List[SweepPoint]:
+    """Evaluate one design across FPS targets.
+
+    Analog energy generally rises with FPS (faster settling, higher ADC
+    rates) while leakage-per-frame falls; the sweep exposes the trade-off
+    and the FPS where the digital pipeline stops fitting.
+    """
+    if not frame_rates:
+        raise ConfigurationError("sweep needs at least one frame rate")
+    points = []
+    for fps in frame_rates:
+        try:
+            report = _evaluate(builder, fps)
+            points.append(SweepPoint(parameter=fps, report=report,
+                                     failure=None))
+        except CamJError as error:
+            points.append(SweepPoint(parameter=fps, report=None,
+                                     failure=str(error)))
+    return points
+
+
+def sweep_nodes(builder_for_node: Callable[[float], Callable],
+                nodes: Sequence[float],
+                frame_rate: float = 30.0) -> List[SweepPoint]:
+    """Evaluate a node-parameterized design across process nodes.
+
+    ``builder_for_node(node)`` must return a zero-argument builder for the
+    design instantiated at that node.
+    """
+    if not nodes:
+        raise ConfigurationError("sweep needs at least one node")
+    points = []
+    for node in nodes:
+        try:
+            report = _evaluate(builder_for_node(node), frame_rate)
+            points.append(SweepPoint(parameter=node, report=report,
+                                     failure=None))
+        except CamJError as error:
+            points.append(SweepPoint(parameter=node, report=None,
+                                     failure=str(error)))
+    return points

@@ -1,0 +1,15 @@
+"""Area and power-density modeling (Table 3 methodology)."""
+
+from repro.area.model import (
+    AreaBreakdown,
+    estimate_area,
+    power_density,
+    layer_power_density,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "estimate_area",
+    "power_density",
+    "layer_power_density",
+]

@@ -1,0 +1,19 @@
+"""Energy models (Sec. 4) and the per-component energy report."""
+
+from repro.energy.report import (
+    Category,
+    EnergyEntry,
+    EnergyReport,
+)
+from repro.energy.analog_model import analog_energy
+from repro.energy.digital_model import digital_energy
+from repro.energy.comm_model import communication_energy
+
+__all__ = [
+    "Category",
+    "EnergyEntry",
+    "EnergyReport",
+    "analog_energy",
+    "digital_energy",
+    "communication_energy",
+]

@@ -1,0 +1,100 @@
+"""Communication energy modeling (Sec. 4.4, Eq. 17).
+
+Two interfaces are billed by the byte: MIPI CSI-2 for data leaving the
+sensor package and the micro-TSV hops between stacked layers.  Data volume
+follows from the algorithm description and the mapping: every DAG edge
+whose endpoints are mapped to hardware on different layers moves the
+producer's output bytes across the corresponding interface, and sink
+stages that finish on-chip ship their (possibly ROI-compressed) result to
+the host over MIPI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.sim
+    from repro.sim.mapping import Mapping
+
+
+from repro.energy.report import Category, EnergyEntry
+from repro.hw.chip import SensorSystem
+from repro.hw.layer import OFF_CHIP
+from repro.sw.dag import StageGraph
+
+
+def communication_energy(graph: StageGraph, system: SensorSystem,
+                         mapping: Mapping) -> List[EnergyEntry]:
+    """MIPI and uTSV energy entries for one frame (Eq. 17)."""
+    resolved = mapping.resolve(graph, system)
+    entries: List[EnergyEntry] = []
+
+    for producer, consumer in graph.edges():
+        p_unit = resolved[producer.name]
+        c_unit = resolved[consumer.name]
+        hops = _layer_path(p_unit, c_unit)
+        if len(hops) < 2:
+            continue
+        num_bytes = producer.output_bytes
+        if OFF_CHIP in hops:
+            interface = system.offchip_interface
+            category = Category.MIPI
+            num_crossings = 1  # one package boundary, however routed
+        else:
+            interface = system.interlayer_interface
+            category = Category.UTSV
+            num_crossings = len(hops) - 1
+        entries.append(EnergyEntry(
+            name=f"{interface.name}:{producer.name}->{consumer.name}",
+            category=category,
+            layer=p_unit.layer,
+            energy=interface.energy(num_bytes) * num_crossings,
+            stage=producer.name))
+
+    # Results produced on-chip leave via the off-chip interface.
+    for sink in graph.sinks:
+        unit = resolved[sink.name]
+        if unit.layer == OFF_CHIP:
+            continue
+        interface = system.offchip_interface
+        entries.append(EnergyEntry(
+            name=f"{interface.name}:{sink.name}->host",
+            category=Category.MIPI,
+            layer=unit.layer,
+            energy=interface.energy(sink.output_bytes),
+            stage=sink.name))
+    return entries
+
+
+def _layer_path(producer_unit, consumer_unit):
+    """Ordered distinct layers data traverses between two units.
+
+    Data flows producer layer → (layer of the memory the consumer reads
+    from, for digital consumers) → consumer layer.  In a three-layer
+    stack (pixel / DRAM / logic) a pixel-to-ISP edge therefore crosses
+    two micro-TSV hops.
+    """
+    layers = [producer_unit.layer]
+    input_memories = getattr(consumer_unit, "input_memories", None)
+    if input_memories:
+        memory_layer = input_memories[0].layer
+        if memory_layer != layers[-1]:
+            layers.append(memory_layer)
+    if consumer_unit.layer != layers[-1]:
+        layers.append(consumer_unit.layer)
+    return layers
+
+
+def communication_volume(graph: StageGraph, system: SensorSystem,
+                         mapping: Mapping) -> Dict[str, float]:
+    """Bytes per interface per frame — the Fig. 4 'communication volume'."""
+    volumes = {"mipi": 0.0, "utsv": 0.0}
+    for entry in communication_energy(graph, system, mapping):
+        interface = (system.offchip_interface
+                     if entry.category is Category.MIPI
+                     else system.interlayer_interface)
+        if interface.energy_per_byte > 0:
+            key = "mipi" if entry.category is Category.MIPI else "utsv"
+            volumes[key] += entry.energy / interface.energy_per_byte
+    return volumes

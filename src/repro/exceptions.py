@@ -1,0 +1,43 @@
+"""Exception hierarchy for the CamJ reproduction.
+
+Every error raised by the framework derives from :class:`CamJError` so that
+callers can catch framework failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class CamJError(Exception):
+    """Base class for all framework errors."""
+
+
+class ConfigurationError(CamJError):
+    """An algorithm/hardware description is malformed (bad shape, bad value)."""
+
+
+class MappingError(CamJError):
+    """The software-to-hardware mapping is incomplete or inconsistent."""
+
+
+class CheckError(CamJError):
+    """A pre-simulation design check failed (Sec. 3.2 of the paper)."""
+
+
+class DomainMismatchError(CheckError):
+    """Producer output signal domain does not match consumer input domain."""
+
+
+class DAGError(CheckError):
+    """The algorithm DAG is ill-formed (cycle, dangling stage, shape clash)."""
+
+
+class StallError(CamJError):
+    """The digital pipeline stalls under the configured frame-rate target."""
+
+
+class TimingError(CamJError):
+    """The frame-time budget cannot accommodate the digital latency."""
+
+
+class SimulationError(CamJError):
+    """The cycle-level simulation reached an inconsistent state."""

@@ -1,0 +1,14 @@
+"""Hardware description layer: analog arrays, digital units, layers, interfaces."""
+
+from repro.hw.layer import Layer, SENSOR_LAYER, COMPUTE_LAYER, OFF_CHIP
+from repro.hw.interface import MIPI_CSI2, MicroTSV, Interface
+
+__all__ = [
+    "Layer",
+    "SENSOR_LAYER",
+    "COMPUTE_LAYER",
+    "OFF_CHIP",
+    "Interface",
+    "MIPI_CSI2",
+    "MicroTSV",
+]

@@ -1,0 +1,58 @@
+"""Signal domains of analog components.
+
+CamJ's pre-simulation viability check (Sec. 3.3) verifies that the
+``output_domain`` of every producer matches the ``input_domain`` of its
+consumer; a charge-domain producer feeding a voltage-domain consumer, for
+instance, requires an explicit conversion component in between.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SignalDomain(enum.Enum):
+    """Physical representation of a signal flowing through the sensor."""
+
+    OPTICAL = "optical"
+    CHARGE = "charge"
+    VOLTAGE = "voltage"
+    CURRENT = "current"
+    TIME = "time"
+    DIGITAL = "digital"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_analog(self) -> bool:
+        """Whether the signal lives in the analog domain (needs an ADC)."""
+        return self not in (SignalDomain.DIGITAL,)
+
+
+#: Producer/consumer pairs that are compatible *without* an explicit
+#: conversion component.  Identical domains are always compatible; a charge
+#: producer may feed a voltage consumer directly because the consumer's
+#: inherent input capacitor performs the Q→V conversion for free (footnote 1
+#: in the paper); a time-domain (PWM) pulse may gate a current branch
+#: directly, which is how the time & current mixed-mode designs of Table 2
+#: (JSSC'21-I, ISSCC'22) implement their MACs.
+#: A current integrated onto the consumer's capacitive input node likewise
+#: converts I→V for free, the same footnote-1 argument as charge→voltage.
+_IMPLICIT_CONVERSIONS = {
+    (SignalDomain.CHARGE, SignalDomain.VOLTAGE),
+    (SignalDomain.TIME, SignalDomain.CURRENT),
+    (SignalDomain.CURRENT, SignalDomain.VOLTAGE),
+}
+
+
+def compatible(producer: SignalDomain, consumer: SignalDomain) -> bool:
+    """Whether ``producer`` output can legally feed ``consumer`` input."""
+    if producer is consumer:
+        return True
+    return (producer, consumer) in _IMPLICIT_CONVERSIONS
+
+
+def requires_adc(producer: SignalDomain, consumer: SignalDomain) -> bool:
+    """Whether the hop from ``producer`` to ``consumer`` crosses A/D."""
+    return producer.is_analog and consumer is SignalDomain.DIGITAL

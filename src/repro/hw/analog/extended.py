@@ -1,0 +1,142 @@
+"""Extended A-Component library.
+
+Components beyond the Table 1 baseline, built from the same A-Cell
+physics and surveyed from the designs the paper cites:
+
+* :func:`PassiveMatrixMultiplier` — the fully-passive switched-capacitor
+  matrix multiplier of Lee & Wong [42] (no OpAmp at all: charge
+  redistribution only, at the cost of signal attenuation);
+* :func:`ProgrammableGainAmplifier` — column-level PGA, the standard
+  pre-ADC signal conditioner in high-DR readout chains;
+* :func:`SingleSlopeADC` — an *analytical* single-slope converter model
+  (ramp + comparator + counter) as an alternative to the Walden-FoM
+  estimate, exposing the bit-count/energy trade explicitly;
+* :func:`CorrelatedDoubleSampler` — the sample-twice-subtract stage that
+  removes pixel reset noise and FPN (Capoccia et al. [9]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.hw.analog.cells import (
+    AnalogCell,
+    DEFAULT_VDDA,
+    DynamicCell,
+    OpAmp,
+    StaticCell,
+)
+from repro.hw.analog.components import AnalogComponent, CellUsage
+from repro.hw.analog.domain import SignalDomain
+
+
+def PassiveMatrixMultiplier(name: str = "PassiveMatMul",
+                            rows: int = 4, cols: int = 4,
+                            unit_capacitance: float = 5 * units.fF,
+                            voltage_swing: float = 1.0 * units.V
+                            ) -> AnalogComponent:
+    """Fully-passive switched-capacitor matrix multiplier [42].
+
+    One access computes a ``rows x cols`` matrix-vector product purely by
+    charge redistribution over a capacitor matrix — no static bias at all,
+    so the energy is the Eq. 5 dynamic term of ``rows*cols`` unit caps.
+    The passive trade-off (signal attenuation per stage) is a functional
+    concern, not an energy one, so it does not appear here.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(
+            f"matrix multiplier {name!r}: dimensions must be >= 1, "
+            f"got {rows}x{cols}")
+    matrix = DynamicCell(
+        "CapMatrix", [(unit_capacitance, voltage_swing)] * (rows * cols))
+    return AnalogComponent(name, SignalDomain.VOLTAGE, SignalDomain.VOLTAGE,
+                           [CellUsage(matrix)],
+                           num_input=(cols, 1), num_output=(rows, 1))
+
+
+def ProgrammableGainAmplifier(name: str = "PGA",
+                              gain: float = 4.0,
+                              load_capacitance: float = 200 * units.fF,
+                              vdda: float = DEFAULT_VDDA,
+                              gm_id: float = 15.0) -> AnalogComponent:
+    """Column-level programmable gain amplifier (pre-ADC conditioning)."""
+    if gain <= 0:
+        raise ConfigurationError(
+            f"PGA {name!r}: gain must be positive, got {gain}")
+    amp = StaticCell.gm_id_biased("PGAAmp", load_capacitance, gain,
+                                  vdda=vdda, gm_id=gm_id)
+    sampling = DynamicCell("PGACaps", [(load_capacitance / gain, 1.0)])
+    return AnalogComponent(name, SignalDomain.VOLTAGE, SignalDomain.VOLTAGE,
+                           [CellUsage(sampling), CellUsage(amp)])
+
+
+class _SingleSlopeCell(AnalogCell):
+    """Analytical single-slope conversion: comparator biased over 2^N
+    ramp steps plus a Gray-counter toggle per step.
+
+    Energy per conversion = ``Vdda * Ibias * t_ramp + steps * E_count``
+    with ``t_ramp`` the allocated cell delay — slower column clocks make
+    the comparator bias window longer, which is why single-slope ADCs get
+    *more* expensive at low rates, opposite to the Walden-FoM trend.
+    """
+
+    def __init__(self, name: str, bits: int, comparator_bias: float,
+                 vdda: float, counter_energy_per_step: float):
+        super().__init__(name)
+        if bits < 1:
+            raise ConfigurationError(
+                f"single-slope cell {name!r}: bits must be >= 1")
+        if comparator_bias <= 0:
+            raise ConfigurationError(
+                f"single-slope cell {name!r}: bias must be positive")
+        if counter_energy_per_step < 0:
+            raise ConfigurationError(
+                f"single-slope cell {name!r}: counter energy must be "
+                f"non-negative")
+        self.bits = bits
+        self.comparator_bias = comparator_bias
+        self.vdda = vdda
+        self.counter_energy_per_step = counter_energy_per_step
+
+    def energy(self, cell_delay: float,
+               static_time: Optional[float] = None) -> float:
+        if cell_delay <= 0:
+            raise ConfigurationError(
+                f"single-slope cell {self.name!r}: delay must be positive")
+        ramp_window = static_time if static_time is not None else cell_delay
+        steps = 2 ** self.bits
+        comparator = self.vdda * self.comparator_bias * ramp_window
+        counter = steps * self.counter_energy_per_step
+        return comparator + counter
+
+
+def SingleSlopeADC(name: str = "SSADC", bits: int = 10,
+                   comparator_bias: float = 1.0 * units.uA,
+                   vdda: float = DEFAULT_VDDA,
+                   counter_energy_per_step: float = 5 * units.fJ
+                   ) -> AnalogComponent:
+    """Analytical single-slope column ADC (the dominant CIS ADC style)."""
+    cell = _SingleSlopeCell("SSConvert", bits=bits,
+                            comparator_bias=comparator_bias, vdda=vdda,
+                            counter_energy_per_step=counter_energy_per_step)
+    return AnalogComponent(name, SignalDomain.VOLTAGE, SignalDomain.DIGITAL,
+                           [CellUsage(cell)])
+
+
+def CorrelatedDoubleSampler(name: str = "CDS",
+                            capacitance: float = 50 * units.fF,
+                            voltage_swing: float = 1.0 * units.V,
+                            opamp_gain: float = 1.5,
+                            vdda: float = DEFAULT_VDDA) -> AnalogComponent:
+    """Correlated double sampling: sample reset + signal, subtract [9].
+
+    Two sampling events per access (temporal = 2) on each of two caps,
+    plus the subtraction amplifier.
+    """
+    caps = DynamicCell("CDSCaps", [(capacitance, voltage_swing)] * 2)
+    amp = OpAmp("CDSAmp", load_capacitance=capacitance, gain=opamp_gain,
+                vdda=vdda)
+    return AnalogComponent(name, SignalDomain.VOLTAGE, SignalDomain.VOLTAGE,
+                           [CellUsage(caps, temporal=2), CellUsage(amp)])

@@ -1,0 +1,18 @@
+"""Digital hardware description: memory structures and compute units."""
+
+from repro.hw.digital.memory import (
+    DigitalMemory,
+    FIFO,
+    LineBuffer,
+    DoubleBuffer,
+)
+from repro.hw.digital.compute import ComputeUnit, SystolicArray
+
+__all__ = [
+    "DigitalMemory",
+    "FIFO",
+    "LineBuffer",
+    "DoubleBuffer",
+    "ComputeUnit",
+    "SystolicArray",
+]

@@ -1,0 +1,52 @@
+"""Data-movement interfaces (Sec. 4.4).
+
+Two interfaces dominate communication energy: the MIPI CSI-2 link that
+carries data off the sensor (~100 pJ/B [49]) and, for stacked designs, the
+hybrid-bond / micro-TSV hops between layers (~1 pJ/B [49]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.exceptions import ConfigurationError
+
+#: Literature energy cost of the MIPI CSI-2 off-sensor link.
+MIPI_ENERGY_PER_BYTE = 100.0 * units.pJ
+#: Literature energy cost of a micro-TSV inter-layer hop.
+UTSV_ENERGY_PER_BYTE = 1.0 * units.pJ
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A byte-billed communication interface (Eq. 17)."""
+
+    name: str
+    energy_per_byte: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("interface needs a non-empty name")
+        if self.energy_per_byte < 0:
+            raise ConfigurationError(
+                f"interface {self.name!r}: energy per byte must be "
+                f"non-negative, got {self.energy_per_byte}")
+
+    def energy(self, num_bytes: float) -> float:
+        """Energy of moving ``num_bytes`` across the interface."""
+        if num_bytes < 0:
+            raise ConfigurationError(
+                f"interface {self.name!r}: byte count must be non-negative, "
+                f"got {num_bytes}")
+        return self.energy_per_byte * num_bytes
+
+
+def MIPI_CSI2(energy_per_byte: float = MIPI_ENERGY_PER_BYTE) -> Interface:
+    """The off-sensor MIPI CSI-2 interface."""
+    return Interface("MIPI CSI-2", energy_per_byte)
+
+
+def MicroTSV(energy_per_byte: float = UTSV_ENERGY_PER_BYTE) -> Interface:
+    """A micro-TSV / hybrid-bond inter-layer interface."""
+    return Interface("uTSV", energy_per_byte)

@@ -1,0 +1,41 @@
+"""Layers of a (possibly 3D-stacked) sensor system.
+
+A conventional 2D CIS has a single layer holding both the pixel array and
+any processing; a stacked design separates the pixel layer from one or more
+compute layers fabricated in more advanced nodes (Fig. 2d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+#: Conventional layer names used throughout the framework and examples.
+SENSOR_LAYER = "sensor"
+COMPUTE_LAYER = "compute"
+OFF_CHIP = "off_chip"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One die in the sensor stack.
+
+    Parameters
+    ----------
+    name:
+        Layer identifier referenced by hardware units (e.g. ``"sensor"``).
+    node_nm:
+        Process node the layer is fabricated in.
+    """
+
+    name: str
+    node_nm: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("layer needs a non-empty name")
+        if self.node_nm <= 0:
+            raise ConfigurationError(
+                f"layer {self.name!r}: node must be positive, "
+                f"got {self.node_nm}")

@@ -1,0 +1,15 @@
+"""Memory-technology substrate.
+
+Analytical stand-ins for the external memory modeling tools the paper uses:
+DESTINY [57] for SRAM, NVMExplorer [55] for STT-RAM, plus a simple DRAM
+interface model for three-layer stacked designs (Sony IMX 400 style).
+
+Each model exposes the same scalar interface CamJ consumes: per-word read
+energy, per-word write energy, leakage power, and area.
+"""
+
+from repro.memlib.sram import SRAMModel
+from repro.memlib.sttram import STTRAMModel
+from repro.memlib.dram import DRAMModel
+
+__all__ = ["SRAMModel", "STTRAMModel", "DRAMModel"]

@@ -1,0 +1,57 @@
+"""Simple stacked-DRAM access model.
+
+Three-layer stacked CIS (Sony IMX 400 [25]) put a DRAM layer between the
+pixel and logic layers.  CamJ only needs a per-byte access energy plus
+refresh power, so a first-order model suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.exceptions import ConfigurationError
+
+#: Typical stacked-DRAM access energy (activation + IO over short 3D hops).
+_ACCESS_ENERGY_PER_BYTE = 4.0 * units.pJ
+#: Refresh power per megabyte (64 ms retention, low-power mode).
+_REFRESH_POWER_PER_MB = 40.0 * units.uW
+
+
+@dataclass
+class DRAMModel:
+    """Energy model of one stacked-DRAM layer."""
+
+    capacity_bytes: float
+    access_energy_per_byte: float = _ACCESS_ENERGY_PER_BYTE
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"DRAM capacity must be positive, got {self.capacity_bytes}")
+        if self.access_energy_per_byte <= 0:
+            raise ConfigurationError(
+                "DRAM access energy must be positive, got "
+                f"{self.access_energy_per_byte}")
+
+    @property
+    def read_energy_per_byte(self) -> float:
+        """Per-byte read energy."""
+        return self.access_energy_per_byte
+
+    @property
+    def write_energy_per_byte(self) -> float:
+        """Per-byte write energy."""
+        return self.access_energy_per_byte
+
+    @property
+    def refresh_power(self) -> float:
+        """Standing refresh power for the whole layer."""
+        return _REFRESH_POWER_PER_MB * (self.capacity_bytes / units.MB)
+
+    def access_energy(self, num_bytes: float) -> float:
+        """Dynamic energy of moving ``num_bytes`` in or out of the DRAM."""
+        if num_bytes < 0:
+            raise ConfigurationError(
+                f"byte count must be non-negative, got {num_bytes}")
+        return num_bytes * self.access_energy_per_byte

@@ -1,0 +1,104 @@
+"""Analytical STT-RAM energy/area model (NVMExplorer [55] stand-in).
+
+The paper's 3D-In-STT configuration replaces the compute-layer SRAM with
+STT-RAM to remove frame-buffer leakage (Sec. 6.2).  The qualitative contract
+this model must honor:
+
+* reads cost about the same order as SRAM reads;
+* writes are markedly more expensive (spin-torque switching current);
+* leakage is near zero — only CMOS periphery leaks, not the cell array;
+* bitcells are denser than 6T SRAM.
+
+Like NVMExplorer, the model refuses tiny capacities where the periphery
+would dominate beyond the model's validity (the paper notes NVMExplorer
+cannot model Rhythmic's 2 KB memory, which is why Fig. 9a has no STT bar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.memlib.sram import SRAMModel
+
+#: Minimum capacity NVM macro the model supports (matches the paper's note
+#: that the 2 KB Rhythmic memory is below what NVMExplorer handles).
+MIN_CAPACITY_BYTES = 4 * units.KB
+
+#: Read energy relative to an equally-sized SRAM.
+_READ_RATIO = 1.2
+#: Write energy relative to an equally-sized SRAM (spin-torque switching).
+_WRITE_RATIO = 6.0
+#: Leakage relative to an equally-sized SRAM (periphery only).
+_LEAKAGE_RATIO = 0.015
+#: Bitcell area relative to a 6T SRAM cell.
+_AREA_RATIO = 0.45
+
+
+@dataclass
+class STTRAMModel:
+    """Energy/area model of one STT-RAM macro.
+
+    Internally derives its scalars from an SRAM macro of identical geometry,
+    applying NVM read/write/leakage/area ratios — the same relative-contrast
+    approach cross-stack NVM comparisons use.
+    """
+
+    capacity_bytes: float
+    word_bits: int = 64
+    node_nm: float = 22
+    _sram: SRAMModel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < MIN_CAPACITY_BYTES:
+            raise ConfigurationError(
+                f"STT-RAM model supports >= {MIN_CAPACITY_BYTES / units.KB:.0f}"
+                f" KB macros, got {self.capacity_bytes / units.KB:.2f} KB "
+                f"(periphery-dominated small macros are out of model range)")
+        self._sram = SRAMModel(capacity_bytes=self.capacity_bytes,
+                               word_bits=self.word_bits,
+                               node_nm=self.node_nm)
+
+    @property
+    def total_cells(self) -> int:
+        """Number of 1T-1MTJ bitcells in the macro."""
+        return self._sram.total_cells
+
+    @property
+    def read_energy_per_word(self) -> float:
+        """Energy of one word read."""
+        return self._sram.read_energy_per_word * _READ_RATIO
+
+    @property
+    def write_energy_per_word(self) -> float:
+        """Energy of one word write (dominated by MTJ switching)."""
+        return self._sram.write_energy_per_word * _WRITE_RATIO
+
+    @property
+    def read_energy_per_byte(self) -> float:
+        """Per-byte read energy."""
+        return self.read_energy_per_word / (self.word_bits / 8.0)
+
+    @property
+    def write_energy_per_byte(self) -> float:
+        """Per-byte write energy."""
+        return self.write_energy_per_word / (self.word_bits / 8.0)
+
+    @property
+    def leakage_power(self) -> float:
+        """Near-zero leakage: the MTJ array is non-volatile."""
+        return self._sram.leakage_power * _LEAKAGE_RATIO
+
+    @property
+    def area(self) -> float:
+        """Macro silicon area in square meters."""
+        return self._sram.area * _AREA_RATIO
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"STT-RAM {self.capacity_bytes / units.KB:.1f} KB @ "
+                f"{self.node_nm:.0f} nm: "
+                f"read {units.format_energy(self.read_energy_per_word)}/word, "
+                f"write {units.format_energy(self.write_energy_per_word)}/word, "
+                f"leak {units.format_power(self.leakage_power)}")

@@ -1,0 +1,46 @@
+"""Functional (noise-aware) simulation of the sensing chain.
+
+The paper's energy model flags that 3D stacking raises power density and
+hence thermal noise, "an exploration that CamJ enables" (Sec. 6.2); the
+authors' public framework ships a functional simulation layer for exactly
+this.  This subpackage reproduces it: pixel-level noise sources (photon
+shot, dark current, read noise, fixed-pattern noise, quantization) and a
+functional pipeline that pushes images through the modeled sensing chain
+to measure SNR.
+"""
+
+from repro.noise.sources import (
+    NoiseSource,
+    PhotonShotNoise,
+    DarkCurrentNoise,
+    ReadNoise,
+    FixedPatternNoise,
+    QuantizationNoise,
+    thermal_noise_sigma,
+)
+from repro.noise.pipeline import (
+    FunctionalPixel,
+    FunctionalPipeline,
+    snr_db,
+)
+from repro.noise.thermal import (
+    ThermalOperatingPoint,
+    thermal_operating_point,
+    imaging_snr_at_operating_point,
+)
+
+__all__ = [
+    "NoiseSource",
+    "PhotonShotNoise",
+    "DarkCurrentNoise",
+    "ReadNoise",
+    "FixedPatternNoise",
+    "QuantizationNoise",
+    "thermal_noise_sigma",
+    "FunctionalPixel",
+    "FunctionalPipeline",
+    "snr_db",
+    "ThermalOperatingPoint",
+    "thermal_operating_point",
+    "imaging_snr_at_operating_point",
+]

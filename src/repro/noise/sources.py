@@ -1,0 +1,180 @@
+"""Pixel-level noise sources of the sensing chain.
+
+Signals are electron counts (or volts after conversion); every source
+follows the standard CIS noise physics:
+
+* photon shot noise — Poisson statistics of photon arrival;
+* dark current — thermally generated electrons, Poisson over the exposure,
+  doubling roughly every 6-8 K (the thermal coupling of Sec. 6.2);
+* read noise — Gaussian noise of the readout chain, in electrons RMS;
+* fixed-pattern noise — static per-pixel offset and gain mismatch;
+* quantization noise — uniform error of the ADC's finite resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.exceptions import ConfigurationError
+
+
+class NoiseSource:
+    """Base class: a deterministic, seedable transform of a signal array."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        """Return the noisy version of ``signal`` (electrons)."""
+        raise NotImplementedError
+
+    def reseed(self, seed: int) -> None:
+        """Reset the generator (reproducible experiment sweeps)."""
+        self._rng = np.random.default_rng(seed)
+
+
+class PhotonShotNoise(NoiseSource):
+    """Poisson photon-arrival statistics: variance equals the mean."""
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        if np.any(signal < 0):
+            raise ConfigurationError(
+                "photon signal must be non-negative electron counts")
+        return self._rng.poisson(signal).astype(float)
+
+
+class DarkCurrentNoise(NoiseSource):
+    """Dark electrons integrated over the exposure, Poisson-distributed.
+
+    ``dark_current_e_per_s`` is specified at ``reference_temperature``; the
+    current doubles every ``doubling_kelvin`` — the mechanism by which the
+    power density of stacked designs worsens imaging quality.
+    """
+
+    def __init__(self, dark_current_e_per_s: float, exposure_time: float,
+                 temperature: float = units.ROOM_TEMPERATURE,
+                 reference_temperature: float = units.ROOM_TEMPERATURE,
+                 doubling_kelvin: float = 7.0, seed: int = 0):
+        super().__init__(seed)
+        if dark_current_e_per_s < 0:
+            raise ConfigurationError(
+                f"dark current must be non-negative, "
+                f"got {dark_current_e_per_s}")
+        if exposure_time <= 0:
+            raise ConfigurationError(
+                f"exposure time must be positive, got {exposure_time}")
+        if doubling_kelvin <= 0:
+            raise ConfigurationError(
+                f"doubling interval must be positive, got {doubling_kelvin}")
+        self.dark_current_e_per_s = dark_current_e_per_s
+        self.exposure_time = exposure_time
+        self.temperature = temperature
+        self.reference_temperature = reference_temperature
+        self.doubling_kelvin = doubling_kelvin
+
+    @property
+    def mean_dark_electrons(self) -> float:
+        """Expected dark electrons per pixel per exposure."""
+        delta = self.temperature - self.reference_temperature
+        thermal_factor = 2.0 ** (delta / self.doubling_kelvin)
+        return (self.dark_current_e_per_s * thermal_factor
+                * self.exposure_time)
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        dark = self._rng.poisson(self.mean_dark_electrons,
+                                 size=signal.shape)
+        return signal + dark
+
+
+class ReadNoise(NoiseSource):
+    """Gaussian readout noise in electrons RMS."""
+
+    def __init__(self, sigma_electrons: float, seed: int = 0):
+        super().__init__(seed)
+        if sigma_electrons < 0:
+            raise ConfigurationError(
+                f"read noise sigma must be non-negative, "
+                f"got {sigma_electrons}")
+        self.sigma_electrons = sigma_electrons
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        if self.sigma_electrons == 0:
+            return signal.copy()
+        return signal + self._rng.normal(0.0, self.sigma_electrons,
+                                         size=signal.shape)
+
+
+class FixedPatternNoise(NoiseSource):
+    """Static per-pixel offset and gain mismatch (DSNU and PRNU).
+
+    The pattern is drawn once per instance and reused across frames — the
+    defining property of FPN, which correlated double sampling or
+    calibration can remove.
+    """
+
+    def __init__(self, offset_sigma_electrons: float = 0.0,
+                 gain_sigma_fraction: float = 0.0, seed: int = 0):
+        super().__init__(seed)
+        if offset_sigma_electrons < 0 or gain_sigma_fraction < 0:
+            raise ConfigurationError("FPN sigmas must be non-negative")
+        self.offset_sigma_electrons = offset_sigma_electrons
+        self.gain_sigma_fraction = gain_sigma_fraction
+        self._offsets = None
+        self._gains = None
+
+    def _pattern(self, shape):
+        if self._offsets is None or self._offsets.shape != shape:
+            self._offsets = self._rng.normal(
+                0.0, self.offset_sigma_electrons, size=shape) \
+                if self.offset_sigma_electrons else np.zeros(shape)
+            self._gains = 1.0 + (self._rng.normal(
+                0.0, self.gain_sigma_fraction, size=shape)
+                if self.gain_sigma_fraction else np.zeros(shape))
+        return self._offsets, self._gains
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        offsets, gains = self._pattern(signal.shape)
+        return signal * gains + offsets
+
+
+class QuantizationNoise(NoiseSource):
+    """ADC quantization: ``bits`` resolution over ``full_scale`` electrons."""
+
+    def __init__(self, bits: int, full_scale_electrons: float,
+                 seed: int = 0):
+        super().__init__(seed)
+        if bits < 1:
+            raise ConfigurationError(f"ADC bits must be >= 1, got {bits}")
+        if full_scale_electrons <= 0:
+            raise ConfigurationError(
+                f"full scale must be positive, got {full_scale_electrons}")
+        self.bits = bits
+        self.full_scale_electrons = full_scale_electrons
+
+    @property
+    def lsb_electrons(self) -> float:
+        """Electrons per ADC code."""
+        return self.full_scale_electrons / (2 ** self.bits)
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        clipped = np.clip(signal, 0.0, self.full_scale_electrons)
+        codes = np.round(clipped / self.lsb_electrons)
+        return codes * self.lsb_electrons
+
+
+def thermal_noise_sigma(capacitance: float,
+                        conversion_gain_uv_per_e: float,
+                        temperature: float = units.ROOM_TEMPERATURE
+                        ) -> float:
+    """kT/C noise expressed in electrons RMS (links Eq. 6 to imaging SNR).
+
+    ``conversion_gain_uv_per_e`` is the pixel conversion gain in
+    microvolts per electron.
+    """
+    if conversion_gain_uv_per_e <= 0:
+        raise ConfigurationError(
+            f"conversion gain must be positive, "
+            f"got {conversion_gain_uv_per_e}")
+    sigma_volts = units.thermal_noise_voltage(capacitance, temperature)
+    return sigma_volts / (conversion_gain_uv_per_e * units.uV)

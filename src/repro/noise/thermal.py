@@ -1,0 +1,92 @@
+"""Power-density → temperature → imaging-quality coupling.
+
+Section 6.2 of the paper closes with: "higher power density increases the
+thermal-induced noise and worsens the imaging and computing quality...
+an exploration that CamJ enables and that we leave to future work."  This
+module implements that loop:
+
+1. the energy report's power density heats the die through a lumped
+   thermal resistance (the Kodukula et al. [36] style first-order model);
+2. the temperature rise feeds the dark-current doubling law;
+3. a functional pipeline at the elevated temperature quantifies the
+   low-light SNR cost of the architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.area.model import layer_power_density
+from repro.energy.report import EnergyReport
+from repro.exceptions import ConfigurationError
+from repro.hw.chip import SensorSystem
+from repro.noise.pipeline import FunctionalPipeline, FunctionalPixel
+
+#: Lumped junction-to-ambient thermal resistance of a sensor package,
+#: expressed against power *density*: kelvin per (mW/mm^2).  Small mobile
+#: CIS packages sit around a few K per mW/mm^2 of die loading.
+THERMAL_RESISTANCE_K_PER_MW_MM2 = 2.5
+
+#: Ambient temperature.
+AMBIENT_K = units.ROOM_TEMPERATURE
+
+
+@dataclass(frozen=True)
+class ThermalOperatingPoint:
+    """The thermal consequence of one architecture's power draw."""
+
+    power_density: float  # W/m^2 (hottest layer)
+    temperature_rise: float  # K above ambient
+    temperature: float  # K
+
+    def describe(self) -> str:
+        density = self.power_density / (units.mW / units.mm2)
+        return (f"{density:.2f} mW/mm^2 -> +{self.temperature_rise:.2f} K "
+                f"(die at {self.temperature:.1f} K)")
+
+
+def thermal_operating_point(system: SensorSystem, report: EnergyReport,
+                            thermal_resistance:
+                            float = THERMAL_RESISTANCE_K_PER_MW_MM2,
+                            ambient: float = AMBIENT_K
+                            ) -> ThermalOperatingPoint:
+    """Die temperature implied by the hottest layer's power density."""
+    if thermal_resistance <= 0:
+        raise ConfigurationError(
+            f"thermal resistance must be positive, "
+            f"got {thermal_resistance}")
+    densities = layer_power_density(system, report)
+    if not densities:
+        raise ConfigurationError(
+            f"system {system.name!r} has no on-chip power density; "
+            f"set pixel geometry or memory areas")
+    hottest = max(densities.values())
+    rise = thermal_resistance * hottest / (units.mW / units.mm2)
+    return ThermalOperatingPoint(power_density=hottest,
+                                 temperature_rise=rise,
+                                 temperature=ambient + rise)
+
+
+def imaging_snr_at_operating_point(system: SensorSystem,
+                                   report: EnergyReport,
+                                   pixel: FunctionalPixel,
+                                   illumination_electrons: float = 100.0,
+                                   seed: int = 0) -> float:
+    """Low-light SNR (dB) of ``pixel`` heated by this architecture.
+
+    The pixel's dark current is re-evaluated at the die temperature the
+    power density implies; exposure is one frame time.
+    """
+    point = thermal_operating_point(system, report)
+    heated = FunctionalPixel(
+        full_well_electrons=pixel.full_well_electrons,
+        dark_current_e_per_s=pixel.dark_current_e_per_s,
+        read_noise_electrons=pixel.read_noise_electrons,
+        fpn_offset_electrons=pixel.fpn_offset_electrons,
+        fpn_gain_fraction=pixel.fpn_gain_fraction,
+        adc_bits=pixel.adc_bits,
+        temperature=point.temperature)
+    pipeline = FunctionalPipeline(heated, exposure_time=report.frame_time,
+                                  seed=seed)
+    return pipeline.measure_snr(illumination_electrons)

@@ -1,0 +1,17 @@
+"""Simulation layer: mapping, checks, cycle simulation, delays, simulate()."""
+
+from repro.sim.mapping import Mapping
+from repro.sim.delay import FrameTiming, estimate_frame_timing
+from repro.sim.simulator import simulate
+from repro.sim.cycle_sim import DigitalTimeline, simulate_digital
+from repro.sim.checks import run_pre_simulation_checks
+
+__all__ = [
+    "Mapping",
+    "FrameTiming",
+    "estimate_frame_timing",
+    "simulate",
+    "DigitalTimeline",
+    "simulate_digital",
+    "run_pre_simulation_checks",
+]

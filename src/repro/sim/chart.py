@@ -1,0 +1,70 @@
+"""Textual rendering of the Fig. 6 pipeline diagram.
+
+Turns the frame-timing inference into the picture the paper draws: the
+exposure slot, one slot per analog array, and the digital activities
+packed at the end of the frame, all on a shared time axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro import units
+from repro.energy.analog_model import analog_usage
+from repro.hw.chip import SensorSystem
+from repro.sim.cycle_sim import simulate_digital
+from repro.sim.delay import estimate_frame_timing
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import Stage
+
+_WIDTH = 56
+
+
+def pipeline_chart(stages: Union[StageGraph, List[Stage]],
+                   system: SensorSystem,
+                   mapping: Union[Mapping, Dict[str, str]],
+                   frame_rate: float,
+                   exposure_slots: int = 1) -> str:
+    """Render the per-frame pipeline schedule as an ASCII chart."""
+    graph = stages if isinstance(stages, StageGraph) else StageGraph(stages)
+    mapping = mapping if isinstance(mapping, Mapping) else Mapping(mapping)
+    mapping.validate(graph, system)
+
+    timeline = simulate_digital(graph, system, mapping)
+    usages = analog_usage(graph, system, mapping)
+    timing = estimate_frame_timing(frame_rate, timeline.total_latency,
+                                   num_analog_arrays=len(usages),
+                                   exposure_slots=exposure_slots)
+
+    frame_time = timing.frame_time
+    rows: List[tuple] = []
+    cursor = 0.0
+    for slot in range(exposure_slots):
+        rows.append((f"Exposure", cursor, timing.analog_stage_delay))
+        cursor += timing.analog_stage_delay
+    for usage in usages:
+        rows.append((usage.array.name, cursor, timing.analog_stage_delay))
+        cursor += timing.analog_stage_delay
+    digital_origin = cursor
+    for activity in timeline.activities:
+        rows.append((f"{activity.stage_name}@{activity.unit_name}",
+                     digital_origin + activity.start, activity.duration))
+
+    label_width = max((len(label) for label, _, _ in rows), default=8)
+    lines = [f"Frame budget {units.format_time(frame_time)} @ "
+             f"{frame_rate:g} FPS  "
+             f"(T_A {units.format_time(timing.analog_stage_delay)}, "
+             f"T_D {units.format_time(timing.digital_latency)})"]
+    for label, start, duration in rows:
+        begin = int(round(_WIDTH * start / frame_time))
+        span = max(1, int(round(_WIDTH * duration / frame_time)))
+        end = min(_WIDTH, begin + span)
+        if end <= begin:  # sub-column activity at the frame edge
+            begin = max(0, _WIDTH - 1)
+            end = _WIDTH
+        bar = " " * begin + "#" * (end - begin)
+        bar = bar.ljust(_WIDTH)
+        lines.append(f"{label:<{label_width}} |{bar}| "
+                     f"{units.format_time(duration)}")
+    return "\n".join(lines)

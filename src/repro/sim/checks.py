@@ -1,0 +1,246 @@
+"""Pre-simulation design checks (Sec. 3.2).
+
+Before estimating energy, CamJ verifies the algorithm/hardware combination:
+
+1. *functional viability* — signal domains must chain legally and an ADC
+   must sit between the analog and digital domains;
+2. *no pipeline stalls* — producer/consumer throughput and memory
+   capacity/ports must sustain streaming without accumulating latency;
+3. *well-formed DAG* — enforced by :class:`repro.sw.dag.StageGraph` at
+   construction, re-validated here for completeness.
+
+Each failure raises a :class:`repro.exceptions.CheckError` subclass whose
+message tells the designer what to fix — the feedback loop of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import CheckError, DomainMismatchError, StallError
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.domain import SignalDomain, compatible
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit
+from repro.hw.digital.memory import DoubleBuffer, LineBuffer
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import ProcessStage
+
+
+def run_pre_simulation_checks(graph: StageGraph, system: SensorSystem,
+                              mapping: Mapping) -> None:
+    """Run every design check; raises on the first failure."""
+    resolved = mapping.resolve(graph, system)
+    check_analog_domains(graph, resolved)
+    check_analog_chain_wiring(graph, resolved)
+    check_adc_boundary(graph, resolved)
+    check_line_buffer_capacity(graph, resolved)
+    check_memory_ports(graph, resolved)
+    check_throughput_handshake(graph, resolved)
+
+
+def check_analog_domains(graph: StageGraph, resolved: Dict[str, object]
+                         ) -> None:
+    """Producer output domain must match consumer input domain (Sec. 3.3)."""
+    for producer, consumer in graph.edges():
+        p_unit = resolved[producer.name]
+        c_unit = resolved[consumer.name]
+        if p_unit is c_unit:
+            continue
+        if not isinstance(p_unit, AnalogArray):
+            continue
+        if not isinstance(c_unit, AnalogArray):
+            continue
+        if not compatible(p_unit.output_domain, c_unit.input_domain):
+            raise DomainMismatchError(
+                f"analog array {p_unit.name!r} outputs "
+                f"{p_unit.output_domain} but {c_unit.name!r} consumes "
+                f"{c_unit.input_domain}; insert a conversion component")
+
+
+def check_analog_chain_wiring(graph: StageGraph, resolved: Dict[str, object]
+                              ) -> None:
+    """Analog arrays handing data to each other must be physically wired."""
+    for producer, consumer in graph.edges():
+        p_unit = resolved[producer.name]
+        c_unit = resolved[consumer.name]
+        if p_unit is c_unit:
+            continue
+        if isinstance(p_unit, AnalogArray) and isinstance(c_unit, AnalogArray):
+            if not _wired(p_unit, c_unit):
+                raise CheckError(
+                    f"stage {consumer.name!r} consumes {producer.name!r} but "
+                    f"array {c_unit.name!r} is not wired to "
+                    f"{p_unit.name!r} (call set_output)")
+
+
+def _wired(producer: AnalogArray, consumer: AnalogArray) -> bool:
+    """Whether a (possibly multi-hop) wiring path exists between arrays."""
+    frontier = [producer]
+    visited = set()
+    while frontier:
+        array = frontier.pop()
+        if array is consumer:
+            return True
+        if id(array) in visited:
+            continue
+        visited.add(id(array))
+        frontier.extend(array.output_arrays)
+    return False
+
+
+def check_adc_boundary(graph: StageGraph, resolved: Dict[str, object]
+                       ) -> None:
+    """An ADC must exist wherever data leaves the analog domain.
+
+    When a stage mapped to an analog array feeds a stage mapped to a
+    digital compute unit, the *signal chain* reaching the digital side —
+    the producing array or any array wired downstream of it — must end in
+    the digital domain (i.e. contain an ADC-like component).
+    """
+    for producer, consumer in graph.edges():
+        p_unit = resolved[producer.name]
+        c_unit = resolved[consumer.name]
+        if not isinstance(p_unit, AnalogArray):
+            continue
+        if not isinstance(c_unit, ComputeUnit):
+            continue
+        if not _chain_reaches_digital(p_unit):
+            raise DomainMismatchError(
+                f"stage {consumer.name!r} (digital, on {c_unit.name!r}) "
+                f"consumes analog data from array {p_unit.name!r} whose "
+                f"signal chain never reaches the digital domain; an ADC is "
+                f"missing")
+
+
+def _chain_reaches_digital(array: AnalogArray) -> bool:
+    frontier = [array]
+    visited = set()
+    while frontier:
+        current = frontier.pop()
+        if id(current) in visited:
+            continue
+        visited.add(id(current))
+        if current.output_domain is SignalDomain.DIGITAL:
+            return True
+        frontier.extend(current.output_arrays)
+    return False
+
+
+def check_line_buffer_capacity(graph: StageGraph,
+                               resolved: Dict[str, object]) -> None:
+    """A line buffer must hold at least the consumer's kernel rows."""
+    for stage in graph.topological_order:
+        unit = resolved[stage.name]
+        if not isinstance(unit, ComputeUnit):
+            continue
+        if not isinstance(stage, ProcessStage):
+            continue
+        for memory in unit.input_memories:
+            if not isinstance(memory, LineBuffer):
+                continue
+            if memory.num_rows < stage.kernel[0]:
+                raise StallError(
+                    f"line buffer {memory.name!r} holds {memory.num_rows} "
+                    f"rows but stage {stage.name!r} needs a "
+                    f"{stage.kernel[0]}-row window; the pipeline would "
+                    f"stall waiting for pixels")
+            if memory.row_length < stage.input_size[1]:
+                raise StallError(
+                    f"line buffer {memory.name!r} rows are "
+                    f"{memory.row_length} pixels but stage {stage.name!r} "
+                    f"input rows are {stage.input_size[1]} pixels wide")
+
+
+def check_memory_ports(graph: StageGraph, resolved: Dict[str, object]
+                       ) -> None:
+    """Per-cycle word movement must fit the memory's port counts."""
+    for stage in graph.topological_order:
+        unit = resolved[stage.name]
+        if not isinstance(unit, ComputeUnit):
+            continue
+        shapes = unit.input_pixels_per_cycle
+        for index, memory in enumerate(unit.input_memories):
+            shape = shapes[min(index, len(shapes) - 1)]
+            pixels_per_cycle = _volume(shape)
+            words_per_cycle = (pixels_per_cycle
+                               / memory.pixels_per_read_word)
+            if words_per_cycle > memory.num_read_ports:
+                raise StallError(
+                    f"unit {unit.name!r} reads {words_per_cycle:g} words "
+                    f"per cycle from {memory.name!r}, which has only "
+                    f"{memory.num_read_ports} read port(s)")
+        if unit.output_memory is not None:
+            memory = unit.output_memory
+            words_per_cycle = (unit.output_throughput
+                               / memory.pixels_per_write_word)
+            if words_per_cycle > memory.num_write_ports:
+                raise StallError(
+                    f"unit {unit.name!r} writes {words_per_cycle:g} words "
+                    f"per cycle into {memory.name!r}, which has only "
+                    f"{memory.num_write_ports} write port(s)")
+
+
+def check_throughput_handshake(graph: StageGraph,
+                               resolved: Dict[str, object]) -> None:
+    """Downstream digital units must keep up with upstream producers.
+
+    A consumer slower than its producer accumulates backlog; unless the
+    connecting memory can absorb a whole frame, latency grows every frame —
+    the stall CamJ asks designers to fix (Sec. 4.1).
+    """
+    for producer, consumer in graph.edges():
+        p_unit = resolved[producer.name]
+        c_unit = resolved[consumer.name]
+        if p_unit is c_unit:
+            continue
+        if not isinstance(p_unit, ComputeUnit):
+            continue
+        if not isinstance(c_unit, ComputeUnit):
+            continue
+        producer_rate = p_unit.output_throughput * p_unit.clock_hz
+        consumed_pixels = consumer.output_pixels if not isinstance(
+            consumer, ProcessStage) else consumer.input_reads
+        produced_pixels = producer.output_pixels
+        # Time each side needs for its share of the frame's data.
+        producer_time = produced_pixels / producer_rate
+        consumer_rate = c_unit.input_throughput * c_unit.clock_hz
+        consumer_time = consumed_pixels / consumer_rate
+        memory = _connecting(p_unit, c_unit)
+        if memory is None:
+            continue
+        if isinstance(memory, DoubleBuffer):
+            # Ping-pong buffers decouple rates across frames; only a full
+            # frame of producer output must fit.
+            if producer.output_bytes > memory.capacity_bytes:
+                raise StallError(
+                    f"double buffer {memory.name!r} "
+                    f"({memory.capacity_bytes:g} B) cannot hold one frame "
+                    f"of {producer.name!r} output "
+                    f"({producer.output_bytes:g} B); the pipeline stalls")
+            continue
+        if consumer_time > producer_time:
+            backlog = produced_pixels * (1.0 - producer_time
+                                         / consumer_time)
+            if backlog > memory.capacity_pixels:
+                raise StallError(
+                    f"unit {c_unit.name!r} drains slower than "
+                    f"{p_unit.name!r} fills {memory.name!r}: backlog "
+                    f"~{backlog:.0f} px exceeds capacity "
+                    f"{memory.capacity_pixels:g} px; the pipeline stalls")
+
+
+def _connecting(producer_unit: ComputeUnit, consumer_unit: ComputeUnit):
+    if producer_unit.output_memory is None:
+        return None
+    if producer_unit.output_memory in consumer_unit.input_memories:
+        return producer_unit.output_memory
+    return None
+
+
+def _volume(shape) -> int:
+    product = 1
+    for value in shape:
+        product *= value
+    return product

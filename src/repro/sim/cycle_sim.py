@@ -1,0 +1,376 @@
+"""Cycle-level simulation of the digital domain (Sec. 3.3, Sec. 4.1).
+
+Two simulation levels are provided:
+
+* :func:`simulate_digital` — the default analytical timeline.  Stencil
+  regularity makes cycle counts closed-form: a pipelined unit producing
+  ``N`` outputs at ``k`` outputs/cycle runs ``N/k + depth - 1`` cycles, and
+  streaming consumers start once the producer has filled the minimum
+  window (one line-buffer row group, a full double buffer, ...).  This is
+  what the energy model and delay estimator consume.
+
+* :func:`cycle_accurate_latency` — an event-driven per-cycle loop used to
+  validate the analytical model on small configurations and to detect the
+  three stall scenarios of Sec. 4.1 exactly (missing producer data, full
+  memory, insufficient ports).
+
+Both report the digital-domain latency ``T_D`` that the analog delay
+estimation needs (Fig. 6) plus per-memory access counts for Eq. 16.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import SimulationError, StallError
+from repro.hw.analog.array import AnalogArray
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit, SystolicArray
+from repro.hw.digital.memory import DigitalMemory, DoubleBuffer, LineBuffer
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import DNNProcessStage, ProcessStage, Stage
+
+
+@dataclass
+class UnitActivity:
+    """One digital stage executing on one compute unit."""
+
+    unit_name: str
+    stage_name: str
+    cycles: float
+    start: float
+    duration: float
+    energy: float
+
+    @property
+    def finish(self) -> float:
+        """Wall-clock completion time within the frame."""
+        return self.start + self.duration
+
+
+@dataclass
+class DigitalTimeline:
+    """Result of the digital-domain simulation."""
+
+    activities: List[UnitActivity] = field(default_factory=list)
+    memory_reads: Dict[str, float] = field(default_factory=dict)
+    memory_writes: Dict[str, float] = field(default_factory=dict)
+    #: Memory name -> name of the first stage reading it (stage attribution).
+    memory_stage: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_latency(self) -> float:
+        """``T_D``: makespan of the digital domain within one frame."""
+        if not self.activities:
+            return 0.0
+        return max(a.finish for a in self.activities)
+
+    def activity_for(self, stage_name: str) -> UnitActivity:
+        """Activity record of one stage."""
+        for activity in self.activities:
+            if activity.stage_name == stage_name:
+                return activity
+        raise SimulationError(f"no digital activity for stage {stage_name!r}")
+
+
+def _fill_fraction(producer: Stage, consumer: Stage,
+                   memory: Optional[DigitalMemory]) -> float:
+    """Fraction of the producer's output the consumer must wait for.
+
+    * double buffer: the consumer works on the previous buffer — it starts
+      only after the producer fills a full buffer (fraction 1);
+    * line buffer: the consumer starts once ``kernel_rows - 1`` input rows
+      plus one pixel are buffered (Fig. 6's "after the second line");
+    * FIFO or direct hand-off: one producer output group suffices.
+    """
+    if isinstance(memory, DoubleBuffer):
+        return 1.0
+    if isinstance(memory, LineBuffer) and isinstance(consumer, ProcessStage):
+        rows = producer.output_size[0]
+        kernel_rows = consumer.kernel[0]
+        return min(1.0, max(kernel_rows - 1, 1) / rows)
+    rows = producer.output_size[0]
+    return 1.0 / max(1, rows)
+
+
+def _connecting_memory(producer_unit, consumer_unit
+                       ) -> Optional[DigitalMemory]:
+    """The memory structure through which two units hand data off."""
+    if isinstance(consumer_unit, ComputeUnit):
+        consumer_memories = consumer_unit.input_memories
+    else:
+        return None
+    if isinstance(producer_unit, ComputeUnit):
+        producer_out = ([producer_unit.output_memory]
+                        if producer_unit.output_memory else [])
+    elif isinstance(producer_unit, AnalogArray):
+        producer_out = producer_unit.output_memories
+    else:
+        producer_out = []
+    for memory in consumer_memories:
+        if memory in producer_out:
+            return memory
+    if consumer_memories:
+        return consumer_memories[0]
+    return None
+
+
+def _stage_cycles(stage: Stage, unit: ComputeUnit) -> float:
+    """Active cycle count of one stage on one unit."""
+    if isinstance(unit, SystolicArray) and isinstance(stage, DNNProcessStage):
+        return unit.cycles_for_macs(stage.num_macs)
+    return unit.active_cycles(stage.output_pixels)
+
+
+def _stage_energy(stage: Stage, unit: ComputeUnit, cycles: float) -> float:
+    """Compute energy of one stage on one unit (Eq. 15)."""
+    if isinstance(unit, SystolicArray) and isinstance(stage, DNNProcessStage):
+        return unit.energy_for_macs(stage.num_macs)
+    return cycles * unit.energy_per_cycle
+
+
+def simulate_digital(graph: StageGraph, system: SensorSystem,
+                     mapping: Mapping) -> DigitalTimeline:
+    """Analytical digital-domain timeline with memory access counts."""
+    resolved = mapping.resolve(graph, system)
+    timeline = DigitalTimeline()
+    unit_free: Dict[str, float] = {}
+    stage_activity: Dict[str, UnitActivity] = {}
+
+    for stage in graph.topological_order:
+        unit = resolved[stage.name]
+        if not isinstance(unit, ComputeUnit):
+            continue
+        cycles = _stage_cycles(stage, unit)
+        duration = cycles * unit.cycle_time
+        energy = _stage_energy(stage, unit, cycles)
+
+        start = unit_free.get(unit.name, 0.0)
+        for producer in stage.input_stages:
+            producer_unit = resolved[producer.name]
+            if not isinstance(producer_unit, ComputeUnit):
+                continue  # analog feed adapts to the digital schedule
+            producer_activity = stage_activity.get(producer.name)
+            if producer_activity is None:
+                continue
+            memory = _connecting_memory(producer_unit, unit)
+            fraction = _fill_fraction(producer, stage, memory)
+            earliest = (producer_activity.start
+                        + fraction * producer_activity.duration)
+            start = max(start, earliest)
+
+        activity = UnitActivity(unit_name=unit.name, stage_name=stage.name,
+                                cycles=cycles, start=start,
+                                duration=duration, energy=energy)
+        timeline.activities.append(activity)
+        stage_activity[stage.name] = activity
+        unit_free[unit.name] = activity.finish
+
+        _count_memory_accesses(timeline, graph, resolved, stage, unit, cycles)
+
+    _count_analog_feed_writes(timeline, graph, resolved)
+    return timeline
+
+
+def _count_memory_accesses(timeline: DigitalTimeline, graph: StageGraph,
+                           resolved: Dict[str, object], stage: Stage,
+                           unit: ComputeUnit, cycles: float) -> None:
+    """Reads by this stage and writes of its output (Eq. 16 inputs)."""
+    steady_cycles = max(0.0, cycles - (unit.num_stages - 1))
+    shapes = unit.input_pixels_per_cycle
+    seen: List[DigitalMemory] = []
+    for index, memory in enumerate(unit.input_memories):
+        if memory in seen:
+            continue
+        seen.append(memory)
+        shape = shapes[min(index, len(shapes) - 1)]
+        pixels = steady_cycles * _volume(shape)
+        timeline.memory_reads[memory.name] = (
+            timeline.memory_reads.get(memory.name, 0.0) + pixels)
+        timeline.memory_stage.setdefault(memory.name, stage.name)
+    if unit.output_memory is not None:
+        timeline.memory_writes[unit.output_memory.name] = (
+            timeline.memory_writes.get(unit.output_memory.name, 0.0)
+            + stage.output_pixels)
+
+
+def _count_analog_feed_writes(timeline: DigitalTimeline, graph: StageGraph,
+                              resolved: Dict[str, object]) -> None:
+    """Writes into digital memories performed by the analog front-end."""
+    for producer, consumer in graph.edges():
+        producer_unit = resolved[producer.name]
+        consumer_unit = resolved[consumer.name]
+        if not isinstance(producer_unit, AnalogArray):
+            continue
+        if not isinstance(consumer_unit, ComputeUnit):
+            continue
+        memory = _connecting_memory(producer_unit, consumer_unit)
+        if memory is None:
+            continue
+        timeline.memory_writes[memory.name] = (
+            timeline.memory_writes.get(memory.name, 0.0)
+            + producer.output_pixels)
+
+
+def _volume(shape) -> int:
+    product = 1
+    for value in shape:
+        product *= value
+    return product
+
+
+# --- cycle-accurate validation simulator -------------------------------------
+
+
+@dataclass
+class _PipelineState:
+    """Per-stage bookkeeping of the event-driven simulator."""
+
+    stage: Stage
+    unit: ComputeUnit
+    consumed: float = 0.0
+    produced: float = 0.0
+    pending: deque = field(default_factory=deque)
+
+    @property
+    def input_target(self) -> float:
+        """Total pixels the stage must consume."""
+        if isinstance(self.unit, SystolicArray) and isinstance(
+                self.stage, DNNProcessStage):
+            cycles = self.unit.cycles_for_macs(self.stage.num_macs)
+            return cycles * self.unit.input_throughput
+        cycles = self.unit.active_cycles(self.stage.output_pixels)
+        steady = max(0.0, cycles - (self.unit.num_stages - 1))
+        return steady * self.unit.input_throughput
+
+    @property
+    def done(self) -> bool:
+        """Whether the stage produced its full frame output."""
+        return self.produced >= self.stage.output_pixels and not self.pending
+
+
+def cycle_accurate_latency(graph: StageGraph, system: SensorSystem,
+                           mapping: Mapping,
+                           max_cycles: int = 50_000_000) -> float:
+    """Event-driven per-cycle digital simulation (uniform clock required).
+
+    Returns ``T_D`` in seconds.  Raises :class:`StallError` on deadlock —
+    which corresponds to the paper's stall scenarios — and
+    :class:`SimulationError` when units run on different clocks (the
+    analytical model handles those).
+    """
+    resolved = mapping.resolve(graph, system)
+    states: List[_PipelineState] = []
+    clock = None
+    for stage in graph.topological_order:
+        unit = resolved[stage.name]
+        if not isinstance(unit, ComputeUnit):
+            continue
+        if clock is None:
+            clock = unit.clock_hz
+        elif abs(clock - unit.clock_hz) > 1e-6:
+            raise SimulationError(
+                "cycle-accurate simulation requires a uniform digital clock")
+        states.append(_PipelineState(stage=stage, unit=unit))
+    if not states:
+        return 0.0
+
+    occupancy: Dict[str, float] = {m.name: 0.0 for m in system.memories}
+    analog_fed = _analog_fed_memories(graph, resolved)
+
+    cycle = 0
+    last_progress = 0
+    while not all(s.done for s in states):
+        if cycle >= max_cycles:
+            raise SimulationError(
+                f"cycle-accurate simulation exceeded {max_cycles} cycles")
+        progressed = False
+        for state in states:
+            progressed |= _step_stage(state, occupancy, analog_fed)
+        # Deliver pipeline outputs that matured this cycle.
+        for state in states:
+            progressed |= _deliver_outputs(state, occupancy, cycle)
+        if progressed:
+            last_progress = cycle
+        elif cycle - last_progress > 4 * max(s.unit.num_stages
+                                             for s in states) + 16:
+            blocked = [s.stage.name for s in states if not s.done]
+            raise StallError(
+                f"digital pipeline deadlocked at cycle {cycle}; "
+                f"blocked stages: {blocked}")
+        cycle += 1
+    return cycle / clock
+
+
+def _analog_fed_memories(graph: StageGraph, resolved: Dict[str, object]
+                         ) -> set:
+    """Memories written by the analog front-end: modeled as always ready."""
+    fed = set()
+    for producer, consumer in graph.edges():
+        producer_unit = resolved[producer.name]
+        consumer_unit = resolved[consumer.name]
+        if isinstance(producer_unit, AnalogArray) and isinstance(
+                consumer_unit, ComputeUnit):
+            memory = _connecting_memory(producer_unit, consumer_unit)
+            if memory is not None:
+                fed.add(memory.name)
+    return fed
+
+
+def _step_stage(state: _PipelineState, occupancy: Dict[str, float],
+                analog_fed: set) -> bool:
+    """Try to issue one cycle of work; returns whether progress was made."""
+    if state.consumed >= state.input_target and not state.pending \
+            and state.produced >= state.stage.output_pixels:
+        return False
+    if state.consumed >= state.input_target:
+        return False
+    unit = state.unit
+    need = unit.input_throughput
+    # Port limits: words movable per cycle bound the consumable pixels.
+    for memory in unit.input_memories:
+        max_words = memory.num_read_ports
+        if need > max_words * memory.pixels_per_read_word * len(
+                unit.input_memories):
+            raise StallError(
+                f"memory {memory.name!r} has too few read ports for unit "
+                f"{unit.name!r} ({need} pixels/cycle needed)")
+    available = all(
+        memory.name in analog_fed
+        or occupancy[memory.name] >= need / max(1, len(unit.input_memories))
+        for memory in unit.input_memories)
+    if unit.input_memories and not available:
+        return False
+    out_memory = unit.output_memory
+    if out_memory is not None:
+        space = (out_memory.capacity_pixels
+                 - occupancy[out_memory.name])
+        if space < unit.output_throughput:
+            return False
+    for memory in unit.input_memories:
+        if memory.name not in analog_fed:
+            occupancy[memory.name] -= need / max(1, len(unit.input_memories))
+    state.consumed += max(1, need)
+    state.pending.append(unit.num_stages)
+    return True
+
+
+def _deliver_outputs(state: _PipelineState, occupancy: Dict[str, float],
+                     cycle: int) -> bool:
+    """Age the pipeline; deliver outputs whose latency elapsed."""
+    if not state.pending:
+        return False
+    state.pending = deque(age - 1 for age in state.pending)
+    delivered = False
+    while state.pending and state.pending[0] <= 0:
+        state.pending.popleft()
+        produced = min(state.unit.output_throughput,
+                       state.stage.output_pixels - state.produced)
+        state.produced += produced
+        if state.unit.output_memory is not None and produced > 0:
+            occupancy[state.unit.output_memory.name] += produced
+        delivered = True
+    return delivered

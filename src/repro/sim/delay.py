@@ -1,0 +1,78 @@
+"""Delay estimation (Sec. 4.1, Fig. 6).
+
+CamJ's insight: the CIS pipeline is designed to never stall, because pixels
+arrive at a constant exposure rate.  In a balanced pipeline every analog
+stage therefore shares the same delay, which can be *inferred* from the
+frame-rate target instead of asked from the user:
+
+    ``N_slots * T_A + T_D = T_FR = 1 / FPS``
+
+where ``N_slots`` counts the analog pipeline stages — the exposure phase
+plus every analog functional array on the signal path (the Fig. 6 example
+has exposure + binned-pixel readout + ADC, hence ``3 * T_A + T_D``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError, TimingError
+
+#: The exposure phase occupies one analog pipeline slot (Fig. 6).
+EXPOSURE_SLOTS = 1
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Timing facts of one frame under a frame-rate target."""
+
+    frame_rate: float
+    frame_time: float
+    digital_latency: float
+    num_analog_slots: int
+    analog_stage_delay: float
+
+    @property
+    def analog_total_time(self) -> float:
+        """Total time the analog domain occupies per frame."""
+        return self.num_analog_slots * self.analog_stage_delay
+
+
+def estimate_frame_timing(frame_rate: float, digital_latency: float,
+                          num_analog_arrays: int,
+                          exposure_slots: int = EXPOSURE_SLOTS
+                          ) -> FrameTiming:
+    """Infer the balanced analog stage delay ``T_A`` from the FPS target.
+
+    Raises :class:`TimingError` when the digital domain alone exceeds the
+    frame budget — the "re-design the accelerator" feedback of Sec. 3.3.
+    """
+    if frame_rate <= 0:
+        raise ConfigurationError(
+            f"frame rate must be positive, got {frame_rate}")
+    if digital_latency < 0:
+        raise ConfigurationError(
+            f"digital latency must be non-negative, got {digital_latency}")
+    if num_analog_arrays < 0:
+        raise ConfigurationError(
+            f"analog array count must be non-negative, "
+            f"got {num_analog_arrays}")
+    if exposure_slots < 0:
+        raise ConfigurationError(
+            f"exposure slots must be non-negative, got {exposure_slots}")
+    frame_time = 1.0 / frame_rate
+    slots = num_analog_arrays + exposure_slots
+    analog_budget = frame_time - digital_latency
+    if analog_budget <= 0:
+        raise TimingError(
+            f"digital latency ({digital_latency:.3e} s) exceeds the frame "
+            f"budget ({frame_time:.3e} s at {frame_rate:g} FPS); the "
+            f"digital pipeline needs a re-design")
+    if slots == 0:
+        analog_stage_delay = analog_budget
+    else:
+        analog_stage_delay = analog_budget / slots
+    return FrameTiming(frame_rate=frame_rate, frame_time=frame_time,
+                       digital_latency=digital_latency,
+                       num_analog_slots=slots,
+                       analog_stage_delay=analog_stage_delay)

@@ -1,0 +1,83 @@
+"""The algorithm-to-hardware mapping (the ``camj_mapping`` of Fig. 5).
+
+Decoupling the mapping from both descriptions is what lets one re-map an
+algorithm across analog/digital or in/off-sensor boundaries without
+touching either side — the central workflow of the Sec. 6 explorations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exceptions import MappingError
+from repro.hw.analog.array import AnalogArray
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit
+from repro.sw.dag import StageGraph
+from repro.sw.stage import PixelInput, Stage
+
+
+class Mapping:
+    """A stage-name to hardware-unit-name dictionary with validation."""
+
+    def __init__(self, assignments: Dict[str, str]):
+        if not assignments:
+            raise MappingError("mapping needs at least one assignment")
+        for stage_name, unit_name in assignments.items():
+            if not stage_name or not unit_name:
+                raise MappingError(
+                    f"mapping entries need non-empty names, got "
+                    f"{stage_name!r} -> {unit_name!r}")
+        self.assignments = dict(assignments)
+
+    def unit_name_for(self, stage_name: str) -> str:
+        """Hardware unit name a stage is mapped to."""
+        if stage_name not in self.assignments:
+            raise MappingError(f"stage {stage_name!r} is not mapped")
+        return self.assignments[stage_name]
+
+    def stages_on(self, unit_name: str) -> List[str]:
+        """Stage names mapped to one hardware unit (hardware reuse)."""
+        return [stage for stage, unit in self.assignments.items()
+                if unit == unit_name]
+
+    def validate(self, graph: StageGraph, system: SensorSystem) -> None:
+        """Check completeness and target validity against both descriptions.
+
+        * every stage in the graph must be mapped;
+        * every mapped stage must exist in the graph;
+        * every target unit must exist in the system;
+        * a :class:`PixelInput` must map to an analog array (pixels
+          originate in the analog domain);
+        * compute stages must map to analog arrays or compute units, never
+          to bare memories.
+        """
+        graph_names = {stage.name for stage in graph.topological_order}
+        mapped_names = set(self.assignments)
+        missing = graph_names - mapped_names
+        if missing:
+            raise MappingError(
+                f"unmapped stages: {sorted(missing)}")
+        unknown = mapped_names - graph_names
+        if unknown:
+            raise MappingError(
+                f"mapping references unknown stages: {sorted(unknown)}")
+        for stage_name, unit_name in self.assignments.items():
+            unit = system.find_unit(unit_name)  # raises if absent
+            stage = graph.get(stage_name)
+            if isinstance(stage, PixelInput):
+                if not isinstance(unit, AnalogArray):
+                    raise MappingError(
+                        f"pixel input {stage_name!r} must map to an analog "
+                        f"array, got {type(unit).__name__} {unit_name!r}")
+            elif not isinstance(unit, (AnalogArray, ComputeUnit)):
+                raise MappingError(
+                    f"stage {stage_name!r} must map to an analog array or "
+                    f"compute unit, got {type(unit).__name__} {unit_name!r}")
+
+    def resolve(self, graph: StageGraph, system: SensorSystem
+                ) -> Dict[str, object]:
+        """Stage name to hardware unit object, post-validation."""
+        self.validate(graph, system)
+        return {stage_name: system.find_unit(unit_name)
+                for stage_name, unit_name in self.assignments.items()}

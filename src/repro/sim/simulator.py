@@ -1,0 +1,86 @@
+"""The top-level CamJ simulation entry point (Fig. 4).
+
+:func:`simulate` ties the framework together: DAG validation, mapping
+resolution, pre-simulation design checks, cycle-level digital simulation,
+frame-rate-driven delay inference, and the three energy models, producing
+a component-level :class:`repro.energy.report.EnergyReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Union
+
+from repro.energy.analog_model import analog_energy, analog_usage
+from repro.energy.comm_model import communication_energy
+from repro.energy.digital_model import digital_energy
+from repro.energy.report import EnergyReport
+from repro.hw.chip import SensorSystem
+from repro.sim.checks import run_pre_simulation_checks
+from repro.sim.cycle_sim import cycle_accurate_latency, simulate_digital
+from repro.sim.delay import estimate_frame_timing
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import Stage
+
+
+def simulate(stages: Union[StageGraph, Sequence[Stage]],
+             system: SensorSystem,
+             mapping: Union[Mapping, Dict[str, str]],
+             frame_rate: float,
+             exposure_slots: int = 1,
+             cycle_accurate: bool = False,
+             skip_checks: bool = False) -> EnergyReport:
+    """Estimate the per-frame energy of ``system`` running ``stages``.
+
+    Parameters
+    ----------
+    stages:
+        A :class:`StageGraph` or the plain stage list of ``camj_sw_config``.
+    system:
+        The hardware description.
+    mapping:
+        A :class:`Mapping` or the plain dict of ``camj_mapping``.
+    frame_rate:
+        The FPS target the analog delays are inferred from (Sec. 4.1).
+    exposure_slots:
+        Analog pipeline slots the exposure phase occupies (Fig. 6 uses 1).
+    cycle_accurate:
+        Use the event-driven per-cycle simulator for the digital latency
+        instead of the analytical timeline (slower; uniform clock only).
+    skip_checks:
+        Skip the pre-simulation design checks (expert escape hatch).
+
+    Returns
+    -------
+    EnergyReport
+        Component-level energy entries plus the inferred timing facts.
+    """
+    graph = stages if isinstance(stages, StageGraph) else StageGraph(stages)
+    mapping = mapping if isinstance(mapping, Mapping) else Mapping(mapping)
+    mapping.validate(graph, system)
+    if not skip_checks:
+        run_pre_simulation_checks(graph, system, mapping)
+
+    timeline = simulate_digital(graph, system, mapping)
+    digital_latency = timeline.total_latency
+    if cycle_accurate:
+        digital_latency = cycle_accurate_latency(graph, system, mapping)
+
+    participating = analog_usage(graph, system, mapping)
+    timing = estimate_frame_timing(
+        frame_rate=frame_rate,
+        digital_latency=digital_latency,
+        num_analog_arrays=len(participating),
+        exposure_slots=exposure_slots)
+
+    report = EnergyReport(
+        system_name=system.name,
+        frame_rate=frame_rate,
+        frame_time=timing.frame_time,
+        digital_latency=digital_latency,
+        analog_stage_delay=timing.analog_stage_delay)
+    report.extend(analog_energy(graph, system, mapping,
+                                timing.analog_stage_delay))
+    report.extend(digital_energy(system, timeline, timing.frame_time))
+    report.extend(communication_energy(graph, system, mapping))
+    return report

@@ -1,0 +1,29 @@
+"""CIS design-trend survey (Fig. 1 and Fig. 3 of the paper)."""
+
+from repro.survey.cis_trends import (
+    YearCounts,
+    DesignPoint,
+    SURVEY_COUNTS,
+    CIS_NODE_POINTS,
+    PIXEL_PITCH_POINTS,
+    IRDS_NODE_BY_YEAR,
+    percentages_by_year,
+    cis_node_trend,
+    pixel_pitch_trend,
+    irds_node,
+    node_gap_by_year,
+)
+
+__all__ = [
+    "YearCounts",
+    "DesignPoint",
+    "SURVEY_COUNTS",
+    "CIS_NODE_POINTS",
+    "PIXEL_PITCH_POINTS",
+    "IRDS_NODE_BY_YEAR",
+    "percentages_by_year",
+    "cis_node_trend",
+    "pixel_pitch_trend",
+    "irds_node",
+    "node_gap_by_year",
+]

@@ -1,0 +1,31 @@
+"""Algorithm description: stencil stages, DNN stages, and the stage DAG."""
+
+from repro.sw.stage import (
+    Stage,
+    PixelInput,
+    ProcessStage,
+    DNNProcessStage,
+    Conv2DStage,
+    DepthwiseConv2DStage,
+    FullyConnectedStage,
+)
+from repro.sw.dag import StageGraph
+from repro.sw.stencil import (
+    stencil_output_size,
+    stencil_ops,
+    stencil_reads,
+)
+
+__all__ = [
+    "Stage",
+    "PixelInput",
+    "ProcessStage",
+    "DNNProcessStage",
+    "Conv2DStage",
+    "DepthwiseConv2DStage",
+    "FullyConnectedStage",
+    "StageGraph",
+    "stencil_output_size",
+    "stencil_ops",
+    "stencil_reads",
+]

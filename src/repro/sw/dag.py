@@ -1,0 +1,149 @@
+"""The algorithm DAG (Sec. 3.3).
+
+:class:`StageGraph` collects stages, validates well-formedness (unique
+names, acyclicity, dimensional agreement along edges — the "well-formed
+dependencies" pre-simulation check), and provides topological traversal for
+the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import DAGError
+from repro.sw.stage import (
+    FullyConnectedStage,
+    PixelInput,
+    ProcessStage,
+    Stage,
+)
+
+
+class StageGraph:
+    """A validated DAG of algorithm stages."""
+
+    def __init__(self, stages: Sequence[Stage]):
+        if not stages:
+            raise DAGError("stage graph needs at least one stage")
+        self.stages: List[Stage] = list(stages)
+        self._by_name: Dict[str, Stage] = {}
+        for stage in self.stages:
+            if stage.name in self._by_name:
+                raise DAGError(f"duplicate stage name {stage.name!r}")
+            self._by_name[stage.name] = stage
+        self._check_membership()
+        self._order = self._topological_order()
+        self._check_shapes()
+        self._check_sources()
+
+    # --- lookups -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def get(self, name: str) -> Stage:
+        """Stage by name; raises :class:`DAGError` if absent."""
+        if name not in self._by_name:
+            raise DAGError(f"unknown stage {name!r}")
+        return self._by_name[name]
+
+    @property
+    def topological_order(self) -> List[Stage]:
+        """Stages ordered so producers precede consumers."""
+        return list(self._order)
+
+    @property
+    def sources(self) -> List[Stage]:
+        """Stages without producers (normally the :class:`PixelInput`)."""
+        return [s for s in self._order if not s.input_stages]
+
+    @property
+    def sinks(self) -> List[Stage]:
+        """Stages nothing consumes — their output leaves the pipeline."""
+        consumed = set()
+        for stage in self.stages:
+            consumed.update(id(p) for p in stage.input_stages)
+        return [s for s in self._order if id(s) not in consumed]
+
+    def consumers(self, stage: Stage) -> List[Stage]:
+        """Stages that read ``stage``'s output."""
+        return [s for s in self._order if stage in s.input_stages]
+
+    def edges(self) -> Iterable[Tuple[Stage, Stage]]:
+        """All ``(producer, consumer)`` pairs in topological order."""
+        for consumer in self._order:
+            for producer in consumer.input_stages:
+                yield producer, consumer
+
+    # --- validation -----------------------------------------------------------
+
+    def _check_membership(self) -> None:
+        member_ids = {id(s) for s in self.stages}
+        for stage in self.stages:
+            for producer in stage.input_stages:
+                if id(producer) not in member_ids:
+                    raise DAGError(
+                        f"stage {stage.name!r} consumes {producer.name!r}, "
+                        f"which is not part of the graph")
+
+    def _topological_order(self) -> List[Stage]:
+        """Kahn's algorithm; raises on cycles (the "no circle" check)."""
+        indegree = {id(s): len(s.input_stages) for s in self.stages}
+        consumers: Dict[int, List[Stage]] = {id(s): [] for s in self.stages}
+        for stage in self.stages:
+            for producer in stage.input_stages:
+                consumers[id(producer)].append(stage)
+        ready = [s for s in self.stages if indegree[id(s)] == 0]
+        order: List[Stage] = []
+        while ready:
+            stage = ready.pop()
+            order.append(stage)
+            for consumer in consumers[id(stage)]:
+                indegree[id(consumer)] -= 1
+                if indegree[id(consumer)] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.stages):
+            cyclic = [s.name for s in self.stages
+                      if indegree[id(s)] > 0]
+            raise DAGError(
+                f"stage graph has a cycle involving: {sorted(cyclic)}")
+        return order
+
+    def _check_shapes(self) -> None:
+        """Every stencil consumer's input size must match a producer output.
+
+        Multi-input stages (e.g. frame subtraction reading the live frame
+        and the stored previous frame) may consume several producers; each
+        producer's output must match the declared input size.
+        """
+        for producer, consumer in self.edges():
+            if not isinstance(consumer, ProcessStage):
+                continue
+            if isinstance(consumer, FullyConnectedStage):
+                # Dense layers flatten their input: only volume matters.
+                produced = (producer.output_size[0]
+                            * producer.output_size[1]
+                            * producer.output_size[2])
+                if produced != consumer.in_features:
+                    raise DAGError(
+                        f"fc stage {consumer.name!r} expects "
+                        f"{consumer.in_features} features but producer "
+                        f"{producer.name!r} emits {produced} elements")
+                continue
+            if producer.output_size != consumer.input_size:
+                raise DAGError(
+                    f"stage {consumer.name!r} expects input "
+                    f"{consumer.input_size} but producer {producer.name!r} "
+                    f"emits {producer.output_size}")
+
+    def _check_sources(self) -> None:
+        if not any(isinstance(s, PixelInput) for s in self.sources):
+            raise DAGError(
+                "stage graph needs a PixelInput source (pixels must "
+                "originate from the pixel array)")

@@ -1,0 +1,259 @@
+"""Algorithm stages (the ``camj_sw_config`` side of Fig. 5).
+
+A pipeline is a DAG of stages: a :class:`PixelInput` source followed by
+:class:`ProcessStage` stencil operations and, for DNN workloads,
+:class:`DNNProcessStage` subclasses that also report MAC counts.
+
+Stages carry only dimensional information (sizes, kernel, stride) — the
+declarative-interface design principle — plus the per-pixel bit depth and
+an optional output-compression factor for data-dependent encoders like ROI
+generation (Rhythmic Pixel Regions produces ~50 % of the input bytes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.sw import stencil
+
+
+class Stage:
+    """Base class of all algorithm stages."""
+
+    def __init__(self, name: str, output_size: Sequence[int],
+                 bits_per_pixel: int = 8,
+                 output_compression: float = 1.0):
+        if not name:
+            raise ConfigurationError("stage needs a non-empty name")
+        if bits_per_pixel < 1:
+            raise ConfigurationError(
+                f"stage {name!r}: bits per pixel must be >= 1, "
+                f"got {bits_per_pixel}")
+        if not 0.0 < output_compression <= 1.0:
+            raise ConfigurationError(
+                f"stage {name!r}: output compression must be in (0, 1], "
+                f"got {output_compression}")
+        self.name = name
+        self.output_size = stencil._validated_triple(
+            f"stage {name!r} output_size", output_size)
+        self.bits_per_pixel = bits_per_pixel
+        self.output_compression = output_compression
+        self.input_stages: List["Stage"] = []
+
+    # --- DAG wiring -----------------------------------------------------------
+
+    def set_input_stage(self, producer: "Stage") -> "Stage":
+        """Declare ``producer`` as one of this stage's inputs."""
+        if producer is self:
+            raise ConfigurationError(
+                f"stage {self.name!r} cannot consume its own output")
+        if producer in self.input_stages:
+            raise ConfigurationError(
+                f"stage {self.name!r} already consumes {producer.name!r}")
+        self.input_stages.append(producer)
+        return self
+
+    # --- dimensional statistics ---------------------------------------------
+
+    @property
+    def output_pixels(self) -> int:
+        """Elements produced per frame."""
+        return stencil.volume(self.output_size)
+
+    @property
+    def output_bytes(self) -> float:
+        """Bytes produced per frame, after any output compression."""
+        raw = self.output_pixels * self.bits_per_pixel / 8.0
+        return raw * self.output_compression
+
+    @property
+    def total_ops(self) -> float:
+        """Primitive operations per frame (subclass responsibility)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, out={self.output_size})"
+
+
+class PixelInput(Stage):
+    """The raw-pixel source produced by the pixel array."""
+
+    def __init__(self, size: Sequence[int], name: str = "Input",
+                 bits_per_pixel: int = 8):
+        super().__init__(name, size, bits_per_pixel=bits_per_pixel)
+
+    @property
+    def total_ops(self) -> float:
+        """One readout operation per pixel."""
+        return float(self.output_pixels)
+
+    def set_input_stage(self, producer: "Stage") -> "Stage":
+        raise ConfigurationError(
+            f"pixel input {self.name!r} cannot have producers")
+
+
+class ProcessStage(Stage):
+    """A stencil operation over a local window of pixels.
+
+    Parameters mirror Fig. 5: ``input_size``, ``output_size``, ``kernel``
+    and ``stride`` (``output_size`` may be omitted and derived).  The
+    optional ``ops_per_output`` overrides the primitive-op count per output
+    element; it defaults to the kernel volume (one op per window tap, e.g.
+    MACs of a convolution or additions of a binning average).
+    """
+
+    def __init__(self, name: str, input_size: Sequence[int],
+                 kernel: Sequence[int], stride: Sequence[int],
+                 output_size: Optional[Sequence[int]] = None,
+                 ops_per_output: Optional[float] = None,
+                 bits_per_pixel: int = 8,
+                 output_compression: float = 1.0,
+                 padding: str = "valid"):
+        self.input_size = stencil._validated_triple(
+            f"stage {name!r} input_size", input_size)
+        self.kernel = stencil._validated_triple(
+            f"stage {name!r} kernel", kernel)
+        self.stride = stencil._validated_triple(
+            f"stage {name!r} stride", stride)
+        self.padding = padding
+        derived = stencil.stencil_output_size(self.input_size, self.kernel,
+                                              self.stride, padding=padding)
+        if output_size is not None:
+            declared = stencil._validated_triple(
+                f"stage {name!r} output_size", output_size)
+            if declared != derived:
+                raise ConfigurationError(
+                    f"stage {name!r}: declared output size {declared} does "
+                    f"not match kernel/stride arithmetic {derived}")
+        super().__init__(name, derived, bits_per_pixel=bits_per_pixel,
+                         output_compression=output_compression)
+        if ops_per_output is not None and ops_per_output <= 0:
+            raise ConfigurationError(
+                f"stage {name!r}: ops_per_output must be positive, "
+                f"got {ops_per_output}")
+        self._ops_per_output = ops_per_output
+
+    @property
+    def kernel_volume(self) -> int:
+        """Window taps per output element."""
+        return self.kernel[0] * self.kernel[1] * self.kernel[2]
+
+    @property
+    def ops_per_output(self) -> float:
+        """Primitive ops per output element (defaults to kernel volume)."""
+        if self._ops_per_output is not None:
+            return self._ops_per_output
+        return float(self.kernel_volume)
+
+    @property
+    def total_ops(self) -> float:
+        """Primitive operations per frame."""
+        return self.output_pixels * self.ops_per_output
+
+    @property
+    def input_reads(self) -> float:
+        """Input-element touches per frame without reuse buffering."""
+        return stencil.stencil_reads(self.output_size, self.kernel)
+
+
+class DNNProcessStage(ProcessStage):
+    """Base class of DNN layers: a stencil stage that also reports MACs."""
+
+    @property
+    def num_macs(self) -> float:
+        """Multiply-accumulate count per frame."""
+        return self.total_ops
+
+    @property
+    def weight_bytes(self) -> float:
+        """Bytes of weights the layer streams per frame (subclass detail)."""
+        return 0.0
+
+
+class Conv2DStage(DNNProcessStage):
+    """Standard 2D convolution: ``num_kernels`` filters over all channels."""
+
+    def __init__(self, name: str, input_size: Sequence[int],
+                 num_kernels: int, kernel_size: Sequence[int],
+                 stride: Sequence[int] = (1, 1, 1),
+                 bits_per_pixel: int = 8,
+                 padding: str = "same"):
+        if num_kernels < 1:
+            raise ConfigurationError(
+                f"conv stage {name!r}: num_kernels must be >= 1, "
+                f"got {num_kernels}")
+        in_h, in_w, in_c = stencil._validated_triple(
+            f"stage {name!r} input_size", input_size)
+        k_h, k_w = int(kernel_size[0]), int(kernel_size[1])
+        kernel = (k_h, k_w, in_c)
+        super().__init__(name, (in_h, in_w, in_c), kernel, stride,
+                         bits_per_pixel=bits_per_pixel, padding=padding)
+        self.num_kernels = num_kernels
+        # One filter bank per output channel: widen the output channel dim.
+        out_h, out_w, _ = self.output_size
+        self.output_size = (out_h, out_w, num_kernels)
+
+    @property
+    def total_ops(self) -> float:
+        """MACs: every output element touches a full kernel volume."""
+        return self.output_pixels * self.kernel_volume
+
+    @property
+    def weight_bytes(self) -> float:
+        """Filter weights, at the stage's bit depth."""
+        weights = self.kernel_volume * self.num_kernels
+        return weights * self.bits_per_pixel / 8.0
+
+
+class DepthwiseConv2DStage(DNNProcessStage):
+    """Depthwise convolution: one spatial filter per input channel."""
+
+    def __init__(self, name: str, input_size: Sequence[int],
+                 kernel_size: Sequence[int],
+                 stride: Sequence[int] = (1, 1, 1),
+                 bits_per_pixel: int = 8,
+                 padding: str = "same"):
+        in_h, in_w, in_c = stencil._validated_triple(
+            f"stage {name!r} input_size", input_size)
+        k_h, k_w = int(kernel_size[0]), int(kernel_size[1])
+        # Depthwise: the window never crosses channels.
+        kernel = (k_h, k_w, 1)
+        stride3 = stencil._validated_triple(
+            f"stage {name!r} stride", stride)
+        super().__init__(name, (in_h, in_w, in_c), kernel,
+                         (stride3[0], stride3[1], 1),
+                         bits_per_pixel=bits_per_pixel, padding=padding)
+
+    @property
+    def weight_bytes(self) -> float:
+        """One spatial filter per channel."""
+        _, _, channels = self.output_size
+        return (self.kernel[0] * self.kernel[1] * channels
+                * self.bits_per_pixel / 8.0)
+
+
+class FullyConnectedStage(DNNProcessStage):
+    """Fully-connected layer expressed as a degenerate 1x1 stencil."""
+
+    def __init__(self, name: str, in_features: int, out_features: int,
+                 bits_per_pixel: int = 8):
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError(
+                f"fc stage {name!r}: feature counts must be >= 1")
+        super().__init__(name, (1, 1, in_features), (1, 1, in_features),
+                         (1, 1, in_features), bits_per_pixel=bits_per_pixel)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.output_size = (1, 1, out_features)
+
+    @property
+    def total_ops(self) -> float:
+        """MACs of the dense matrix-vector product."""
+        return float(self.in_features * self.out_features)
+
+    @property
+    def weight_bytes(self) -> float:
+        """Dense weight matrix at the stage's bit depth."""
+        return (self.in_features * self.out_features
+                * self.bits_per_pixel / 8.0)

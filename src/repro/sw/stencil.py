@@ -1,0 +1,88 @@
+"""Stencil arithmetic shared by the stage descriptions and the simulator.
+
+CamJ's key interface observation (Sec. 3.3): in-sensor image processing is
+stencil-based, so access counts follow from the input/output dimensions,
+the kernel window, and the stride alone — no arithmetic details needed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def _validated_triple(what: str, value: Sequence[int]) -> Tuple[int, int, int]:
+    values = tuple(int(v) for v in value)
+    if len(values) == 2:
+        values = values + (1,)
+    if len(values) != 3:
+        raise ConfigurationError(
+            f"{what} must have 2 or 3 dimensions, got {value}")
+    if any(v < 1 for v in values):
+        raise ConfigurationError(
+            f"{what} must be positive integers, got {value}")
+    return values
+
+
+def stencil_output_size(input_size: Sequence[int], kernel: Sequence[int],
+                        stride: Sequence[int],
+                        padding: str = "valid") -> Tuple[int, int, int]:
+    """Output dimensions of a stencil sweep.
+
+    All sizes are ``(height, width, channels)``; 2-tuples get an implicit
+    channel dimension of 1.  The kernel consumes all input channels and the
+    channel stride folds the channel dimension (e.g. a ``[2, 2, 1]`` kernel
+    with stride ``[2, 2, 1]`` performs 2x2 spatial binning).
+
+    ``padding`` is ``"valid"`` (no border) or ``"same"`` (border pixels
+    padded so ``out = ceil(in / stride)``, the convention image pipelines
+    and the paper's Fig. 5 example use).
+    """
+    in_h, in_w, in_c = _validated_triple("input_size", input_size)
+    k_h, k_w, k_c = _validated_triple("kernel", kernel)
+    s_h, s_w, s_c = _validated_triple("stride", stride)
+    if padding not in ("valid", "same"):
+        raise ConfigurationError(
+            f"padding must be 'valid' or 'same', got {padding!r}")
+    if k_h > in_h or k_w > in_w or k_c > in_c:
+        raise ConfigurationError(
+            f"kernel {kernel} larger than input {input_size}")
+    if padding == "same":
+        out_h = -(-in_h // s_h)
+        out_w = -(-in_w // s_w)
+        out_c = -(-in_c // s_c)
+    else:
+        out_h = (in_h - k_h) // s_h + 1
+        out_w = (in_w - k_w) // s_w + 1
+        out_c = (in_c - k_c) // s_c + 1
+    return out_h, out_w, out_c
+
+
+def stencil_ops(output_size: Sequence[int], kernel: Sequence[int],
+                ops_per_element: float = 1.0) -> float:
+    """Primitive operation count of a stencil sweep.
+
+    Each output element touches the full kernel window once; a convolution
+    therefore performs ``kernel volume`` MACs per output (the paper's
+    example of deriving Eq. 3's numerator).
+    """
+    out_h, out_w, out_c = _validated_triple("output_size", output_size)
+    k_h, k_w, k_c = _validated_triple("kernel", kernel)
+    if ops_per_element <= 0:
+        raise ConfigurationError(
+            f"ops_per_element must be positive, got {ops_per_element}")
+    return out_h * out_w * out_c * k_h * k_w * k_c * ops_per_element
+
+
+def stencil_reads(output_size: Sequence[int], kernel: Sequence[int]) -> float:
+    """Input-element reads of a stencil sweep without any reuse buffering."""
+    out_h, out_w, out_c = _validated_triple("output_size", output_size)
+    k_h, k_w, k_c = _validated_triple("kernel", kernel)
+    return out_h * out_w * out_c * k_h * k_w * k_c
+
+
+def volume(size: Sequence[int]) -> int:
+    """Element count of a 2- or 3-dimensional size."""
+    values = _validated_triple("size", size)
+    return values[0] * values[1] * values[2]

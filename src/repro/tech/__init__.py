@@ -1,0 +1,37 @@
+"""Process-technology substrate.
+
+Stand-in for the classic CMOS scaling equations (Stillmaker & Baas [64],
+DeepScaleTool [60]) the paper uses to move per-operation energies between
+process nodes, including the well-known 65 nm leakage anomaly [20] that
+drives Finding 1/2 of the paper.
+"""
+
+from repro.tech.nodes import (
+    ProcessNode,
+    NODE_TABLE,
+    SUPPORTED_NODES,
+    get_node,
+)
+from repro.tech.scaling import (
+    scale_energy,
+    scale_leakage_power,
+    scale_area,
+    scale_delay,
+    REFERENCE_MAC_ENERGY_65NM,
+    REFERENCE_NODE_NM,
+    mac_energy,
+)
+
+__all__ = [
+    "ProcessNode",
+    "NODE_TABLE",
+    "SUPPORTED_NODES",
+    "get_node",
+    "scale_energy",
+    "scale_leakage_power",
+    "scale_area",
+    "scale_delay",
+    "REFERENCE_MAC_ENERGY_65NM",
+    "REFERENCE_NODE_NM",
+    "mac_energy",
+]

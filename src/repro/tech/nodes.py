@@ -1,0 +1,100 @@
+"""Per-node technology parameters.
+
+Each :class:`ProcessNode` carries the relative factors needed by the energy
+model: dynamic energy per operation, leakage power per device, area per
+device, and gate delay — all normalized to the 65 nm node, which is the node
+the paper's reference MAC synthesis result [5] comes from.
+
+The factors follow the published scaling-equation trends [60, 64]:
+
+* dynamic energy tracks ``C * Vdd^2`` with ``C`` shrinking linearly in the
+  feature size and ``Vdd`` flattening below 45 nm;
+* leakage *peaks* around 90–65 nm (pre high-k/metal-gate), the anomaly the
+  paper cites from Gielen & Dehaene [20] to explain why a 65 nm 2D-In design
+  can consume more energy than its 130 nm counterpart;
+* area tracks the square of the feature size;
+* delay tracks the feature size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """Technology parameters of one CMOS process node.
+
+    All ``*_factor`` attributes are unitless ratios normalized to 65 nm.
+    """
+
+    feature_nm: float
+    vdd: float
+    energy_factor: float
+    leakage_factor: float
+    area_factor: float
+    delay_factor: float
+
+    def __post_init__(self) -> None:
+        for name in ("feature_nm", "vdd", "energy_factor",
+                     "leakage_factor", "area_factor", "delay_factor"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"ProcessNode.{name} must be positive, got {value}")
+
+
+def _node(feature_nm: float, vdd: float, leakage_factor: float) -> ProcessNode:
+    """Build a node with energy/area/delay factors derived from scaling laws."""
+    reference_feature = 65.0
+    reference_vdd = 1.1
+    energy_factor = ((feature_nm / reference_feature)
+                     * (vdd / reference_vdd) ** 2)
+    area_factor = (feature_nm / reference_feature) ** 2
+    delay_factor = feature_nm / reference_feature
+    return ProcessNode(
+        feature_nm=feature_nm,
+        vdd=vdd,
+        energy_factor=energy_factor,
+        leakage_factor=leakage_factor,
+        area_factor=area_factor,
+        delay_factor=delay_factor,
+    )
+
+
+#: Leakage factors encode the pre-high-k leakage bump peaking at 65 nm.
+NODE_TABLE = {
+    180: _node(180.0, 1.8, 0.06),
+    130: _node(130.0, 1.3, 0.18),
+    110: _node(110.0, 1.2, 0.35),
+    90: _node(90.0, 1.1, 0.65),
+    65: _node(65.0, 1.1, 1.00),
+    45: _node(45.0, 1.0, 0.55),
+    40: _node(40.0, 1.0, 0.50),
+    32: _node(32.0, 0.95, 0.42),
+    28: _node(28.0, 0.90, 0.38),
+    22: _node(22.0, 0.85, 0.30),
+    16: _node(16.0, 0.80, 0.22),
+    14: _node(14.0, 0.80, 0.20),
+    10: _node(10.0, 0.75, 0.16),
+    7: _node(7.0, 0.70, 0.13),
+}
+
+SUPPORTED_NODES = tuple(sorted(NODE_TABLE))
+
+
+def get_node(feature_nm: float) -> ProcessNode:
+    """Look up a process node by its feature size in nanometers.
+
+    Raises :class:`ConfigurationError` for nodes outside the table; the
+    framework deliberately refuses to extrapolate silently.
+    """
+    key = int(round(feature_nm))
+    if key not in NODE_TABLE:
+        supported = ", ".join(str(n) for n in SUPPORTED_NODES)
+        raise ConfigurationError(
+            f"unsupported process node {feature_nm} nm; "
+            f"supported nodes: {supported}")
+    return NODE_TABLE[key]

@@ -1,0 +1,57 @@
+"""Scaling of reference energies, leakage, area, and delay between nodes.
+
+CamJ asks users for per-access energies of digital structures at whatever
+node their reference design was characterized in; these helpers move such a
+number to another node, the way the paper scales the 65 nm synthesized MAC
+energy [5] to the other nodes in Table 2 and Section 6.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.tech.nodes import get_node
+
+#: The node the paper's reference MAC synthesis result comes from [5].
+REFERENCE_NODE_NM = 65
+
+#: Per-MAC energy of the 65 nm synthesized 8-bit MAC unit the paper uses.
+#: The reference design is the ultra-low-power CNN processor of Bong et
+#: al. [5] (a 0.62 mW always-on chip), hence sub-pJ per MAC.
+REFERENCE_MAC_ENERGY_65NM = 0.65 * units.pJ
+
+
+def scale_energy(energy: float, from_nm: float, to_nm: float) -> float:
+    """Scale a dynamic per-operation energy from one node to another."""
+    source = get_node(from_nm)
+    target = get_node(to_nm)
+    return energy * target.energy_factor / source.energy_factor
+
+
+def scale_leakage_power(power: float, from_nm: float, to_nm: float) -> float:
+    """Scale a leakage power from one node to another.
+
+    Unlike dynamic energy, leakage is non-monotonic in the feature size: it
+    peaks at 65 nm (see :mod:`repro.tech.nodes`).
+    """
+    source = get_node(from_nm)
+    target = get_node(to_nm)
+    return power * target.leakage_factor / source.leakage_factor
+
+
+def scale_area(area: float, from_nm: float, to_nm: float) -> float:
+    """Scale a silicon area from one node to another (quadratic in feature)."""
+    source = get_node(from_nm)
+    target = get_node(to_nm)
+    return area * target.area_factor / source.area_factor
+
+
+def scale_delay(delay: float, from_nm: float, to_nm: float) -> float:
+    """Scale a gate delay from one node to another (linear in feature)."""
+    source = get_node(from_nm)
+    target = get_node(to_nm)
+    return delay * target.delay_factor / source.delay_factor
+
+
+def mac_energy(node_nm: float) -> float:
+    """Per-MAC energy at ``node_nm``, scaled from the 65 nm reference."""
+    return scale_energy(REFERENCE_MAC_ENERGY_65NM, REFERENCE_NODE_NM, node_nm)

@@ -1,0 +1,155 @@
+"""Unit constants and formatting helpers.
+
+All internal quantities are stored in SI base units (joules, seconds, farads,
+volts, amperes, meters, watts, bytes).  The constants below let configuration
+code read naturally, e.g. ``energy_per_cycle=3.0 * pJ`` or
+``capacitance=100 * fF``.
+"""
+
+from __future__ import annotations
+
+# --- Energy ---------------------------------------------------------------
+J = 1.0
+mJ = 1e-3
+uJ = 1e-6
+nJ = 1e-9
+pJ = 1e-12
+fJ = 1e-15
+aJ = 1e-18
+
+# --- Time -----------------------------------------------------------------
+s = 1.0
+ms = 1e-3
+us = 1e-6
+ns = 1e-9
+ps = 1e-12
+
+# --- Capacitance ----------------------------------------------------------
+F = 1.0
+uF = 1e-6
+nF = 1e-9
+pF = 1e-12
+fF = 1e-15
+aF = 1e-18
+
+# --- Voltage --------------------------------------------------------------
+V = 1.0
+mV = 1e-3
+uV = 1e-6
+
+# --- Current --------------------------------------------------------------
+A = 1.0
+mA = 1e-3
+uA = 1e-6
+nA = 1e-9
+pA = 1e-12
+
+# --- Power ----------------------------------------------------------------
+W = 1.0
+mW = 1e-3
+uW = 1e-6
+nW = 1e-9
+pW = 1e-12
+
+# --- Frequency ------------------------------------------------------------
+Hz = 1.0
+kHz = 1e3
+MHz = 1e6
+GHz = 1e9
+
+# --- Length / area --------------------------------------------------------
+m = 1.0
+mm = 1e-3
+um = 1e-6
+nm = 1e-9
+mm2 = 1e-6  # square meters per mm^2
+um2 = 1e-12  # square meters per um^2
+
+# --- Data volume ----------------------------------------------------------
+B = 1.0
+KB = 1024.0
+MB = 1024.0 ** 2
+GB = 1024.0 ** 3
+
+# --- Physical constants ----------------------------------------------------
+BOLTZMANN = 1.380649e-23  # J/K
+ROOM_TEMPERATURE = 300.0  # K
+
+_ENERGY_SCALES = (
+    (J, "J"),
+    (mJ, "mJ"),
+    (uJ, "uJ"),
+    (nJ, "nJ"),
+    (pJ, "pJ"),
+    (fJ, "fJ"),
+    (aJ, "aJ"),
+)
+
+_POWER_SCALES = (
+    (W, "W"),
+    (mW, "mW"),
+    (uW, "uW"),
+    (nW, "nW"),
+    (pW, "pW"),
+)
+
+_TIME_SCALES = (
+    (s, "s"),
+    (ms, "ms"),
+    (us, "us"),
+    (ns, "ns"),
+    (ps, "ps"),
+)
+
+
+def _format_scaled(value, scales, unit_suffix=""):
+    if value == 0:
+        return "0 " + scales[-1][1] + unit_suffix
+    magnitude = abs(value)
+    for scale, label in scales:
+        if magnitude >= scale:
+            return f"{value / scale:.3g} {label}{unit_suffix}"
+    scale, label = scales[-1]
+    return f"{value / scale:.3g} {label}{unit_suffix}"
+
+
+def format_energy(joules: float) -> str:
+    """Render an energy in the most natural SI prefix, e.g. ``'3.2 pJ'``."""
+    return _format_scaled(joules, _ENERGY_SCALES)
+
+
+def format_power(watts: float) -> str:
+    """Render a power in the most natural SI prefix, e.g. ``'1.3 mW'``."""
+    return _format_scaled(watts, _POWER_SCALES)
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration in the most natural SI prefix, e.g. ``'16.7 ms'``."""
+    return _format_scaled(seconds, _TIME_SCALES)
+
+
+def thermal_noise_voltage(capacitance: float,
+                          temperature: float = ROOM_TEMPERATURE) -> float:
+    """RMS kT/C thermal noise voltage for a sampling capacitor (Eq. 6)."""
+    if capacitance <= 0:
+        raise ValueError(f"capacitance must be positive, got {capacitance}")
+    return (BOLTZMANN * temperature / capacitance) ** 0.5
+
+
+def capacitance_for_resolution(voltage_swing: float,
+                               bits: int,
+                               temperature: float = ROOM_TEMPERATURE,
+                               sigma_multiplier: float = 3.0) -> float:
+    """Minimum capacitance keeping thermal noise below half an LSB (Eq. 6).
+
+    The paper requires ``sigma_multiplier * sigma_thermal < LSB / 2`` with
+    ``LSB = voltage_swing / 2**bits``, which solves to
+    ``C > kT * (2 * sigma_multiplier * 2**bits / voltage_swing)**2``.
+    """
+    if voltage_swing <= 0:
+        raise ValueError(f"voltage_swing must be positive, got {voltage_swing}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    lsb = voltage_swing / (2 ** bits)
+    sigma_max = lsb / (2.0 * sigma_multiplier)
+    return BOLTZMANN * temperature / (sigma_max ** 2)

@@ -1,0 +1,31 @@
+"""Architectural-exploration use cases of Sec. 6 (Figs. 8-13, Table 3)."""
+
+from repro.usecases.common import UseCaseConfig, CIS_NODES, HOST_NODE
+from repro.usecases.rhythmic import (
+    build_rhythmic,
+    run_rhythmic,
+    rhythmic_configs,
+)
+from repro.usecases.edgaze import (
+    build_edgaze,
+    run_edgaze,
+    edgaze_configs,
+)
+from repro.usecases.edgaze_mixed import (
+    build_edgaze_mixed,
+    run_edgaze_mixed,
+)
+
+__all__ = [
+    "UseCaseConfig",
+    "CIS_NODES",
+    "HOST_NODE",
+    "build_rhythmic",
+    "run_rhythmic",
+    "rhythmic_configs",
+    "build_edgaze",
+    "run_edgaze",
+    "edgaze_configs",
+    "build_edgaze_mixed",
+    "run_edgaze_mixed",
+]

@@ -1,0 +1,79 @@
+"""Shared scaffolding of the Sec. 6 use cases.
+
+The explorations sweep two CIS process nodes (130 nm and 65 nm, both common
+in Table 2) against a 22 nm host SoC, across four placements:
+
+* ``2D-In``      — everything inside a single-layer CIS;
+* ``2D-Off``     — everything after the ADC on the host SoC;
+* ``3D-In``      — post-ADC processing on a stacked 22 nm compute layer;
+* ``3D-In-STT``  — 3D-In with the compute-layer SRAM swapped for STT-RAM.
+
+Ed-Gaze additionally has ``2D-In-Mixed`` (Sec. 6.3), built in
+:mod:`repro.usecases.edgaze_mixed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.hw.layer import COMPUTE_LAYER, OFF_CHIP, SENSOR_LAYER
+
+#: CIS nodes the paper sweeps (Sec. 6.1).
+CIS_NODES = (130, 65)
+#: The host SoC node (Sec. 6.1).
+HOST_NODE = 22
+
+#: Frame-rate target of both workloads.
+FRAME_RATE = 30.0
+
+PLACEMENTS = ("2D-In", "2D-Off", "3D-In", "3D-In-STT", "2D-In-Mixed")
+
+
+@dataclass(frozen=True)
+class UseCaseConfig:
+    """One point of the exploration grid."""
+
+    placement: str
+    cis_node: int
+    host_node: int = HOST_NODE
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from {PLACEMENTS}")
+        if self.cis_node not in CIS_NODES:
+            raise ConfigurationError(
+                f"CIS node must be one of {CIS_NODES}, got {self.cis_node}")
+
+    @property
+    def label(self) -> str:
+        """Figure label, e.g. ``'2D-In (65nm)'``."""
+        return f"{self.placement} ({self.cis_node}nm)"
+
+    @property
+    def digital_layer(self) -> str:
+        """Layer name hosting the post-ADC digital processing."""
+        if self.placement == "2D-Off":
+            return OFF_CHIP
+        if self.placement in ("3D-In", "3D-In-STT"):
+            return COMPUTE_LAYER
+        return SENSOR_LAYER
+
+    @property
+    def digital_node(self) -> int:
+        """Process node of the digital processing."""
+        if self.placement in ("2D-Off", "3D-In", "3D-In-STT"):
+            return self.host_node
+        return self.cis_node
+
+    @property
+    def uses_stt_ram(self) -> bool:
+        """Whether the compute-layer memory is STT-RAM."""
+        return self.placement == "3D-In-STT"
+
+    @property
+    def is_stacked(self) -> bool:
+        """Whether the design has a separate on-chip compute layer."""
+        return self.placement in ("3D-In", "3D-In-STT")

@@ -1,0 +1,19 @@
+"""Validation against the nine CIS chips of Table 2 (Fig. 7)."""
+
+from repro.validation.base import ChipModel, ChipResult
+from repro.validation.harness import (
+    ValidationSummary,
+    run_chip,
+    run_validation,
+)
+from repro.validation.chips import ALL_CHIPS, chip_by_name
+
+__all__ = [
+    "ChipModel",
+    "ChipResult",
+    "ValidationSummary",
+    "run_chip",
+    "run_validation",
+    "ALL_CHIPS",
+    "chip_by_name",
+]

@@ -1,0 +1,104 @@
+"""Common scaffolding of the validation chip models.
+
+Each chip model rebuilds one of the Table 2 silicon designs with the public
+CamJ API and carries the energy-per-pixel number reported by (or derived
+from) the original publication, which Fig. 7 compares against.
+
+Validation systems zero out the off-chip interface energy: the published
+numbers are chip power measurements, which do not include the downstream
+MIPI transmission the architectural explorations of Sec. 6 add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro import units
+from repro.energy.report import EnergyReport
+from repro.hw.chip import SensorSystem
+from repro.hw.interface import Interface
+
+
+@dataclass
+class ChipModel:
+    """One validation chip: metadata plus a builder for its CamJ model.
+
+    ``reported_breakdown`` optionally carries the original paper's
+    per-category energy-per-pixel numbers (joules per pixel, keyed by the
+    :class:`~repro.energy.report.Category` value string) — the Fig. 7b-j
+    bars; where papers lump fine-grained components into coarse "Analog"/
+    "Digital"/"Others" bars, only the comparable categories appear.
+    """
+
+    name: str
+    reference: str
+    description: str
+    process_node: str
+    num_pixels: int
+    frame_rate: float
+    reported_energy_per_pixel: float
+    build: Callable[[], Tuple[list, SensorSystem, dict]]
+    exposure_slots: int = 1
+    reported_breakdown: Dict[str, float] = None
+
+    def simulate(self) -> EnergyReport:
+        """Run the CamJ estimation of this chip."""
+        from repro.sim.simulator import simulate
+        stages, system, mapping = self.build()
+        system.set_offchip_interface(Interface("pads", 0.0))
+        return simulate(stages, system, mapping,
+                        frame_rate=self.frame_rate,
+                        exposure_slots=self.exposure_slots)
+
+
+@dataclass
+class ChipResult:
+    """Estimated-vs-reported comparison of one chip."""
+
+    chip: ChipModel
+    report: EnergyReport
+
+    @property
+    def estimated_energy_per_pixel(self) -> float:
+        return self.report.energy_per_pixel(self.chip.num_pixels)
+
+    @property
+    def reported_energy_per_pixel(self) -> float:
+        return self.chip.reported_energy_per_pixel
+
+    @property
+    def absolute_percentage_error(self) -> float:
+        reported = self.reported_energy_per_pixel
+        return abs(self.estimated_energy_per_pixel - reported) / reported
+
+    def breakdown_per_pixel(self) -> Dict[str, float]:
+        """Per-category energy per pixel (the Fig. 7b-j bars)."""
+        return {category.value: energy / self.chip.num_pixels
+                for category, energy in self.report.by_category().items()}
+
+    def breakdown_errors(self) -> Dict[str, float]:
+        """Per-category absolute error vs the paper-reported breakdown.
+
+        Empty when the original publication reports no per-component
+        numbers.  This is how the paper quantifies the Sec. 5 component
+        mismatches (e.g. the JSSC'19 analog PE at 0.4 %, the TCAS-I'22
+        pixel at 33.3 %).
+        """
+        if not self.chip.reported_breakdown:
+            return {}
+        estimated = self.breakdown_per_pixel()
+        errors = {}
+        for category, reported in self.chip.reported_breakdown.items():
+            if reported <= 0:
+                continue
+            errors[category] = abs(estimated.get(category, 0.0)
+                                   - reported) / reported
+        return errors
+
+    def describe(self) -> str:
+        est = self.estimated_energy_per_pixel / units.pJ
+        rep = self.reported_energy_per_pixel / units.pJ
+        return (f"{self.chip.name:<14} estimated {est:9.1f} pJ/px  "
+                f"reported {rep:9.1f} pJ/px  "
+                f"error {100 * self.absolute_percentage_error:5.1f}%")

@@ -1,0 +1,33 @@
+"""The nine validation chips of Table 2."""
+
+from repro.validation.chips.isscc17 import ISSCC17
+from repro.validation.chips.jssc19 import JSSC19
+from repro.validation.chips.sensors20 import SENSORS20
+from repro.validation.chips.isscc21 import ISSCC21
+from repro.validation.chips.jssc21_i import JSSC21_I
+from repro.validation.chips.jssc21_ii import JSSC21_II
+from repro.validation.chips.vlsi21 import VLSI21
+from repro.validation.chips.isscc22 import ISSCC22
+from repro.validation.chips.tcas22 import TCAS22
+
+#: Table 2 order.
+ALL_CHIPS = (
+    ISSCC17,
+    JSSC19,
+    SENSORS20,
+    ISSCC21,
+    JSSC21_I,
+    JSSC21_II,
+    VLSI21,
+    ISSCC22,
+    TCAS22,
+)
+
+
+def chip_by_name(name: str):
+    """Look up a validation chip by its short name (e.g. ``"JSSC'21-II"``)."""
+    for chip in ALL_CHIPS:
+        if chip.name == name:
+            return chip
+    known = ", ".join(c.name for c in ALL_CHIPS)
+    raise KeyError(f"unknown chip {name!r}; known chips: {known}")

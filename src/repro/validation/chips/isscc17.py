@@ -1,0 +1,110 @@
+"""ISSCC'17 [5]: Bong et al., always-on face-recognition CIS + CNN processor.
+
+Table 2 row: 65 nm, not stacked, 3T APS, 20x80 analog memory, analog
+average & add at column and chip level (charge & voltage domains), 160 KB
+digital memory and a 4x4x64 MAC array running the CNN.  The chip operates
+always-on at ~1 FPS; even with its SRAM aggressively power-gated between
+frames (a 7 % duty), leakage still dominates the per-frame energy at this
+frame rate — which is what the model reproduces.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import (
+    ActivePixelSensor,
+    AnalogAdder,
+    ColumnADC,
+    PassiveAnalogMemory,
+)
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import SystolicArray
+from repro.hw.digital.memory import DoubleBuffer
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.memlib import SRAMModel
+from repro.sw.stage import Conv2DStage, PixelInput, ProcessStage
+from repro.tech import mac_energy
+from repro.validation.base import ChipModel
+
+_ROWS, _COLS = 240, 320
+_FPS = 1
+
+
+def _build():
+    source = PixelInput((_ROWS, _COLS, 1), name="Input")
+    # Analog Haar-like averaging: 2x2 charge-domain average per tile.
+    average = ProcessStage("AnalogAverage", input_size=(_ROWS, _COLS, 1),
+                           kernel=(2, 2, 1), stride=(2, 2, 1))
+    conv1 = Conv2DStage("Conv1", input_size=(120, 160, 1), num_kernels=16,
+                        kernel_size=(5, 5), stride=(2, 2, 1))
+    conv2 = Conv2DStage("Conv2", input_size=(60, 80, 16), num_kernels=32,
+                        kernel_size=(3, 3), stride=(2, 2, 1))
+    average.set_input_stage(source)
+    conv1.set_input_stage(average)
+    conv2.set_input_stage(conv1)
+
+    system = SensorSystem("ISSCC17", layers=[Layer(SENSOR_LAYER, 65)])
+    pixels = AnalogArray("PixelArray", num_input=(1, _COLS),
+                         num_output=(1, _COLS // 2))
+    pixels.add_component(
+        ActivePixelSensor(
+            num_transistors=3,
+            pd_capacitance=10 * units.fF,
+            load_capacitance=1.0 * units.pF,
+            voltage_swing=1.0,
+            vdda=2.5,
+            num_shared_pixels=4),
+        (_ROWS // 2, _COLS // 2))
+    averagers = AnalogArray("ColumnAverager", num_input=(1, _COLS // 2),
+                            num_output=(1, _COLS // 2))
+    averagers.add_component(
+        AnalogAdder("AvgAdd", capacitance=25 * units.fF, voltage_swing=1.0),
+        (1, _COLS // 2))
+    analog_memory = AnalogArray("HaarMemory", num_input=(1, _COLS // 2),
+                                num_output=(1, _COLS // 2),
+                                category="memory")
+    analog_memory.add_component(
+        PassiveAnalogMemory("HaarSample", bits=8, voltage_swing=1.0),
+        (20, 80))
+    adcs = AnalogArray("ADCArray", num_input=(1, _COLS // 2),
+                       num_output=(1, _COLS // 2))
+    adcs.add_component(ColumnADC(bits=8), (1, _COLS // 2))
+    pixels.set_output(averagers)
+    averagers.set_output(analog_memory)
+    analog_memory.set_output(adcs)
+
+    sram = SRAMModel(capacity_bytes=160 * units.KB, word_bits=64, node_nm=65)
+    buffer = DoubleBuffer.from_model("FeatureSRAM", sram,
+                                     duty_alpha=0.07)
+    adcs.set_output(buffer)
+    cnn = SystolicArray("CNNArray", dimensions=(16, 64),
+                        energy_per_mac=mac_energy(65),
+                        utilization=0.8, num_stages=2,
+                        clock_hz=50 * units.MHz,
+                        area=sram.area * 0.6)
+    cnn.set_input(buffer)
+    cnn.set_sink()
+    system.add_analog_array(pixels)
+    system.add_analog_array(averagers)
+    system.add_analog_array(analog_memory)
+    system.add_analog_array(adcs)
+    system.add_memory(buffer)
+    system.add_compute_unit(cnn)
+    system.set_pixel_array_geometry(_ROWS, _COLS, pitch=4.0 * units.um)
+
+    mapping = {"Input": "PixelArray", "AnalogAverage": "PixelArray",
+               "Conv1": "CNNArray", "Conv2": "CNNArray"}
+    return [source, average, conv1, conv2], system, mapping
+
+
+ISSCC17 = ChipModel(
+    name="ISSCC'17",
+    reference="Bong et al., ISSCC 2017 / IEEE JSSC 53(1), 2018",
+    description="0.62 mW always-on face-recognition CIS with CNN processor",
+    process_node="65 nm",
+    num_pixels=_ROWS * _COLS,
+    frame_rate=_FPS,
+    reported_energy_per_pixel=8070 * units.pJ,
+    build=_build,
+)

@@ -1,0 +1,117 @@
+"""ISSCC'21 [16]: Eki et al. (Sony IMX 500), stacked CIS with CNN processor.
+
+Table 2 row: 65 nm / 22 nm stacked, 4T APS (educated guess in the paper),
+no analog processing, 8 MB digital memory and a 1x2304-MAC DNN processor
+(4.97 TOPS/W) on the logic layer.  The 12.3 Mpixel array is read out
+through column ADCs; pixels cross to the logic layer over micro-TSVs, get
+downscaled, and a MobileNet-class network produces the semantic output.
+
+The modeled operating point (30 FPS, full-resolution readout plus a
+224x224 DNN crop) approximates the published always-on DNN mode.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import ActivePixelSensor, ColumnADC
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit, SystolicArray
+from repro.hw.digital.memory import DoubleBuffer
+from repro.hw.layer import COMPUTE_LAYER, Layer, SENSOR_LAYER
+from repro.memlib import SRAMModel
+from repro.sw.stage import Conv2DStage, PixelInput, ProcessStage
+from repro.tech import mac_energy
+from repro.validation.base import ChipModel
+
+_ROWS, _COLS = 3040, 4056
+_FPS = 30
+
+
+def _build():
+    source = PixelInput((_ROWS, _COLS, 1), name="Input", bits_per_pixel=10)
+    # ISP-style downscale of the full frame to the DNN input crop.
+    downscale = ProcessStage("Downscale", input_size=(_ROWS, _COLS, 1),
+                             kernel=(13, 18, 1), stride=(13, 18, 1),
+                             bits_per_pixel=8)
+    # MobileNet-class backbone folded into one equivalent conv layer.
+    backbone = Conv2DStage("DNNBackbone", input_size=(233, 225, 1),
+                           num_kernels=96, kernel_size=(7, 7),
+                           stride=(2, 2, 1))
+    backbone2 = Conv2DStage("DNNBackbone2", input_size=(117, 113, 96),
+                            num_kernels=128, kernel_size=(3, 3),
+                            stride=(2, 2, 1))
+    downscale.set_input_stage(source)
+    backbone.set_input_stage(downscale)
+    backbone2.set_input_stage(backbone)
+
+    system = SensorSystem("IMX500", layers=[Layer(SENSOR_LAYER, 65),
+                                            Layer(COMPUTE_LAYER, 22)])
+    pixels = AnalogArray("PixelArray", num_input=(1, _COLS),
+                         num_output=(1, _COLS))
+    pixels.add_component(
+        ActivePixelSensor(
+            num_transistors=4,
+            pd_capacitance=6 * units.fF,
+            load_capacitance=2.4 * units.pF,  # tall back-illuminated array
+            voltage_swing=1.0,
+            vdda=2.8,
+            correlated_double_sampling=True),
+        (_ROWS, _COLS))
+    adcs = AnalogArray("ADCArray", num_input=(1, _COLS),
+                       num_output=(1, _COLS))
+    adcs.add_component(
+        ColumnADC(bits=10, energy_per_conversion=55 * units.pJ),
+        (1, _COLS))
+    pixels.set_output(adcs)
+
+    sram = SRAMModel(capacity_bytes=8 * units.MB, word_bits=128, node_nm=22)
+    frame_buffer = DoubleBuffer.from_model("FrameSRAM", sram,
+                                           layer=COMPUTE_LAYER,
+                                           duty_alpha=0.125)
+    adcs.set_output(frame_buffer)
+    isp = ComputeUnit("ISP", COMPUTE_LAYER,
+                      input_pixels_per_cycle=(1, 16),
+                      output_pixels_per_cycle=(1, 1),
+                      energy_per_cycle=12 * units.pJ,
+                      num_stages=4,
+                      clock_hz=400 * units.MHz)
+    dnn_buffer = DoubleBuffer("DNNBuffer", COMPUTE_LAYER,
+                              size=(256, 1024),
+                              write_energy_per_word=1.1 * units.pJ,
+                              read_energy_per_word=0.9 * units.pJ,
+                              leakage_power=60 * units.uW,
+                              num_read_ports=128, num_write_ports=128)
+    dnn = SystolicArray("DNNProcessor", COMPUTE_LAYER,
+                        dimensions=(32, 72),  # 2304 MACs
+                        energy_per_mac=mac_energy(22),
+                        utilization=0.85,
+                        clock_hz=400 * units.MHz,
+                        area=sram.area * 0.3)
+    isp.set_input(frame_buffer).set_output(dnn_buffer)
+    dnn.set_input(dnn_buffer)
+    dnn.set_sink()
+    system.add_analog_array(pixels)
+    system.add_analog_array(adcs)
+    system.add_memory(frame_buffer)
+    system.add_memory(dnn_buffer)
+    system.add_compute_unit(isp)
+    system.add_compute_unit(dnn)
+    system.set_pixel_array_geometry(_ROWS, _COLS, pitch=1.55 * units.um)
+
+    mapping = {"Input": "PixelArray", "Downscale": "ISP",
+               "DNNBackbone": "DNNProcessor",
+               "DNNBackbone2": "DNNProcessor"}
+    return [source, downscale, backbone, backbone2], system, mapping
+
+
+ISSCC21 = ChipModel(
+    name="ISSCC'21",
+    reference="Eki et al., ISSCC 2021 (Sony IMX 500)",
+    description="12.3 Mpixel stacked CIS with 4.97 TOPS/W CNN processor",
+    process_node="65/22 nm",
+    num_pixels=_ROWS * _COLS,
+    frame_rate=_FPS,
+    reported_energy_per_pixel=110 * units.pJ,
+    build=_build,
+)

@@ -1,0 +1,92 @@
+"""ISSCC'22 [29]: Hsu et al., 0.8-V intelligent vision sensor with tiny CNN.
+
+Table 2 row: 180 nm, not stacked, PWM pixels, column MAC in time & current
+domains, programmable weights, a 256 B weight memory and a single digital
+PE for the classifier head (mixed-mode processing-in-sensor).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import (
+    ColumnADC,
+    CurrentDomainMAC,
+    PWMPixel,
+)
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit
+from repro.hw.digital.memory import FIFO
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.sw.stage import FullyConnectedStage, PixelInput, ProcessStage
+from repro.validation.base import ChipModel
+
+_ROWS, _COLS = 120, 160
+_FPS = 30
+
+
+def _build():
+    source = PixelInput((_ROWS, _COLS, 1), name="Input")
+    conv = ProcessStage("TinyConv", input_size=(_ROWS, _COLS, 1),
+                        kernel=(5, 5, 1), stride=(5, 5, 1))
+    classifier = FullyConnectedStage("Classifier",
+                                     in_features=24 * 32,
+                                     out_features=10)
+    conv.set_input_stage(source)
+    classifier.set_input_stage(conv)
+
+    system = SensorSystem("ISSCC22", layers=[Layer(SENSOR_LAYER, 180)])
+    pixels = AnalogArray("PWMPixelArray", num_input=(1, _COLS),
+                         num_output=(1, _COLS))
+    pixels.add_component(
+        PWMPixel("PWM", pd_capacitance=15 * units.fF, voltage_swing=0.8,
+                 comparator_energy=2.2 * units.pJ),
+        (_ROWS, _COLS))
+    macs = AnalogArray("PIPMACArray", num_input=(1, _COLS),
+                       num_output=(1, _COLS // 5))
+    macs.add_component(
+        CurrentDomainMAC("PIPMAC", kernel_volume=25,
+                         load_capacitance=16 * units.fF,
+                         voltage_swing=0.5, vdda=0.8),
+        (1, _COLS // 5))
+    adcs = AnalogArray("ADCArray", num_input=(1, _COLS // 5),
+                       num_output=(1, _COLS // 5))
+    adcs.add_component(ColumnADC(bits=8), (1, _COLS // 5))
+    pixels.set_output(macs)
+    macs.set_output(adcs)
+
+    weights = FIFO("WeightMemory", size=(1, 256),
+                   write_energy_per_word=0.08 * units.pJ,
+                   read_energy_per_word=0.08 * units.pJ,
+                   leakage_power=0.2 * units.uW,
+                   num_read_ports=2, num_write_ports=2)
+    adcs.set_output(weights)
+    head = ComputeUnit("ClassifierPE",
+                       input_pixels_per_cycle=(1, 1),
+                       output_pixels_per_cycle=(1, 1),
+                       energy_per_cycle=6.5 * units.pJ,  # 180 nm MAC
+                       num_stages=2)
+    head.set_input(weights)
+    head.set_sink()
+    system.add_analog_array(pixels)
+    system.add_analog_array(macs)
+    system.add_analog_array(adcs)
+    system.add_memory(weights)
+    system.add_compute_unit(head)
+    system.set_pixel_array_geometry(_ROWS, _COLS, pitch=7.0 * units.um)
+
+    mapping = {"Input": "PWMPixelArray", "TinyConv": "PIPMACArray",
+               "Classifier": "ClassifierPE"}
+    return [source, conv, classifier], system, mapping
+
+
+ISSCC22 = ChipModel(
+    name="ISSCC'22",
+    reference="Hsu et al., ISSCC 2022",
+    description="0.8-V mixed-mode processing-in-sensor image classifier",
+    process_node="180 nm",
+    num_pixels=_ROWS * _COLS,
+    frame_rate=_FPS,
+    reported_energy_per_pixel=2.9 * units.pJ,
+    build=_build,
+)

@@ -1,0 +1,86 @@
+"""JSSC'21-I [30]: Hsu et al., 0.5-V real-time computational CIS.
+
+Table 2 row: 180 nm, not stacked, PWM pixels, no analog memory, column
+MAC in the time & current domains, programmable feature-extraction kernel.
+The paper notes its pixel estimate is 12.4 % off for lack of ramp-generator
+parameters.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import (
+    AnalogComparator,
+    CurrentDomainMAC,
+    PWMPixel,
+)
+from repro.hw.chip import SensorSystem
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.sw.stage import PixelInput, ProcessStage
+from repro.validation.base import ChipModel
+
+_ROWS, _COLS = 128, 128
+_FPS = 30
+
+
+def _build():
+    source = PixelInput((_ROWS, _COLS, 1), name="Input")
+    feature = ProcessStage("FeatureExtraction",
+                           input_size=(_ROWS, _COLS, 1),
+                           kernel=(3, 3, 1), stride=(1, 1, 1),
+                           padding="same")
+    digitize = ProcessStage("Digitize", input_size=(_ROWS, _COLS, 1),
+                            kernel=(1, 1, 1), stride=(1, 1, 1),
+                            bits_per_pixel=1)
+    feature.set_input_stage(source)
+    digitize.set_input_stage(feature)
+
+    system = SensorSystem("JSSC21-I", layers=[Layer(SENSOR_LAYER, 180)])
+    pixels = AnalogArray("PWMPixelArray", num_input=(1, _COLS),
+                         num_output=(1, _COLS))
+    pixels.add_component(
+        PWMPixel("PWM", pd_capacitance=12 * units.fF, voltage_swing=0.5,
+                 comparator_energy=1.6 * units.pJ),
+        (_ROWS, _COLS))
+    macs = AnalogArray("TimeMACArray", num_input=(1, _COLS),
+                       num_output=(1, _COLS))
+    macs.add_component(
+        CurrentDomainMAC("PWMMAC", kernel_volume=9,
+                         load_capacitance=14 * units.fF,
+                         voltage_swing=0.35, vdda=0.5),
+        (1, _COLS))
+    comparators = AnalogArray("ComparatorArray", num_input=(1, _COLS),
+                              num_output=(1, _COLS))
+    comparators.add_component(
+        AnalogComparator("OutCmp", energy_per_conversion=1.0 * units.pJ),
+        (1, _COLS))
+    pixels.set_output(macs)
+    macs.set_output(comparators)
+    system.add_analog_array(pixels)
+    system.add_analog_array(macs)
+    system.add_analog_array(comparators)
+    system.set_pixel_array_geometry(_ROWS, _COLS, pitch=7.0 * units.um)
+
+    mapping = {"Input": "PWMPixelArray",
+               "FeatureExtraction": "TimeMACArray",
+               "Digitize": "ComparatorArray"}
+    return [source, feature, digitize], system, mapping
+
+
+JSSC21_I = ChipModel(
+    name="JSSC'21-I",
+    reference="Hsu et al., IEEE JSSC 56(5), 2021",
+    description="0.5-V computational CIS with programmable PWM kernels",
+    process_node="180 nm",
+    num_pixels=_ROWS * _COLS,
+    frame_rate=_FPS,
+    reported_energy_per_pixel=2.9 * units.pJ,
+    build=_build,
+    # The paper reports a 12.4 % pixel error (ramp-generator parameters
+    # unavailable) and 9.3 % on the analog PE for this chip.
+    reported_breakdown={
+        "SEN": 2.9715 * units.pJ,
+        "COMP-A": 0.0202 * units.pJ,
+    },
+)

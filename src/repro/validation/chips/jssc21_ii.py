@@ -1,0 +1,79 @@
+"""JSSC'21-II [54]: Park et al., 51-pJ/pixel compressive CIS.
+
+Table 2 row: 110 nm, not stacked, 4T APS, no analog memory, column-parallel
+charge-domain MAC performing 4x single-shot compressive sensing.  The title
+reports the headline number directly: 51 pJ/pixel.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import (
+    ActivePixelSensor,
+    AnalogMAC,
+    ColumnADC,
+)
+from repro.hw.chip import SensorSystem
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.sw.stage import PixelInput, ProcessStage
+from repro.validation.base import ChipModel
+
+_ROWS, _COLS = 480, 640
+_FPS = 30
+
+
+def _build():
+    source = PixelInput((_ROWS, _COLS, 1), name="Input", bits_per_pixel=10)
+    # 4x compressive sensing: each 2x2 tile collapses to one coded sample.
+    compress = ProcessStage("CompressiveSensing",
+                            input_size=(_ROWS, _COLS, 1),
+                            kernel=(2, 2, 1), stride=(2, 2, 1),
+                            bits_per_pixel=10)
+    compress.set_input_stage(source)
+
+    system = SensorSystem("JSSC21-II", layers=[Layer(SENSOR_LAYER, 110)])
+    pixels = AnalogArray("PixelArray", num_input=(1, _COLS),
+                         num_output=(1, _COLS))
+    pixels.add_component(
+        ActivePixelSensor(
+            num_transistors=4,
+            pd_capacitance=8 * units.fF,
+            fd_capacitance=2 * units.fF,
+            load_capacitance=3.2 * units.pF,  # VGA-length column line
+            voltage_swing=1.0,
+            vdda=2.8,
+            correlated_double_sampling=True),
+        (_ROWS, _COLS))
+    macs = AnalogArray("CSMACArray", num_input=(1, _COLS),
+                       num_output=(1, _COLS // 2))
+    macs.add_component(
+        AnalogMAC("ChargeMAC", kernel_volume=4,
+                  unit_capacitance=100 * units.fF,
+                  voltage_swing=1.0, vdda=2.8, include_opamp=True,
+                  opamp_gain=2.0),
+        (1, _COLS // 2))
+    adcs = AnalogArray("ADCArray", num_input=(1, _COLS // 2),
+                       num_output=(1, _COLS // 2))
+    adcs.add_component(ColumnADC(bits=10, energy_per_conversion=130 * units.pJ), (1, _COLS // 2))
+    pixels.set_output(macs)
+    macs.set_output(adcs)
+    system.add_analog_array(pixels)
+    system.add_analog_array(macs)
+    system.add_analog_array(adcs)
+    system.set_pixel_array_geometry(_ROWS, _COLS, pitch=3.0 * units.um)
+
+    mapping = {"Input": "PixelArray", "CompressiveSensing": "CSMACArray"}
+    return [source, compress], system, mapping
+
+
+JSSC21_II = ChipModel(
+    name="JSSC'21-II",
+    reference="Park et al., IEEE JSSC 56(8), 2021",
+    description="51-pJ/pixel 4x compressive CIS, column charge-domain MAC",
+    process_node="110 nm",
+    num_pixels=_ROWS * _COLS,
+    frame_rate=_FPS,
+    reported_energy_per_pixel=51 * units.pJ,
+    build=_build,
+)

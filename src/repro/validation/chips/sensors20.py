@@ -1,0 +1,87 @@
+"""Sensors'20 [13]: Choi et al., always-on analog-CNN image sensor.
+
+Table 2 row: 110 nm, not stacked, 4T APS, no analog memory, column-parallel
+MAC and MaxPool in the voltage domain, no digital processing.  The sensor
+computes the first CNN layer in analog to wake a downstream processor.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import (
+    ActivePixelSensor,
+    AnalogMAC,
+    AnalogMax,
+    ColumnADC,
+)
+from repro.hw.chip import SensorSystem
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.sw.stage import Conv2DStage, PixelInput, ProcessStage
+from repro.validation.base import ChipModel
+
+_ROWS, _COLS = 128, 128
+_FPS = 30
+
+
+def _build():
+    source = PixelInput((_ROWS, _COLS, 1), name="Input")
+    conv = Conv2DStage("AnalogConv", input_size=(_ROWS, _COLS, 1),
+                       num_kernels=8, kernel_size=(3, 3))
+    pool = ProcessStage("MaxPool", input_size=(_ROWS, _COLS, 8),
+                        kernel=(2, 2, 1), stride=(2, 2, 1))
+    conv.set_input_stage(source)
+    pool.set_input_stage(conv)
+
+    system = SensorSystem("Sensors20", layers=[Layer(SENSOR_LAYER, 110)])
+    pixels = AnalogArray("PixelArray", num_input=(1, _COLS),
+                         num_output=(1, _COLS))
+    pixels.add_component(
+        ActivePixelSensor(
+            num_transistors=4,
+            pd_capacitance=10 * units.fF,
+            load_capacitance=1.8 * units.pF,
+            voltage_swing=1.0,
+            vdda=2.8,
+            correlated_double_sampling=True),
+        (_ROWS, _COLS))
+    macs = AnalogArray("ConvMACArray", num_input=(1, _COLS),
+                       num_output=(1, _COLS))
+    macs.add_component(
+        AnalogMAC("ConvMAC", kernel_volume=9,
+                  unit_capacitance=30 * units.fF,
+                  voltage_swing=1.0, vdda=2.8, include_opamp=True),
+        (1, _COLS))
+    pools = AnalogArray("MaxPoolArray", num_input=(1, _COLS),
+                        num_output=(1, _COLS // 2))
+    pools.add_component(
+        AnalogMax("WTAPool", num_inputs=4, load_capacitance=25 * units.fF,
+                  voltage_swing=0.6, vdda=2.8),
+        (1, _COLS // 2))
+    adcs = AnalogArray("ADCArray", num_input=(1, _COLS // 2),
+                       num_output=(1, _COLS // 2))
+    adcs.add_component(ColumnADC(bits=8), (1, _COLS // 2))
+    pixels.set_output(macs)
+    macs.set_output(pools)
+    pools.set_output(adcs)
+    system.add_analog_array(pixels)
+    system.add_analog_array(macs)
+    system.add_analog_array(pools)
+    system.add_analog_array(adcs)
+    system.set_pixel_array_geometry(_ROWS, _COLS, pitch=4.0 * units.um)
+
+    mapping = {"Input": "PixelArray", "AnalogConv": "ConvMACArray",
+               "MaxPool": "MaxPoolArray"}
+    return [source, conv, pool], system, mapping
+
+
+SENSORS20 = ChipModel(
+    name="Sensors'20",
+    reference="Choi et al., Sensors 20(11), 2020",
+    description="Always-on CIS computing the first CNN layer in analog",
+    process_node="110 nm",
+    num_pixels=_ROWS * _COLS,
+    frame_rate=_FPS,
+    reported_energy_per_pixel=26 * units.pJ,
+    build=_build,
+)

@@ -1,0 +1,87 @@
+"""TCAS-I'22 [70]: Xu et al., Senputing — sensing-computing fusion chip.
+
+Table 2 row: 180 nm, not stacked, 3T APS, pixel- and chip-level multiply &
+add in the current domain, no memory, no digital processing.  An ultra-low-
+power always-on binary-network first layer; the paper notes a 33.3 % pixel
+error (photodiode swing unknown) and a 33.0 % memory error elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.domain import SignalDomain
+from repro.hw.analog.components import (
+    ActivePixelSensor,
+    AnalogComparator,
+    CurrentDomainMAC,
+)
+from repro.hw.chip import SensorSystem
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.sw.stage import PixelInput, ProcessStage
+from repro.validation.base import ChipModel
+
+_ROWS, _COLS = 32, 32
+_FPS = 30
+
+
+def _build():
+    source = PixelInput((_ROWS, _COLS, 1), name="Input", bits_per_pixel=1)
+    # Binary first layer: in-pixel current-mode multiply, chip-level add.
+    binary_layer = ProcessStage("BinaryLayer",
+                                input_size=(_ROWS, _COLS, 1),
+                                kernel=(4, 4, 1), stride=(4, 4, 1),
+                                bits_per_pixel=1)
+    binary_layer.set_input_stage(source)
+
+    system = SensorSystem("TCAS22", layers=[Layer(SENSOR_LAYER, 180)])
+    pixels = AnalogArray("PixelArray", num_input=(1, _COLS),
+                         num_output=(1, _COLS))
+    pixels.add_component(
+        ActivePixelSensor(
+            num_transistors=3,
+            pd_capacitance=6 * units.fF,
+            load_capacitance=200 * units.fF,  # chip-level sum lines
+            voltage_swing=0.6,
+            vdda=1.8),
+        (_ROWS, _COLS))
+    macs = AnalogArray("CurrentMACArray", num_input=(1, _COLS),
+                       num_output=(1, _COLS // 4))
+    macs.add_component(
+        CurrentDomainMAC("SenMAC", kernel_volume=16,
+                         load_capacitance=5 * units.fF,
+                         voltage_swing=0.3, vdda=1.8,
+                         input_domain=SignalDomain.VOLTAGE),
+        (1, _COLS // 4))
+    comparators = AnalogArray("ComparatorArray",
+                              num_input=(1, _COLS // 4),
+                              num_output=(1, _COLS // 4))
+    comparators.add_component(
+        AnalogComparator("SignCmp", energy_per_conversion=0.05 * units.pJ),
+        (1, _COLS // 4))
+    pixels.set_output(macs)
+    macs.set_output(comparators)
+    system.add_analog_array(pixels)
+    system.add_analog_array(macs)
+    system.add_analog_array(comparators)
+    system.set_pixel_array_geometry(_ROWS, _COLS, pitch=10.0 * units.um)
+
+    mapping = {"Input": "PixelArray", "BinaryLayer": "CurrentMACArray"}
+    return [source, binary_layer], system, mapping
+
+
+TCAS22 = ChipModel(
+    name="TCAS-I'22",
+    reference="Xu et al., IEEE TCAS-I 69(1), 2022",
+    description="Senputing: always-on binary-network first layer in-pixel",
+    process_node="180 nm",
+    num_pixels=_ROWS * _COLS,
+    frame_rate=_FPS,
+    reported_energy_per_pixel=0.25 * units.pJ,
+    build=_build,
+    # The paper reports a 33.3 % pixel error here: the publication does
+    # not give the photodiode voltage swing.
+    reported_breakdown={
+        "SEN": 0.3320 * units.pJ,
+    },
+)

@@ -1,0 +1,78 @@
+"""VLSI'21 [61]: Seo et al. (Samsung), 2 Mpixel global-shutter DPS CIS.
+
+Table 2 row: 65 nm / 28 nm stacked, digital pixel sensor with pixel-level
+ADC and in-pixel memory, 6 MB digital memory on the logic layer, no
+explicit PE (readout/packing logic only).  116.2 mW at high-speed global-
+shutter operation; we model the 480 FPS operating point.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import DigitalPixelSensor
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit
+from repro.hw.digital.memory import DoubleBuffer
+from repro.hw.layer import COMPUTE_LAYER, Layer, SENSOR_LAYER
+from repro.memlib import SRAMModel
+from repro.sw.stage import PixelInput, ProcessStage
+from repro.validation.base import ChipModel
+
+_ROWS, _COLS = 1200, 1600
+_FPS = 480
+
+
+def _build():
+    source = PixelInput((_ROWS, _COLS, 1), name="Input", bits_per_pixel=10)
+    readout = ProcessStage("ReadoutPacking", input_size=(_ROWS, _COLS, 1),
+                           kernel=(1, 1, 1), stride=(1, 1, 1),
+                           bits_per_pixel=10)
+    readout.set_input_stage(source)
+
+    system = SensorSystem("VLSI21", layers=[Layer(SENSOR_LAYER, 65),
+                                            Layer(COMPUTE_LAYER, 28)])
+    pixels = AnalogArray("DPSArray", num_input=(1, _COLS),
+                         num_output=(1, _COLS))
+    pixels.add_component(
+        DigitalPixelSensor(
+            bits=10,
+            pd_capacitance=7 * units.fF,
+            load_capacitance=30 * units.fF,  # in-pixel, short wires
+            voltage_swing=1.0,
+            vdda=2.2,
+            adc_energy_per_conversion=60 * units.pJ),
+        (_ROWS, _COLS))
+
+    sram = SRAMModel(capacity_bytes=6 * units.MB, word_bits=128, node_nm=28)
+    frame_buffer = DoubleBuffer.from_model("FrameSRAM", sram,
+                                           layer=COMPUTE_LAYER,
+                                           duty_alpha=0.55)
+    pixels.set_output(frame_buffer)
+    packer = ComputeUnit("ReadoutLogic", COMPUTE_LAYER,
+                         input_pixels_per_cycle=(1, 32),
+                         output_pixels_per_cycle=(1, 32),
+                         energy_per_cycle=30 * units.pJ,
+                         num_stages=3,
+                         clock_hz=600 * units.MHz)
+    packer.set_input(frame_buffer)
+    packer.set_sink()
+    system.add_analog_array(pixels)
+    system.add_memory(frame_buffer)
+    system.add_compute_unit(packer)
+    system.set_pixel_array_geometry(_ROWS, _COLS, pitch=4.6 * units.um)
+
+    mapping = {"Input": "DPSArray", "ReadoutPacking": "ReadoutLogic"}
+    return [source, readout], system, mapping
+
+
+VLSI21 = ChipModel(
+    name="VLSI'21",
+    reference="Seo et al., Symp. VLSI Circuits 2021",
+    description="2 Mpixel global-shutter DPS with pixel-level ADC",
+    process_node="65/28 nm",
+    num_pixels=_ROWS * _COLS,
+    frame_rate=_FPS,
+    reported_energy_per_pixel=126 * units.pJ,
+    build=_build,
+)

@@ -1,0 +1,28 @@
+"""Shared fixtures: the paper's Fig. 5 example system, reusable per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.usecases.fig5 import (
+    FIG5_MAPPING,
+    build_fig5_stages,
+    build_fig5_system,
+)
+
+__all__ = ["FIG5_MAPPING", "build_fig5_stages", "build_fig5_system"]
+
+
+@pytest.fixture
+def fig5_stages():
+    return build_fig5_stages()
+
+
+@pytest.fixture
+def fig5_system():
+    return build_fig5_system()
+
+
+@pytest.fixture
+def fig5_mapping():
+    return dict(FIG5_MAPPING)

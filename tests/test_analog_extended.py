@@ -1,0 +1,121 @@
+"""Tests for the extended A-Component library."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.hw.analog.domain import SignalDomain
+from repro.hw.analog.extended import (
+    CorrelatedDoubleSampler,
+    PassiveMatrixMultiplier,
+    ProgrammableGainAmplifier,
+    SingleSlopeADC,
+)
+
+
+class TestPassiveMatrixMultiplier:
+    def test_energy_is_pure_dynamic(self):
+        """No OpAmp: the Lee & Wong design is charge redistribution only."""
+        matmul = PassiveMatrixMultiplier(rows=4, cols=4,
+                                         unit_capacitance=5 * units.fF,
+                                         voltage_swing=1.0)
+        expected = 16 * 5e-15 * 1.0 ** 2
+        assert matmul.energy_per_access(1e-6) == pytest.approx(expected)
+        # Timing-independent: passive circuits have no bias current.
+        assert matmul.energy_per_access(1e-3) == pytest.approx(expected)
+
+    def test_energy_scales_with_matrix_size(self):
+        small = PassiveMatrixMultiplier(rows=2, cols=2)
+        big = PassiveMatrixMultiplier(rows=4, cols=4)
+        assert big.energy_per_access(1e-6) == pytest.approx(
+            4 * small.energy_per_access(1e-6))
+
+    def test_cheaper_than_active_mac_per_op(self):
+        """The passive design's selling point."""
+        from repro.hw.analog.components import AnalogMAC
+        passive = PassiveMatrixMultiplier(rows=3, cols=3)
+        active = AnalogMAC(kernel_volume=9, include_opamp=True)
+        assert passive.energy_per_access(1e-5) \
+            < active.energy_per_access(1e-5)
+
+    def test_shapes(self):
+        matmul = PassiveMatrixMultiplier(rows=3, cols=5)
+        assert matmul.input_volume == 5
+        assert matmul.output_volume == 3
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            PassiveMatrixMultiplier(rows=0, cols=4)
+
+
+class TestPGA:
+    def test_higher_gain_costs_more(self):
+        low = ProgrammableGainAmplifier(gain=2.0)
+        high = ProgrammableGainAmplifier(gain=8.0)
+        assert high.energy_per_access(1e-6) > low.energy_per_access(1e-6)
+
+    def test_voltage_in_voltage_out(self):
+        pga = ProgrammableGainAmplifier()
+        assert pga.input_domain is SignalDomain.VOLTAGE
+        assert pga.output_domain is SignalDomain.VOLTAGE
+
+    def test_rejects_non_positive_gain(self):
+        with pytest.raises(ConfigurationError):
+            ProgrammableGainAmplifier(gain=0.0)
+
+
+class TestSingleSlopeADC:
+    def test_crosses_to_digital(self):
+        adc = SingleSlopeADC()
+        assert adc.output_domain is SignalDomain.DIGITAL
+
+    def test_energy_exponential_in_bits_via_counter(self):
+        """Each extra bit doubles the ramp steps (counter term)."""
+        slow = SingleSlopeADC(bits=8, comparator_bias=1e-9,
+                              counter_energy_per_step=10 * units.fJ)
+        fast = SingleSlopeADC(bits=10, comparator_bias=1e-9,
+                              counter_energy_per_step=10 * units.fJ)
+        delay = 1e-6
+        # With negligible comparator bias, counter dominates: 4x steps.
+        assert fast.energy_per_access(delay) == pytest.approx(
+            4 * slow.energy_per_access(delay), rel=0.05)
+
+    def test_slower_conversion_costs_more(self):
+        """Opposite to the Walden-FoM trend — the comparator stays biased
+        for the whole (longer) ramp."""
+        adc = SingleSlopeADC(bits=10, comparator_bias=1 * units.uA,
+                             counter_energy_per_step=0.0)
+        assert adc.energy_per_access(1e-3) > adc.energy_per_access(1e-5)
+
+    def test_plausible_10bit_energy(self):
+        """A 10-bit single-slope at a 10 us line time: tens of pJ."""
+        adc = SingleSlopeADC(bits=10)
+        energy = adc.energy_per_access(10e-6)
+        assert 1 * units.pJ < energy < 200 * units.pJ
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SingleSlopeADC(bits=0)
+        with pytest.raises(ConfigurationError):
+            SingleSlopeADC(comparator_bias=0.0)
+        with pytest.raises(ConfigurationError):
+            SingleSlopeADC(counter_energy_per_step=-1.0)
+
+
+class TestCDS:
+    def test_samples_twice(self):
+        cds = CorrelatedDoubleSampler()
+        caps_usage = cds.cell_usages[0]
+        assert caps_usage.temporal == 2
+
+    def test_energy_positive_and_plausible(self):
+        cds = CorrelatedDoubleSampler()
+        energy = cds.energy_per_access(1e-5)
+        assert 0.01 * units.pJ < energy < 100 * units.pJ
+
+    def test_usable_in_array(self):
+        from repro.hw.analog.array import AnalogArray
+        array = AnalogArray("CDSArray")
+        array.add_component(CorrelatedDoubleSampler(), (1, 640))
+        assert array.category == "compute"
+        assert array.energy(640 * 480, 5e-3) > 0

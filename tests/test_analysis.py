@@ -1,0 +1,196 @@
+"""Tests for the design-analysis tooling (bottlenecks, compare, sweeps)."""
+
+import pytest
+
+from repro import simulate, units
+from repro.analysis import (
+    compare_reports,
+    dominant_category,
+    identify_bottlenecks,
+    savings_fraction,
+    sweep_frame_rate,
+    sweep_nodes,
+)
+from repro.energy.report import Category, EnergyEntry, EnergyReport
+from repro.exceptions import ConfigurationError
+from repro.usecases import UseCaseConfig, run_edgaze
+from repro.usecases.fig5 import (
+    FIG5_MAPPING,
+    build_fig5_stages,
+    build_fig5_system,
+)
+
+
+def _fig5_report():
+    return simulate(build_fig5_stages(), build_fig5_system(),
+                    dict(FIG5_MAPPING), frame_rate=30)
+
+
+def _fig5_builder():
+    return (build_fig5_stages(), build_fig5_system(), dict(FIG5_MAPPING))
+
+
+class TestBottlenecks:
+    def test_fig5_bottleneck_is_mipi(self):
+        """The tiny example is dominated by the off-chip link."""
+        ranked = identify_bottlenecks(_fig5_report())
+        assert ranked, "expected at least one bottleneck"
+        assert ranked[0].category is Category.MIPI
+        assert ranked[0].share > 0.5
+
+    def test_edgaze_bottleneck_is_memory(self):
+        """2D-In Ed-Gaze at 65 nm: the frame buffer leads (Finding 1)."""
+        report = run_edgaze(UseCaseConfig("2D-In", 65))
+        ranked = identify_bottlenecks(report)
+        assert ranked[0].name == "FrameBuffer"
+        assert ranked[0].category is Category.MEM_D
+
+    def test_shares_ordered_and_bounded(self):
+        ranked = identify_bottlenecks(_fig5_report(), top=10, min_share=0.0)
+        shares = [b.share for b in ranked]
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) <= 1.0 + 1e-9
+
+    def test_min_share_filters(self):
+        ranked = identify_bottlenecks(_fig5_report(), top=10, min_share=0.5)
+        assert all(b.share >= 0.5 for b in ranked)
+
+    def test_hints_present(self):
+        for bottleneck in identify_bottlenecks(_fig5_report()):
+            assert bottleneck.hint
+            assert bottleneck.describe()
+
+    def test_parameter_validation(self):
+        report = _fig5_report()
+        with pytest.raises(ConfigurationError):
+            identify_bottlenecks(report, top=0)
+        with pytest.raises(ConfigurationError):
+            identify_bottlenecks(report, min_share=1.0)
+
+    def test_dominant_category(self):
+        assert dominant_category(_fig5_report()) is Category.MIPI
+
+    def test_empty_report_no_dominant(self):
+        empty = EnergyReport(system_name="E", frame_rate=30,
+                             frame_time=1 / 30, digital_latency=0,
+                             analog_stage_delay=1e-3)
+        assert dominant_category(empty) is None
+        assert identify_bottlenecks(empty) == []
+
+
+class TestCompare:
+    def test_3d_vs_2d_edgaze(self):
+        """The Finding 2 comparison via the analysis API."""
+        baseline = run_edgaze(UseCaseConfig("2D-In", 65))
+        candidate = run_edgaze(UseCaseConfig("3D-In", 65))
+        delta = compare_reports(baseline, candidate)
+        assert delta.total_delta < 0
+        assert delta.savings_fraction > 0.3
+        assert delta.biggest_mover() is Category.MEM_D
+
+    def test_stt_comparison_attributes_to_memory(self):
+        baseline = run_edgaze(UseCaseConfig("3D-In", 65))
+        candidate = run_edgaze(UseCaseConfig("3D-In-STT", 65))
+        delta = compare_reports(baseline, candidate)
+        assert delta.by_category[Category.MEM_D] < 0
+        assert abs(delta.by_category[Category.MEM_D]) > 0.9 * abs(
+            delta.total_delta)
+
+    def test_savings_fraction_shorthand(self):
+        baseline = run_edgaze(UseCaseConfig("3D-In", 65))
+        candidate = run_edgaze(UseCaseConfig("3D-In-STT", 65))
+        assert savings_fraction(baseline, candidate) == pytest.approx(
+            compare_reports(baseline, candidate).savings_fraction)
+
+    def test_describe_mentions_direction(self):
+        baseline = run_edgaze(UseCaseConfig("2D-In", 65))
+        candidate = run_edgaze(UseCaseConfig("3D-In", 65))
+        text = compare_reports(baseline, candidate).describe()
+        assert "saves" in text
+
+    def test_empty_baseline_rejected(self):
+        empty = EnergyReport(system_name="E", frame_rate=30,
+                             frame_time=1 / 30, digital_latency=0,
+                             analog_stage_delay=1e-3)
+        with pytest.raises(ConfigurationError):
+            compare_reports(empty, _fig5_report())
+
+
+class TestSweeps:
+    def test_frame_rate_sweep_shapes(self):
+        points = sweep_frame_rate(_fig5_builder, [15, 30, 60, 120])
+        assert len(points) == 4
+        assert all(p.feasible for p in points)
+
+    def test_sweep_marks_infeasible_points(self):
+        """Absurd FPS targets fail with a TimingError, not an exception."""
+        points = sweep_frame_rate(_fig5_builder, [30, 1e7])
+        assert points[0].feasible
+        assert not points[1].feasible
+        assert "re-design" in points[1].failure
+
+    def test_node_sweep(self):
+        from repro.usecases.edgaze import build_edgaze
+
+        def builder_for_node(node):
+            return lambda: build_edgaze(UseCaseConfig("2D-In", int(node)))
+
+        points = sweep_nodes(builder_for_node, [130, 65])
+        assert all(p.feasible for p in points)
+        # The 65 nm leakage anomaly shows up in the sweep too.
+        assert points[1].report.total_energy > points[0].report.total_energy
+
+    def test_empty_sweeps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_frame_rate(_fig5_builder, [])
+        with pytest.raises(ConfigurationError):
+            sweep_nodes(lambda n: _fig5_builder, [])
+
+
+class TestPareto:
+    @staticmethod
+    def _points():
+        from repro.analysis import design_point
+        from repro.usecases.edgaze import build_edgaze
+        points = []
+        for placement in ("2D-Off", "2D-In", "3D-In", "3D-In-STT"):
+            cfg = UseCaseConfig(placement, 65)
+            _, system, _ = build_edgaze(cfg)
+            points.append(design_point(placement, system, run_edgaze(cfg)))
+        return points
+
+    def test_edgaze_pareto_front(self):
+        """2D-In at 65 nm is strictly dominated: more energy AND denser."""
+        from repro.analysis import dominated_points, pareto_front
+        points = self._points()
+        front_labels = {p.label for p in pareto_front(points)}
+        dominated_labels = {p.label for p in dominated_points(points)}
+        assert "2D-In" in dominated_labels
+        assert "3D-In-STT" in front_labels
+
+    def test_front_sorted_and_nondominated(self):
+        from repro.analysis import pareto_front
+        front = pareto_front(self._points())
+        energies = [p.energy_per_frame for p in front]
+        assert energies == sorted(energies)
+        for p in front:
+            assert not any(q.dominates(p) for q in front)
+
+    def test_dominance_semantics(self):
+        from repro.analysis.pareto import DesignPoint
+        a = DesignPoint("a", 1.0, 1.0)
+        b = DesignPoint("b", 2.0, 2.0)
+        tie = DesignPoint("t", 1.0, 1.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(tie)
+
+    def test_empty_rejected(self):
+        from repro.analysis import pareto_front
+        with pytest.raises(ConfigurationError):
+            pareto_front([])
+
+    def test_describe(self):
+        from repro.analysis.pareto import DesignPoint
+        text = DesignPoint("x", 1e-6, 0.5).describe()
+        assert "mW/mm^2" in text

@@ -1,0 +1,110 @@
+"""Tests for area estimation and power density (Table 3 methodology)."""
+
+import pytest
+
+from repro import simulate, units
+from repro.area import estimate_area, layer_power_density, power_density
+from repro.area.model import CPU_POWER_DENSITY, format_density
+from repro.energy.report import Category, EnergyEntry, EnergyReport
+from repro.exceptions import ConfigurationError
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.memory import FIFO
+from repro.hw.layer import COMPUTE_LAYER, Layer, SENSOR_LAYER
+
+from conftest import FIG5_MAPPING, build_fig5_stages, build_fig5_system
+
+
+def _report_with(entries, fps=30):
+    report = EnergyReport(system_name="S", frame_rate=fps, frame_time=1 / fps,
+                          digital_latency=0.0, analog_stage_delay=1e-3)
+    report.extend(entries)
+    return report
+
+
+class TestAreaEstimation:
+    def test_pixel_array_area_counted(self):
+        system = build_fig5_system()
+        areas = estimate_area(system)
+        assert areas.by_layer[SENSOR_LAYER] >= system.pixel_array_area
+
+    def test_memory_area_counted_per_layer(self):
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65),
+                                           Layer(COMPUTE_LAYER, 22)])
+        system.add_memory(FIFO("F", COMPUTE_LAYER, size=(1, 4),
+                               write_energy_per_word=0,
+                               read_energy_per_word=0, area=3e-6))
+        areas = estimate_area(system)
+        assert areas.by_layer[COMPUTE_LAYER] == pytest.approx(3e-6)
+
+    def test_off_chip_excluded(self):
+        system = build_fig5_system()
+        system.add_offchip_host(22)
+        areas = estimate_area(system)
+        assert "off_chip" not in areas.by_layer
+
+
+class TestPowerDensity:
+    def test_2d_density_is_power_over_total_area(self):
+        system = build_fig5_system()
+        report = _report_with([
+            EnergyEntry("X", Category.SEN, SENSOR_LAYER, 1 * units.nJ)])
+        density = power_density(system, report)
+        expected = (1e-9 * 30) / estimate_area(system).total
+        assert density == pytest.approx(expected)
+
+    def test_stacked_density_uses_footprint_and_max_layer(self):
+        """Stacked dies share the chip footprint; the chip density is the
+        hottest layer's power over that footprint."""
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65),
+                                           Layer(COMPUTE_LAYER, 22)])
+        system.set_pixel_array_geometry(100, 100)
+        system.add_memory(FIFO("F", COMPUTE_LAYER, size=(1, 4),
+                               write_energy_per_word=0,
+                               read_energy_per_word=0, area=1e-8))
+        # The pixel array must be registered so its layer gets area.
+        from repro.hw.analog.array import AnalogArray
+        from repro.hw.analog.components import ActivePixelSensor
+        pixels = AnalogArray("Pixels", SENSOR_LAYER)
+        pixels.add_component(ActivePixelSensor(), (100, 100))
+        system.add_analog_array(pixels)
+        report = _report_with([
+            EnergyEntry("Sen", Category.SEN, SENSOR_LAYER, 1 * units.nJ),
+            EnergyEntry("Hot", Category.COMP_D, COMPUTE_LAYER,
+                        3 * units.nJ)])
+        densities = layer_power_density(system, report)
+        footprint = estimate_area(system).footprint
+        assert footprint == pytest.approx(system.pixel_array_area)
+        assert densities[COMPUTE_LAYER] == pytest.approx(
+            (3e-9 * 30) / footprint)
+        assert densities[COMPUTE_LAYER] > densities[SENSOR_LAYER]
+        assert power_density(system, report) == pytest.approx(
+            densities[COMPUTE_LAYER])
+
+    def test_off_chip_entries_excluded(self):
+        system = build_fig5_system()
+        system.add_offchip_host(22)
+        report = _report_with([
+            EnergyEntry("Sen", Category.SEN, SENSOR_LAYER, 1 * units.nJ),
+            EnergyEntry("SoC", Category.COMP_D, "off_chip", 100 * units.nJ)])
+        density = power_density(system, report)
+        expected = (1e-9 * 30) / estimate_area(system).total
+        assert density == pytest.approx(expected)
+
+    def test_no_area_raises(self):
+        system = SensorSystem("S")
+        report = _report_with([
+            EnergyEntry("X", Category.SEN, SENSOR_LAYER, 1 * units.nJ)])
+        with pytest.raises(ConfigurationError):
+            power_density(system, report)
+
+    def test_fig5_density_far_below_cpu(self):
+        """Sec. 6.2: sensor densities are orders below CPU hotspots."""
+        stages = build_fig5_stages()
+        system = build_fig5_system()
+        report = simulate(stages, system, dict(FIG5_MAPPING), frame_rate=30)
+        density = power_density(system, report)
+        assert density < 0.01 * CPU_POWER_DENSITY
+
+    def test_format_density(self):
+        text = format_density(0.05 * units.mW / units.mm2)
+        assert text == "0.05 mW/mm^2"

@@ -1,0 +1,177 @@
+"""Tests for the pre-simulation design checks (Fig. 4 feedback loop)."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import CheckError, DomainMismatchError, StallError
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import (
+    ActivePixelSensor,
+    AnalogMAC,
+    ColumnADC,
+    CurrentDomainMAC,
+)
+from repro.hw.digital.compute import ComputeUnit
+from repro.hw.digital.memory import FIFO, LineBuffer
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.hw.chip import SensorSystem
+from repro.sim.checks import run_pre_simulation_checks
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import PixelInput, ProcessStage
+
+from conftest import FIG5_MAPPING, build_fig5_stages, build_fig5_system
+
+
+def _run(stages, system, mapping):
+    graph = StageGraph(stages)
+    run_pre_simulation_checks(graph, system, Mapping(mapping))
+
+
+class TestHappyPath:
+    def test_fig5_passes_all_checks(self):
+        _run(build_fig5_stages(), build_fig5_system(), FIG5_MAPPING)
+
+
+class TestDomainChecks:
+    def _voltage_to_current_system(self):
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+        pixels = AnalogArray("Pixels")
+        pixels.add_component(ActivePixelSensor(), (8, 8))  # outputs VOLTAGE
+        macs = AnalogArray("MACs")
+        macs.add_component(CurrentDomainMAC(kernel_volume=4), (1, 8))
+        pixels.set_output(macs)
+        system.add_analog_array(pixels)
+        system.add_analog_array(macs)
+        return system
+
+    def test_voltage_into_current_consumer_rejected(self):
+        source = PixelInput((8, 8, 1), name="Input")
+        conv = ProcessStage("Conv", input_size=(8, 8, 1), kernel=(2, 2, 1),
+                            stride=(2, 2, 1))
+        conv.set_input_stage(source)
+        system = self._voltage_to_current_system()
+        with pytest.raises(DomainMismatchError, match="conversion"):
+            _run([source, conv], system,
+                 {"Input": "Pixels", "Conv": "MACs"})
+
+    def test_unwired_analog_arrays_rejected(self):
+        source = PixelInput((8, 8, 1), name="Input")
+        conv = ProcessStage("Conv", input_size=(8, 8, 1), kernel=(2, 2, 1),
+                            stride=(2, 2, 1))
+        conv.set_input_stage(source)
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+        pixels = AnalogArray("Pixels")
+        pixels.add_component(ActivePixelSensor(), (8, 8))
+        macs = AnalogArray("MACs")
+        macs.add_component(AnalogMAC(kernel_volume=4), (1, 8))
+        # deliberately NOT wired
+        system.add_analog_array(pixels)
+        system.add_analog_array(macs)
+        with pytest.raises(CheckError, match="not wired"):
+            _run([source, conv], system,
+                 {"Input": "Pixels", "Conv": "MACs"})
+
+    def test_missing_adc_rejected(self):
+        """Analog producer feeding a digital stage without any ADC."""
+        source = PixelInput((8, 8, 1), name="Input")
+        edge = ProcessStage("Edge", input_size=(8, 8, 1), kernel=(3, 3, 1),
+                            stride=(1, 1, 1), padding="same")
+        edge.set_input_stage(source)
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+        pixels = AnalogArray("Pixels")
+        pixels.add_component(ActivePixelSensor(), (8, 8))  # VOLTAGE out
+        fifo = FIFO("F", size=(1, 64), write_energy_per_word=0,
+                    read_energy_per_word=0)
+        unit = ComputeUnit("PE", input_pixels_per_cycle=(1, 3),
+                           output_pixels_per_cycle=(1, 1),
+                           energy_per_cycle=1e-12)
+        pixels.set_output(fifo)
+        unit.set_input(fifo)
+        unit.set_sink()
+        system.add_analog_array(pixels)
+        system.add_memory(fifo)
+        system.add_compute_unit(unit)
+        with pytest.raises(DomainMismatchError, match="ADC"):
+            _run([source, edge], system, {"Input": "Pixels", "Edge": "PE"})
+
+
+class TestStallChecks:
+    def test_too_small_line_buffer_rejected(self):
+        stages = build_fig5_stages()
+        system = build_fig5_system()
+        # Shrink the line buffer below the 3-row kernel window.
+        small = LineBuffer("LineBuffer2", size=(2, 16),
+                           write_energy_per_word=0, read_energy_per_word=0)
+        unit = system.find_unit("EdgeUnit")
+        unit.input_memories = [small]
+        system.find_unit("ADCArray").output_memories = [small]
+        system.memories = [small]
+        with pytest.raises(StallError, match="window"):
+            _run(stages, system, FIG5_MAPPING)
+
+    def test_narrow_line_buffer_rejected(self):
+        stages = build_fig5_stages()
+        system = build_fig5_system()
+        narrow = LineBuffer("LineBuffer2", size=(3, 8),
+                            write_energy_per_word=0, read_energy_per_word=0)
+        unit = system.find_unit("EdgeUnit")
+        unit.input_memories = [narrow]
+        system.find_unit("ADCArray").output_memories = [narrow]
+        system.memories = [narrow]
+        with pytest.raises(StallError, match="wide"):
+            _run(stages, system, FIG5_MAPPING)
+
+    def test_insufficient_read_ports_rejected(self):
+        stages = build_fig5_stages()
+        system = build_fig5_system()
+        starved = FIFO("Starved", size=(1, 64), write_energy_per_word=0,
+                       read_energy_per_word=0, num_read_ports=1)
+        unit = system.find_unit("EdgeUnit")  # reads 3 px/cycle
+        unit.input_memories = [starved]
+        system.find_unit("ADCArray").output_memories = [starved]
+        system.memories = [starved]
+        with pytest.raises(StallError, match="port"):
+            _run(stages, system, FIG5_MAPPING)
+
+    def test_slow_consumer_with_tiny_memory_rejected(self):
+        """Producer outruns consumer and the in-between FIFO is tiny."""
+        source = PixelInput((64, 64, 1), name="Input")
+        fast = ProcessStage("Fast", input_size=(64, 64, 1),
+                            kernel=(1, 1, 1), stride=(1, 1, 1))
+        slow = ProcessStage("Slow", input_size=(64, 64, 1),
+                            kernel=(1, 1, 1), stride=(1, 1, 1))
+        fast.set_input_stage(source)
+        slow.set_input_stage(fast)
+
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+        pixels = AnalogArray("Pixels")
+        pixels.add_component(ActivePixelSensor(), (8, 8))
+        adcs = AnalogArray("ADCs")
+        adcs.add_component(ColumnADC(), (1, 8))
+        pixels.set_output(adcs)
+        in_fifo = FIFO("InFifo", size=(1, 128), write_energy_per_word=0,
+                       read_energy_per_word=0, num_read_ports=4,
+                       num_write_ports=4)
+        mid_fifo = FIFO("MidFifo", size=(1, 4), write_energy_per_word=0,
+                        read_energy_per_word=0, num_read_ports=4,
+                        num_write_ports=4)
+        adcs.set_output(in_fifo)
+        producer = ComputeUnit("FastPE", input_pixels_per_cycle=(1, 4),
+                               output_pixels_per_cycle=(1, 4),
+                               energy_per_cycle=1e-12)
+        consumer = ComputeUnit("SlowPE", input_pixels_per_cycle=(1, 1),
+                               output_pixels_per_cycle=(1, 1),
+                               energy_per_cycle=1e-12)
+        producer.set_input(in_fifo).set_output(mid_fifo)
+        consumer.set_input(mid_fifo)
+        consumer.set_sink()
+        system.add_analog_array(pixels)
+        system.add_analog_array(adcs)
+        system.add_memory(in_fifo)
+        system.add_memory(mid_fifo)
+        system.add_compute_unit(producer)
+        system.add_compute_unit(consumer)
+        with pytest.raises(StallError, match="backlog"):
+            _run([source, fast, slow], system,
+                 {"Input": "Pixels", "Fast": "FastPE", "Slow": "SlowPE"})

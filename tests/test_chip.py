@@ -1,0 +1,145 @@
+"""Tests for the SensorSystem container."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import ActivePixelSensor
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit
+from repro.hw.digital.memory import FIFO
+from repro.hw.interface import Interface
+from repro.hw.layer import COMPUTE_LAYER, Layer, OFF_CHIP, SENSOR_LAYER
+
+
+def _system():
+    return SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+
+
+def _unit(layer=SENSOR_LAYER, name="PE"):
+    return ComputeUnit(name, layer, input_pixels_per_cycle=(1, 1),
+                       output_pixels_per_cycle=(1, 1),
+                       energy_per_cycle=1e-12)
+
+
+class TestLayers:
+    def test_default_single_sensor_layer(self):
+        system = SensorSystem("S")
+        assert SENSOR_LAYER in system.layers
+        assert not system.is_stacked
+
+    def test_stacked_detection(self):
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65),
+                                           Layer(COMPUTE_LAYER, 22)])
+        assert system.is_stacked
+
+    def test_offchip_host_does_not_make_it_stacked(self):
+        system = _system()
+        system.add_offchip_host(22)
+        assert not system.is_stacked
+        assert system.layers[OFF_CHIP].node_nm == 22
+
+    def test_duplicate_layer_rejected(self):
+        system = _system()
+        with pytest.raises(ConfigurationError):
+            system.add_layer(Layer(SENSOR_LAYER, 130))
+
+    def test_off_chip_name_reserved(self):
+        system = _system()
+        with pytest.raises(ConfigurationError, match="reserved"):
+            system.add_layer(Layer(OFF_CHIP, 22))
+
+    def test_layer_validation(self):
+        with pytest.raises(ConfigurationError):
+            Layer("", 65)
+        with pytest.raises(ConfigurationError):
+            Layer("x", -1)
+
+
+class TestUnits:
+    def test_find_unit(self):
+        system = _system()
+        unit = _unit()
+        system.add_compute_unit(unit)
+        assert system.find_unit("PE") is unit
+
+    def test_unknown_unit(self):
+        with pytest.raises(ConfigurationError, match="no hardware unit"):
+            _system().find_unit("ghost")
+
+    def test_unknown_layer_rejected(self):
+        system = _system()
+        with pytest.raises(ConfigurationError, match="unknown layer"):
+            system.add_compute_unit(_unit(layer="mezzanine"))
+
+    def test_duplicate_names_rejected_across_kinds(self):
+        system = _system()
+        system.add_compute_unit(_unit(name="X"))
+        fifo = FIFO("X", size=(1, 4), write_energy_per_word=0,
+                    read_energy_per_word=0)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            system.add_memory(fifo)
+
+    def test_all_units_enumeration(self):
+        system = _system()
+        array = AnalogArray("PA")
+        array.add_component(ActivePixelSensor(), (4, 4))
+        system.add_analog_array(array)
+        system.add_compute_unit(_unit())
+        assert {u.name for u in system.all_units()} == {"PA", "PE"}
+
+    def test_layer_of(self):
+        system = _system()
+        unit = _unit()
+        system.add_compute_unit(unit)
+        assert system.layer_of(unit).node_nm == 65
+
+
+class TestInterfaces:
+    def test_default_interfaces(self):
+        system = _system()
+        assert system.offchip_interface.energy_per_byte == pytest.approx(
+            100 * units.pJ)
+        assert system.interlayer_interface.energy_per_byte == pytest.approx(
+            1 * units.pJ)
+
+    def test_override_interfaces(self):
+        system = _system()
+        system.set_offchip_interface(Interface("LVDS", 40 * units.pJ))
+        assert system.offchip_interface.name == "LVDS"
+
+
+class TestGeometry:
+    def test_pixel_array_area(self):
+        system = _system()
+        system.set_pixel_array_geometry(400, 640, pitch=3 * units.um)
+        expected = 400 * 640 * (3e-6) ** 2
+        assert system.pixel_array_area == pytest.approx(expected)
+
+    def test_no_geometry_means_zero_area(self):
+        assert _system().pixel_array_area == 0.0
+
+    def test_memory_area_by_layer(self):
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65),
+                                           Layer(COMPUTE_LAYER, 22)])
+        fifo = FIFO("F", COMPUTE_LAYER, size=(1, 4),
+                    write_energy_per_word=0, read_energy_per_word=0,
+                    area=2e-6)
+        system.add_memory(fifo)
+        assert system.memory_area(COMPUTE_LAYER) == pytest.approx(2e-6)
+        assert system.memory_area(SENSOR_LAYER) == 0.0
+        assert system.memory_area() == pytest.approx(2e-6)
+
+    def test_invalid_geometry_rejected(self):
+        system = _system()
+        with pytest.raises(ConfigurationError):
+            system.set_pixel_array_geometry(0, 640)
+        with pytest.raises(ConfigurationError):
+            system.set_pixel_array_geometry(400, 640, pitch=0)
+
+    def test_describe_lists_everything(self):
+        system = _system()
+        system.add_compute_unit(_unit())
+        text = system.describe()
+        assert "PE" in text and "sensor" in text

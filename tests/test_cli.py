@@ -1,0 +1,83 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("validate", "fig5", "rhythmic", "edgaze", "mixed",
+                        "threelayer", "survey"):
+            args = parser.parse_args(
+                [command] if command not in ("fig5", "threelayer")
+                else [command])
+            assert args.command == command
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_fps_option(self):
+        args = build_parser().parse_args(["fig5", "--fps", "60"])
+        assert args.fps == 60.0
+
+
+class TestCommands:
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Energy report" in out
+        assert "bottlenecks" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out and "Pearson" in out
+
+    def test_rhythmic(self, capsys):
+        assert main(["rhythmic"]) == 0
+        assert "2D-In (130nm)" in capsys.readouterr().out
+
+    def test_edgaze(self, capsys):
+        assert main(["edgaze"]) == 0
+        assert "3D-In-STT" in capsys.readouterr().out
+
+    def test_mixed(self, capsys):
+        assert main(["mixed"]) == 0
+        assert "saves" in capsys.readouterr().out
+
+    def test_threelayer(self, capsys):
+        assert main(["threelayer"]) == 0
+        out = capsys.readouterr().out
+        assert "per-layer energy" in out
+        assert "dram" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "halving period" in out
+
+    def test_fig5_custom_fps(self, capsys):
+        assert main(["fig5", "--fps", "120"]) == 0
+        assert "120" in capsys.readouterr().out
+
+
+class TestChipCommand:
+    def test_known_chip(self, capsys):
+        assert main(["chip", "JSSC'21-II"]) == 0
+        out = capsys.readouterr().out
+        assert "51" in out and "pJ/px" in out
+
+    def test_chip_with_breakdown_errors(self, capsys):
+        assert main(["chip", "JSSC'19"]) == 0
+        assert "per-component errors" in capsys.readouterr().out
+
+    def test_unknown_chip_fails_cleanly(self, capsys):
+        assert main(["chip", "ISSCC'99"]) == 1
+        assert "known chips" in capsys.readouterr().err

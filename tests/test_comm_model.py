@@ -1,0 +1,123 @@
+"""Focused tests for the communication model (Eq. 17) and layer routing."""
+
+import pytest
+
+from repro import units
+from repro.energy.comm_model import (
+    _layer_path,
+    communication_energy,
+    communication_volume,
+)
+from repro.energy.report import Category
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import ActivePixelSensor, ColumnADC
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit
+from repro.hw.digital.memory import FIFO
+from repro.hw.layer import COMPUTE_LAYER, Layer, SENSOR_LAYER
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import PixelInput, ProcessStage
+
+
+class TestLayerPath:
+    class _Unit:
+        def __init__(self, layer, memories=()):
+            self.layer = layer
+            self.input_memories = list(memories)
+
+    class _Memory:
+        def __init__(self, layer):
+            self.layer = layer
+
+    def test_same_layer_no_hops(self):
+        a = self._Unit("sensor")
+        b = self._Unit("sensor", [self._Memory("sensor")])
+        assert _layer_path(a, b) == ["sensor"]
+
+    def test_direct_crossing(self):
+        a = self._Unit("sensor")
+        b = self._Unit("compute", [self._Memory("compute")])
+        assert _layer_path(a, b) == ["sensor", "compute"]
+
+    def test_intermediate_memory_layer(self):
+        """Pixel layer -> DRAM-layer memory -> logic-layer consumer."""
+        a = self._Unit("sensor")
+        b = self._Unit("logic", [self._Memory("dram")])
+        assert _layer_path(a, b) == ["sensor", "dram", "logic"]
+
+    def test_memory_on_consumer_layer_collapses(self):
+        a = self._Unit("sensor")
+        b = self._Unit("logic", [self._Memory("logic")])
+        assert _layer_path(a, b) == ["sensor", "logic"]
+
+    def test_analog_consumer_without_memories(self):
+        a = self._Unit("sensor")
+        b = AnalogArray("B", COMPUTE_LAYER)
+        assert _layer_path(a, b) == ["sensor", "compute"]
+
+
+def _two_layer_setup(bits=8):
+    source = PixelInput((16, 16, 1), name="Input", bits_per_pixel=bits)
+    stage = ProcessStage("Proc", input_size=(16, 16, 1), kernel=(1, 1, 1),
+                         stride=(1, 1, 1), bits_per_pixel=bits)
+    stage.set_input_stage(source)
+    system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65),
+                                       Layer(COMPUTE_LAYER, 22)])
+    pixels = AnalogArray("Pixels")
+    pixels.add_component(ActivePixelSensor(), (16, 16))
+    adcs = AnalogArray("ADCs")
+    adcs.add_component(ColumnADC(), (1, 16))
+    pixels.set_output(adcs)
+    fifo = FIFO("F", COMPUTE_LAYER, size=(1, 64),
+                write_energy_per_word=0, read_energy_per_word=0)
+    adcs.set_output(fifo)
+    pe = ComputeUnit("PE", COMPUTE_LAYER, input_pixels_per_cycle=(1, 1),
+                     output_pixels_per_cycle=(1, 1), energy_per_cycle=0)
+    pe.set_input(fifo)
+    pe.set_sink()
+    system.add_analog_array(pixels)
+    system.add_analog_array(adcs)
+    system.add_memory(fifo)
+    system.add_compute_unit(pe)
+    graph = StageGraph([source, stage])
+    mapping = Mapping({"Input": "Pixels", "Proc": "PE"})
+    return graph, system, mapping
+
+
+class TestCommEnergy:
+    def test_bit_depth_scales_crossing_bytes(self):
+        graph8, system8, mapping8 = _two_layer_setup(bits=8)
+        graph16, system16, mapping16 = _two_layer_setup(bits=16)
+        utsv8 = sum(e.energy for e in
+                    communication_energy(graph8, system8, mapping8)
+                    if e.category is Category.UTSV)
+        utsv16 = sum(e.energy for e in
+                     communication_energy(graph16, system16, mapping16)
+                     if e.category is Category.UTSV)
+        assert utsv16 == pytest.approx(2 * utsv8)
+
+    def test_volume_accounting(self):
+        graph, system, mapping = _two_layer_setup()
+        volumes = communication_volume(graph, system, mapping)
+        assert volumes["utsv"] == pytest.approx(256)   # full frame crosses
+        assert volumes["mipi"] == pytest.approx(256)   # sink ships result
+
+    def test_custom_interface_pricing(self):
+        from repro.hw.interface import Interface
+        graph, system, mapping = _two_layer_setup()
+        system.set_interlayer_interface(
+            Interface("hybrid-bond", 0.5 * units.pJ))
+        utsv = sum(e.energy for e in
+                   communication_energy(graph, system, mapping)
+                   if e.category is Category.UTSV)
+        assert utsv == pytest.approx(256 * 0.5 * units.pJ)
+
+    def test_free_interface_yields_zero_energy(self):
+        from repro.hw.interface import Interface
+        graph, system, mapping = _two_layer_setup()
+        system.set_offchip_interface(Interface("pads", 0.0))
+        mipi = sum(e.energy for e in
+                   communication_energy(graph, system, mapping)
+                   if e.category is Category.MIPI)
+        assert mipi == 0.0

@@ -1,0 +1,231 @@
+"""Tests for the digital-domain simulation (analytical + cycle-accurate)."""
+
+import pytest
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import ActivePixelSensor, ColumnADC
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit, SystolicArray
+from repro.hw.digital.memory import DoubleBuffer, FIFO, LineBuffer
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.sim.cycle_sim import (
+    cycle_accurate_latency,
+    simulate_digital,
+)
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import Conv2DStage, PixelInput, ProcessStage
+
+from conftest import FIG5_MAPPING, build_fig5_stages, build_fig5_system
+
+
+class TestAnalyticalTimeline:
+    def test_fig5_edge_unit_cycles(self):
+        """16x16 outputs at 1 px/cycle through a 2-stage pipeline."""
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        timeline = simulate_digital(graph, system, Mapping(FIG5_MAPPING))
+        activity = timeline.activity_for("EdgeDetection")
+        assert activity.cycles == pytest.approx(256 + 1)
+
+    def test_fig5_latency_at_100mhz(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        timeline = simulate_digital(graph, system, Mapping(FIG5_MAPPING))
+        assert timeline.total_latency == pytest.approx(257 * 1e-8)
+
+    def test_memory_access_counts(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        timeline = simulate_digital(graph, system, Mapping(FIG5_MAPPING))
+        # Edge unit reads 3 px/cycle over 256 steady cycles.
+        assert timeline.memory_reads["LineBuffer"] == pytest.approx(3 * 256)
+        # Binning stage writes its 16x16 output into the line buffer.
+        assert timeline.memory_writes["LineBuffer"] == pytest.approx(256)
+
+    def test_memory_stage_attribution(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        timeline = simulate_digital(graph, system, Mapping(FIG5_MAPPING))
+        assert timeline.memory_stage["LineBuffer"] == "EdgeDetection"
+
+    def test_empty_digital_domain(self):
+        """Fully-analog pipelines have zero digital latency."""
+        source = PixelInput((8, 8, 1), name="Input")
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+        pixels = AnalogArray("Pixels")
+        pixels.add_component(ActivePixelSensor(), (8, 8))
+        system.add_analog_array(pixels)
+        graph = StageGraph([source])
+        timeline = simulate_digital(graph, system,
+                                    Mapping({"Input": "Pixels"}))
+        assert timeline.total_latency == 0.0
+        assert timeline.activities == []
+
+
+def _two_stage_digital(producer_out=(1, 1), consumer_in=(1, 1),
+                       memory_cls=FIFO, memory_size=(1, 64)):
+    """A 64x64 pipeline with two digital units linked by one memory."""
+    source = PixelInput((64, 64, 1), name="Input")
+    first = ProcessStage("First", input_size=(64, 64, 1),
+                         kernel=(1, 1, 1), stride=(1, 1, 1))
+    second = ProcessStage("Second", input_size=(64, 64, 1),
+                          kernel=(3, 3, 1), stride=(1, 1, 1), padding="same")
+    first.set_input_stage(source)
+    second.set_input_stage(first)
+
+    system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+    pixels = AnalogArray("Pixels")
+    pixels.add_component(ActivePixelSensor(), (64, 64))
+    adcs = AnalogArray("ADCs")
+    adcs.add_component(ColumnADC(), (1, 64))
+    pixels.set_output(adcs)
+    in_fifo = FIFO("InFifo", size=(1, 128), write_energy_per_word=0,
+                   read_energy_per_word=0, num_read_ports=4,
+                   num_write_ports=4)
+    if memory_cls is LineBuffer:
+        memory = LineBuffer("Mid", size=memory_size,
+                            write_energy_per_word=0, read_energy_per_word=0,
+                            num_write_ports=4)
+    else:
+        memory = memory_cls("Mid", size=memory_size,
+                            write_energy_per_word=0, read_energy_per_word=0,
+                            num_read_ports=8, num_write_ports=8)
+    adcs.set_output(in_fifo)
+    first_unit = ComputeUnit("FirstPE", input_pixels_per_cycle=(1, 1),
+                             output_pixels_per_cycle=producer_out,
+                             energy_per_cycle=1e-12)
+    second_unit = ComputeUnit("SecondPE", input_pixels_per_cycle=consumer_in,
+                              output_pixels_per_cycle=(1, 1),
+                              energy_per_cycle=1e-12)
+    first_unit.set_input(in_fifo).set_output(memory)
+    second_unit.set_input(memory)
+    second_unit.set_sink()
+    system.add_analog_array(pixels)
+    system.add_analog_array(adcs)
+    system.add_memory(in_fifo)
+    system.add_memory(memory)
+    system.add_compute_unit(first_unit)
+    system.add_compute_unit(second_unit)
+    mapping = {"Input": "Pixels", "First": "FirstPE", "Second": "SecondPE"}
+    return [source, first, second], system, mapping
+
+
+class TestStreamingOverlap:
+    def test_fifo_consumer_starts_almost_immediately(self):
+        stages, system, mapping = _two_stage_digital()
+        graph = StageGraph(stages)
+        timeline = simulate_digital(graph, system, Mapping(mapping))
+        first = timeline.activity_for("First")
+        second = timeline.activity_for("Second")
+        assert second.start < first.finish
+        assert second.start <= first.duration * 0.05
+
+    def test_line_buffer_consumer_waits_for_kernel_rows(self):
+        stages, system, mapping = _two_stage_digital(
+            consumer_in=(3, 1), memory_cls=LineBuffer, memory_size=(3, 64))
+        graph = StageGraph(stages)
+        timeline = simulate_digital(graph, system, Mapping(mapping))
+        first = timeline.activity_for("First")
+        second = timeline.activity_for("Second")
+        assert second.start == pytest.approx(first.duration * (2 / 64))
+
+    def test_double_buffer_consumer_waits_for_full_buffer(self):
+        stages, system, mapping = _two_stage_digital(
+            memory_cls=DoubleBuffer, memory_size=(64, 64))
+        graph = StageGraph(stages)
+        timeline = simulate_digital(graph, system, Mapping(mapping))
+        first = timeline.activity_for("First")
+        second = timeline.activity_for("Second")
+        assert second.start == pytest.approx(first.start + first.duration)
+
+    def test_hardware_reuse_serializes(self):
+        """Two stages mapped to one unit run back to back."""
+        source = PixelInput((16, 16, 1), name="Input")
+        a = ProcessStage("A", input_size=(16, 16, 1), kernel=(1, 1, 1),
+                         stride=(1, 1, 1))
+        b = ProcessStage("B", input_size=(16, 16, 1), kernel=(1, 1, 1),
+                         stride=(1, 1, 1))
+        a.set_input_stage(source)
+        b.set_input_stage(a)
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+        pixels = AnalogArray("Pixels")
+        pixels.add_component(ActivePixelSensor(), (16, 16))
+        adcs = AnalogArray("ADCs")
+        adcs.add_component(ColumnADC(), (1, 16))
+        pixels.set_output(adcs)
+        fifo = FIFO("F", size=(1, 256), write_energy_per_word=0,
+                    read_energy_per_word=0, num_read_ports=2,
+                    num_write_ports=2)
+        adcs.set_output(fifo)
+        unit = ComputeUnit("PE", input_pixels_per_cycle=(1, 1),
+                           output_pixels_per_cycle=(1, 1),
+                           energy_per_cycle=1e-12)
+        unit.set_input(fifo)
+        unit.set_sink()
+        system.add_analog_array(pixels)
+        system.add_analog_array(adcs)
+        system.add_memory(fifo)
+        system.add_compute_unit(unit)
+        graph = StageGraph([source, a, b])
+        timeline = simulate_digital(
+            graph, system,
+            Mapping({"Input": "Pixels", "A": "PE", "B": "PE"}))
+        first = timeline.activity_for("A")
+        second = timeline.activity_for("B")
+        assert second.start >= first.finish
+
+
+class TestSystolic:
+    def test_systolic_cycles_use_mac_count(self):
+        source = PixelInput((16, 16, 1), name="Input")
+        conv = Conv2DStage("Conv", input_size=(16, 16, 1), num_kernels=8,
+                           kernel_size=(3, 3))
+        conv.set_input_stage(source)
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+        pixels = AnalogArray("Pixels")
+        pixels.add_component(ActivePixelSensor(), (16, 16))
+        adcs = AnalogArray("ADCs")
+        adcs.add_component(ColumnADC(), (1, 16))
+        pixels.set_output(adcs)
+        buf = DoubleBuffer("Buf", size=(16, 16), write_energy_per_word=0,
+                           read_energy_per_word=0, num_read_ports=64,
+                           num_write_ports=64)
+        adcs.set_output(buf)
+        array = SystolicArray("SA", dimensions=(8, 8),
+                              energy_per_mac=1 * units.pJ, utilization=1.0)
+        array.set_input(buf)
+        array.set_sink()
+        system.add_analog_array(pixels)
+        system.add_analog_array(adcs)
+        system.add_memory(buf)
+        system.add_compute_unit(array)
+        graph = StageGraph([source, conv])
+        timeline = simulate_digital(
+            graph, system, Mapping({"Input": "Pixels", "Conv": "SA"}))
+        activity = timeline.activity_for("Conv")
+        assert activity.cycles == pytest.approx(
+            array.cycles_for_macs(conv.num_macs))
+        assert activity.energy == pytest.approx(
+            conv.num_macs * 1 * units.pJ)
+
+
+class TestCycleAccurate:
+    def test_matches_analytical_on_fig5(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        mapping = Mapping(FIG5_MAPPING)
+        analytical = simulate_digital(graph, system, mapping).total_latency
+        exact = cycle_accurate_latency(graph, system, mapping)
+        assert exact == pytest.approx(analytical, rel=0.05)
+
+    def test_empty_digital_domain_zero_latency(self):
+        source = PixelInput((8, 8, 1), name="Input")
+        system = SensorSystem("S", layers=[Layer(SENSOR_LAYER, 65)])
+        pixels = AnalogArray("Pixels")
+        pixels.add_component(ActivePixelSensor(), (8, 8))
+        system.add_analog_array(pixels)
+        graph = StageGraph([source])
+        assert cycle_accurate_latency(graph, system,
+                                      Mapping({"Input": "Pixels"})) == 0.0

@@ -1,0 +1,58 @@
+"""Tests for delay estimation (Sec. 4.1, Fig. 6)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, TimingError
+from repro.sim.delay import estimate_frame_timing
+
+
+class TestFrameTiming:
+    def test_fig6_arithmetic(self):
+        """3 * T_A + T_D = T_FR for two analog arrays + exposure."""
+        timing = estimate_frame_timing(frame_rate=30, digital_latency=2e-3,
+                                       num_analog_arrays=2)
+        frame_time = 1 / 30
+        assert timing.frame_time == pytest.approx(frame_time)
+        assert timing.num_analog_slots == 3
+        assert timing.analog_stage_delay == pytest.approx(
+            (frame_time - 2e-3) / 3)
+        assert (timing.analog_total_time + timing.digital_latency
+                == pytest.approx(frame_time))
+
+    def test_zero_digital_latency(self):
+        timing = estimate_frame_timing(frame_rate=60, digital_latency=0.0,
+                                       num_analog_arrays=1)
+        assert timing.analog_stage_delay == pytest.approx((1 / 60) / 2)
+
+    def test_higher_fps_shrinks_analog_delay(self):
+        slow = estimate_frame_timing(30, 1e-3, 2)
+        fast = estimate_frame_timing(120, 1e-3, 2)
+        assert fast.analog_stage_delay < slow.analog_stage_delay
+
+    def test_digital_overrun_raises_timing_error(self):
+        """The 're-design the accelerator' feedback."""
+        with pytest.raises(TimingError, match="re-design"):
+            estimate_frame_timing(frame_rate=1000, digital_latency=2e-3,
+                                  num_analog_arrays=2)
+
+    def test_no_analog_arrays_all_budget_to_exposure(self):
+        timing = estimate_frame_timing(frame_rate=30, digital_latency=0.0,
+                                       num_analog_arrays=0)
+        assert timing.num_analog_slots == 1
+        assert timing.analog_stage_delay == pytest.approx(1 / 30)
+
+    def test_custom_exposure_slots(self):
+        timing = estimate_frame_timing(frame_rate=30, digital_latency=0.0,
+                                       num_analog_arrays=2,
+                                       exposure_slots=0)
+        assert timing.num_analog_slots == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            estimate_frame_timing(0, 1e-3, 2)
+        with pytest.raises(ConfigurationError):
+            estimate_frame_timing(30, -1.0, 2)
+        with pytest.raises(ConfigurationError):
+            estimate_frame_timing(30, 1e-3, -1)
+        with pytest.raises(ConfigurationError):
+            estimate_frame_timing(30, 1e-3, 2, exposure_slots=-1)

@@ -1,0 +1,120 @@
+"""Tests for digital compute units (Eq. 15 inputs)."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.hw.digital.compute import ComputeUnit, SystolicArray
+from repro.hw.digital.memory import FIFO
+
+
+def _unit(**kwargs):
+    defaults = dict(input_pixels_per_cycle=(1, 3),
+                    output_pixels_per_cycle=(1, 1),
+                    energy_per_cycle=2 * units.pJ,
+                    num_stages=2)
+    defaults.update(kwargs)
+    return ComputeUnit("PE", **defaults)
+
+
+class TestComputeUnit:
+    def test_throughputs(self):
+        unit = _unit()
+        assert unit.input_throughput == 3
+        assert unit.output_throughput == 1
+
+    def test_multi_input_shapes(self):
+        unit = _unit(input_pixels_per_cycle=[(1, 1), (2, 2)])
+        assert unit.input_throughput == 5
+        assert len(unit.input_pixels_per_cycle) == 2
+
+    def test_active_cycles_include_pipeline_fill(self):
+        unit = _unit(num_stages=4)
+        assert unit.active_cycles(100) == pytest.approx(100 + 3)
+
+    def test_zero_output_means_zero_cycles(self):
+        assert _unit().active_cycles(0) == 0.0
+
+    def test_compute_energy(self):
+        unit = _unit()
+        assert unit.compute_energy(99) == pytest.approx(
+            (99 + 1) * 2 * units.pJ)
+
+    def test_cycle_time_from_clock(self):
+        unit = _unit(clock_hz=200 * units.MHz)
+        assert unit.cycle_time == pytest.approx(5e-9)
+
+    def test_wiring(self):
+        unit = _unit()
+        fifo = FIFO("F", size=(1, 8), write_energy_per_word=0,
+                    read_energy_per_word=0)
+        unit.set_input(fifo).set_output(fifo)
+        assert unit.input_memories == [fifo]
+        assert unit.output_memory is fifo
+
+    def test_double_output_rejected(self):
+        unit = _unit()
+        fifo = FIFO("F", size=(1, 8), write_energy_per_word=0,
+                    read_energy_per_word=0)
+        unit.set_output(fifo)
+        with pytest.raises(ConfigurationError):
+            unit.set_output(fifo)
+
+    def test_sink_flag(self):
+        unit = _unit()
+        assert not unit.is_sink
+        unit.set_sink()
+        assert unit.is_sink
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _unit(energy_per_cycle=-1.0)
+        with pytest.raises(ConfigurationError):
+            _unit(num_stages=0)
+        with pytest.raises(ConfigurationError):
+            _unit(clock_hz=0)
+        with pytest.raises(ConfigurationError):
+            _unit(output_pixels_per_cycle=(0, 1))
+
+
+class TestSystolicArray:
+    def test_macs_per_cycle(self):
+        array = SystolicArray("SA", dimensions=(16, 16),
+                              energy_per_mac=1 * units.pJ, utilization=1.0)
+        assert array.macs_per_cycle == pytest.approx(256)
+
+    def test_cycles_for_macs_includes_fill(self):
+        array = SystolicArray("SA", dimensions=(4, 4),
+                              energy_per_mac=1 * units.pJ, utilization=1.0,
+                              num_stages=2)
+        # fill = rows + cols + stages - 2 = 8
+        assert array.cycles_for_macs(160) == pytest.approx(10 + 8)
+
+    def test_zero_macs_zero_cycles(self):
+        array = SystolicArray("SA", dimensions=(4, 4), energy_per_mac=1e-12)
+        assert array.cycles_for_macs(0) == 0.0
+
+    def test_energy_for_macs_linear(self):
+        array = SystolicArray("SA", dimensions=(8, 8),
+                              energy_per_mac=2 * units.pJ)
+        assert array.energy_for_macs(1000) == pytest.approx(
+            1000 * 2 * units.pJ)
+
+    def test_utilization_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SystolicArray("SA", dimensions=(4, 4), energy_per_mac=1e-12,
+                          utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            SystolicArray("SA", dimensions=(4, 4), energy_per_mac=1e-12,
+                          utilization=1.5)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystolicArray("SA", dimensions=(0, 4), energy_per_mac=1e-12)
+        with pytest.raises(ConfigurationError):
+            SystolicArray("SA", dimensions=(4,), energy_per_mac=1e-12)
+
+    def test_negative_macs_rejected(self):
+        array = SystolicArray("SA", dimensions=(4, 4), energy_per_mac=1e-12)
+        with pytest.raises(ConfigurationError):
+            array.cycles_for_macs(-1)

@@ -1,0 +1,48 @@
+"""Tests for signal-domain compatibility rules."""
+
+import pytest
+
+from repro.hw.analog.domain import SignalDomain, compatible, requires_adc
+
+
+class TestSignalDomain:
+    def test_digital_is_not_analog(self):
+        assert not SignalDomain.DIGITAL.is_analog
+
+    def test_all_others_are_analog(self):
+        for domain in SignalDomain:
+            if domain is not SignalDomain.DIGITAL:
+                assert domain.is_analog
+
+
+class TestCompatibility:
+    def test_identical_domains_compatible(self):
+        for domain in SignalDomain:
+            assert compatible(domain, domain)
+
+    def test_charge_to_voltage_implicit(self):
+        """Footnote 1: the consumer's input cap converts Q->V for free."""
+        assert compatible(SignalDomain.CHARGE, SignalDomain.VOLTAGE)
+
+    def test_voltage_to_charge_needs_converter(self):
+        assert not compatible(SignalDomain.VOLTAGE, SignalDomain.CHARGE)
+
+    def test_voltage_to_current_needs_converter(self):
+        assert not compatible(SignalDomain.VOLTAGE, SignalDomain.CURRENT)
+
+    def test_analog_to_digital_needs_adc(self):
+        assert not compatible(SignalDomain.VOLTAGE, SignalDomain.DIGITAL)
+
+
+class TestRequiresAdc:
+    def test_voltage_to_digital(self):
+        assert requires_adc(SignalDomain.VOLTAGE, SignalDomain.DIGITAL)
+
+    def test_time_to_digital(self):
+        assert requires_adc(SignalDomain.TIME, SignalDomain.DIGITAL)
+
+    def test_digital_to_digital(self):
+        assert not requires_adc(SignalDomain.DIGITAL, SignalDomain.DIGITAL)
+
+    def test_analog_to_analog(self):
+        assert not requires_adc(SignalDomain.VOLTAGE, SignalDomain.CURRENT)

@@ -1,0 +1,27 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+_EXAMPLES = sorted(_EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", _EXAMPLES,
+                         ids=[p.stem for p in _EXAMPLES])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    """The deliverable floor: quickstart plus domain scenarios."""
+    names = {p.stem for p in _EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

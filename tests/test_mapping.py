@@ -1,0 +1,84 @@
+"""Tests for the algorithm-to-hardware mapping."""
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+
+from conftest import FIG5_MAPPING, build_fig5_stages, build_fig5_system
+
+
+class TestMappingBasics:
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping({})
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping({"": "PixelArray"})
+        with pytest.raises(MappingError):
+            Mapping({"Input": ""})
+
+    def test_unit_name_lookup(self):
+        mapping = Mapping(FIG5_MAPPING)
+        assert mapping.unit_name_for("Binning") == "PixelArray"
+
+    def test_unmapped_stage_lookup_fails(self):
+        mapping = Mapping(FIG5_MAPPING)
+        with pytest.raises(MappingError):
+            mapping.unit_name_for("Ghost")
+
+    def test_stages_on_expresses_hardware_reuse(self):
+        mapping = Mapping(FIG5_MAPPING)
+        assert sorted(mapping.stages_on("PixelArray")) == [
+            "Binning", "Input"]
+
+
+class TestValidation:
+    def test_valid_fig5_mapping(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        Mapping(FIG5_MAPPING).validate(graph, system)
+
+    def test_missing_stage_detected(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        incomplete = {k: v for k, v in FIG5_MAPPING.items()
+                      if k != "EdgeDetection"}
+        with pytest.raises(MappingError, match="unmapped"):
+            Mapping(incomplete).validate(graph, system)
+
+    def test_unknown_stage_detected(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        extra = dict(FIG5_MAPPING, Ghost="PixelArray")
+        with pytest.raises(MappingError, match="unknown stages"):
+            Mapping(extra).validate(graph, system)
+
+    def test_unknown_unit_detected(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        bad = dict(FIG5_MAPPING, EdgeDetection="GhostUnit")
+        with pytest.raises(Exception, match="no hardware unit"):
+            Mapping(bad).validate(graph, system)
+
+    def test_pixel_input_must_map_to_analog_array(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        bad = dict(FIG5_MAPPING, Input="EdgeUnit")
+        with pytest.raises(MappingError, match="analog array"):
+            Mapping(bad).validate(graph, system)
+
+    def test_stage_cannot_map_to_memory(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        bad = dict(FIG5_MAPPING, EdgeDetection="LineBuffer")
+        with pytest.raises(MappingError, match="compute unit"):
+            Mapping(bad).validate(graph, system)
+
+    def test_resolve_returns_unit_objects(self):
+        graph = StageGraph(build_fig5_stages())
+        system = build_fig5_system()
+        resolved = Mapping(FIG5_MAPPING).resolve(graph, system)
+        assert resolved["EdgeDetection"] is system.find_unit("EdgeUnit")

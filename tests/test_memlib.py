@@ -1,0 +1,154 @@
+"""Tests for the memory-technology substrate (SRAM, STT-RAM, DRAM)."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.memlib import DRAMModel, SRAMModel, STTRAMModel
+from repro.memlib.sttram import MIN_CAPACITY_BYTES
+
+
+class TestSRAMGeometry:
+    def test_total_cells(self):
+        sram = SRAMModel(capacity_bytes=64 * units.KB)
+        assert sram.total_cells == 64 * 1024 * 8
+
+    def test_geometry_covers_capacity(self):
+        sram = SRAMModel(capacity_bytes=16 * units.KB, word_bits=32)
+        assert sram.num_rows * sram.num_columns >= sram.total_cells
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SRAMModel(capacity_bytes=0)
+
+    def test_rejects_capacity_below_word(self):
+        with pytest.raises(ConfigurationError):
+            SRAMModel(capacity_bytes=4, word_bits=64)
+
+
+class TestSRAMEnergy:
+    def test_read_energy_order_of_magnitude(self):
+        """A 64 KB 65 nm macro reads at a few pJ/word — DESTINY territory."""
+        sram = SRAMModel(capacity_bytes=64 * units.KB, node_nm=65)
+        assert 0.1 * units.pJ < sram.read_energy_per_word < 50 * units.pJ
+
+    def test_write_costs_more_than_read(self):
+        sram = SRAMModel(capacity_bytes=64 * units.KB)
+        assert sram.write_energy_per_word > sram.read_energy_per_word
+
+    def test_bigger_macro_costs_more_per_access(self):
+        small = SRAMModel(capacity_bytes=4 * units.KB)
+        big = SRAMModel(capacity_bytes=1 * units.MB)
+        assert big.read_energy_per_word > small.read_energy_per_word
+
+    def test_advanced_node_cheaper_access(self):
+        old = SRAMModel(capacity_bytes=64 * units.KB, node_nm=65)
+        new = SRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        assert new.read_energy_per_word < old.read_energy_per_word
+        assert new.write_energy_per_word < old.write_energy_per_word
+
+    def test_per_byte_consistent_with_per_word(self):
+        sram = SRAMModel(capacity_bytes=64 * units.KB, word_bits=64)
+        assert sram.read_energy_per_byte == pytest.approx(
+            sram.read_energy_per_word / 8)
+
+
+class TestSRAMLeakage:
+    def test_leakage_scales_with_capacity(self):
+        small = SRAMModel(capacity_bytes=4 * units.KB)
+        big = SRAMModel(capacity_bytes=64 * units.KB)
+        assert big.leakage_power == pytest.approx(16 * small.leakage_power)
+
+    def test_65nm_leaks_more_than_22nm(self):
+        """The leakage anomaly driving the paper's Finding 1."""
+        at65 = SRAMModel(capacity_bytes=64 * units.KB, node_nm=65)
+        at22 = SRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        assert at65.leakage_power > 2 * at22.leakage_power
+
+    def test_65nm_leaks_more_than_130nm(self):
+        at65 = SRAMModel(capacity_bytes=64 * units.KB, node_nm=65)
+        at130 = SRAMModel(capacity_bytes=64 * units.KB, node_nm=130)
+        assert at65.leakage_power > at130.leakage_power
+
+    def test_leakage_order_of_magnitude(self):
+        """64 KB at 65 nm leaks in the hundreds of uW."""
+        sram = SRAMModel(capacity_bytes=64 * units.KB, node_nm=65)
+        assert 10 * units.uW < sram.leakage_power < 10 * units.mW
+
+
+class TestSRAMArea:
+    def test_area_scales_with_capacity(self):
+        small = SRAMModel(capacity_bytes=4 * units.KB)
+        big = SRAMModel(capacity_bytes=64 * units.KB)
+        assert big.area == pytest.approx(16 * small.area)
+
+    def test_area_scales_with_node(self):
+        at65 = SRAMModel(capacity_bytes=64 * units.KB, node_nm=65)
+        at22 = SRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        assert at22.area < at65.area
+
+    def test_describe_mentions_capacity(self):
+        sram = SRAMModel(capacity_bytes=64 * units.KB)
+        assert "64.0 KB" in sram.describe()
+
+
+class TestSTTRAM:
+    def test_rejects_tiny_macros(self):
+        """NVMExplorer cannot model Rhythmic's 2 KB memory (Sec. 6.2)."""
+        with pytest.raises(ConfigurationError, match="periphery"):
+            STTRAMModel(capacity_bytes=2 * units.KB)
+        assert MIN_CAPACITY_BYTES == 4 * units.KB
+
+    def test_write_much_more_expensive_than_read(self):
+        stt = STTRAMModel(capacity_bytes=64 * units.KB)
+        assert stt.write_energy_per_word > 3 * stt.read_energy_per_word
+
+    def test_leakage_nearly_zero_vs_sram(self):
+        """The property the 3D-In-STT configuration exploits."""
+        sram = SRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        stt = STTRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        assert stt.leakage_power < 0.05 * sram.leakage_power
+
+    def test_denser_than_sram(self):
+        sram = SRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        stt = STTRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        assert stt.area < sram.area
+
+    def test_read_energy_same_order_as_sram(self):
+        sram = SRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        stt = STTRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        assert 0.5 < stt.read_energy_per_word / sram.read_energy_per_word < 3
+
+    def test_per_byte_helpers(self):
+        stt = STTRAMModel(capacity_bytes=64 * units.KB, word_bits=64)
+        assert stt.write_energy_per_byte == pytest.approx(
+            stt.write_energy_per_word / 8)
+
+    def test_describe(self):
+        assert "STT-RAM" in STTRAMModel(capacity_bytes=8 * units.KB).describe()
+
+
+class TestDRAM:
+    def test_access_energy_linear_in_bytes(self):
+        dram = DRAMModel(capacity_bytes=8 * units.MB)
+        assert dram.access_energy(200) == pytest.approx(
+            2 * dram.access_energy(100))
+
+    def test_refresh_power_scales_with_capacity(self):
+        small = DRAMModel(capacity_bytes=1 * units.MB)
+        big = DRAMModel(capacity_bytes=8 * units.MB)
+        assert big.refresh_power == pytest.approx(8 * small.refresh_power)
+
+    def test_access_cheaper_than_mipi(self):
+        """Stacked DRAM hops must beat the 100 pJ/B MIPI link."""
+        dram = DRAMModel(capacity_bytes=8 * units.MB)
+        assert dram.read_energy_per_byte < 100 * units.pJ
+
+    def test_rejects_negative_bytes(self):
+        dram = DRAMModel(capacity_bytes=1 * units.MB)
+        with pytest.raises(ConfigurationError):
+            dram.access_energy(-1)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DRAMModel(capacity_bytes=-5)

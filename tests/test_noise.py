@@ -1,0 +1,170 @@
+"""Tests for the functional (noise-aware) simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.noise import (
+    DarkCurrentNoise,
+    FixedPatternNoise,
+    FunctionalPipeline,
+    FunctionalPixel,
+    PhotonShotNoise,
+    QuantizationNoise,
+    ReadNoise,
+    snr_db,
+    thermal_noise_sigma,
+)
+
+
+class TestPhotonShotNoise:
+    def test_poisson_statistics(self):
+        source = PhotonShotNoise(seed=1)
+        scene = np.full((400, 400), 1000.0)
+        noisy = source.apply(scene)
+        assert np.mean(noisy) == pytest.approx(1000.0, rel=0.01)
+        assert np.var(noisy) == pytest.approx(1000.0, rel=0.05)
+
+    def test_rejects_negative_signal(self):
+        with pytest.raises(ConfigurationError):
+            PhotonShotNoise().apply(np.array([-1.0]))
+
+    def test_reseed_reproducible(self):
+        source = PhotonShotNoise(seed=7)
+        scene = np.full((16, 16), 100.0)
+        first = source.apply(scene)
+        source.reseed(7)
+        second = source.apply(scene)
+        assert np.array_equal(first, second)
+
+
+class TestDarkCurrent:
+    def test_mean_scales_with_exposure(self):
+        short = DarkCurrentNoise(10.0, exposure_time=0.01)
+        long = DarkCurrentNoise(10.0, exposure_time=0.1)
+        assert long.mean_dark_electrons == pytest.approx(
+            10 * short.mean_dark_electrons)
+
+    def test_doubles_with_temperature(self):
+        """The thermal mechanism of Sec. 6.2: hotter stack, more noise."""
+        cool = DarkCurrentNoise(10.0, 0.033, temperature=300.0)
+        hot = DarkCurrentNoise(10.0, 0.033, temperature=307.0)
+        assert hot.mean_dark_electrons == pytest.approx(
+            2 * cool.mean_dark_electrons)
+
+    def test_adds_positive_bias(self):
+        source = DarkCurrentNoise(100.0, 1.0, seed=2)
+        scene = np.zeros((100, 100))
+        noisy = source.apply(scene)
+        assert np.mean(noisy) == pytest.approx(100.0, rel=0.05)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            DarkCurrentNoise(-1.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            DarkCurrentNoise(1.0, 0.0)
+
+
+class TestReadNoise:
+    def test_gaussian_sigma(self):
+        source = ReadNoise(5.0, seed=3)
+        scene = np.full((300, 300), 100.0)
+        noisy = source.apply(scene)
+        assert np.std(noisy - scene) == pytest.approx(5.0, rel=0.03)
+
+    def test_zero_sigma_is_identity(self):
+        source = ReadNoise(0.0)
+        scene = np.full((8, 8), 42.0)
+        assert np.array_equal(source.apply(scene), scene)
+
+
+class TestFixedPatternNoise:
+    def test_pattern_is_static_across_frames(self):
+        source = FixedPatternNoise(offset_sigma_electrons=3.0, seed=4)
+        scene = np.full((32, 32), 100.0)
+        first = source.apply(scene)
+        second = source.apply(scene)
+        assert np.array_equal(first, second)
+
+    def test_gain_mismatch_scales_with_signal(self):
+        source = FixedPatternNoise(gain_sigma_fraction=0.05, seed=5)
+        dim = source.apply(np.full((64, 64), 100.0))
+        bright = source.apply(np.full((64, 64), 1000.0))
+        assert np.std(bright) == pytest.approx(10 * np.std(dim), rel=0.01)
+
+
+class TestQuantization:
+    def test_lsb_size(self):
+        adc = QuantizationNoise(bits=10, full_scale_electrons=1024.0)
+        assert adc.lsb_electrons == pytest.approx(1.0)
+
+    def test_quantizes_to_codes(self):
+        adc = QuantizationNoise(bits=2, full_scale_electrons=4.0)
+        out = adc.apply(np.array([0.4, 1.6, 3.9, 10.0]))
+        assert np.array_equal(out, np.array([0.0, 2.0, 4.0, 4.0]))
+
+    def test_more_bits_less_error(self):
+        scene = np.linspace(0, 1000, 1000)
+        coarse = QuantizationNoise(bits=4, full_scale_electrons=1000.0)
+        fine = QuantizationNoise(bits=12, full_scale_electrons=1000.0)
+        coarse_err = np.abs(coarse.apply(scene) - scene).mean()
+        fine_err = np.abs(fine.apply(scene) - scene).mean()
+        assert fine_err < coarse_err / 10
+
+
+class TestThermalNoiseSigma:
+    def test_links_eq6_to_electrons(self):
+        sigma_e = thermal_noise_sigma(10 * units.fF,
+                                      conversion_gain_uv_per_e=50.0)
+        sigma_v = units.thermal_noise_voltage(10 * units.fF)
+        assert sigma_e == pytest.approx(sigma_v / 50e-6)
+
+    def test_rejects_bad_gain(self):
+        with pytest.raises(ConfigurationError):
+            thermal_noise_sigma(10 * units.fF, conversion_gain_uv_per_e=0.0)
+
+
+class TestFunctionalPipeline:
+    def _pipeline(self, **pixel_kwargs):
+        pixel = FunctionalPixel(**pixel_kwargs)
+        return FunctionalPipeline(pixel, exposure_time=1 / 30, seed=11)
+
+    def test_capture_preserves_mean_signal(self):
+        pipeline = self._pipeline()
+        scene = np.full((64, 64), 2000.0)
+        captured = pipeline.capture(scene)
+        assert np.mean(captured) == pytest.approx(2000.0, rel=0.05)
+
+    def test_snr_improves_with_light(self):
+        """Shot-noise-limited imaging: SNR grows with illumination."""
+        pipeline = self._pipeline()
+        assert pipeline.measure_snr(5000) > pipeline.measure_snr(100)
+
+    def test_hotter_sensor_lower_snr_in_the_dark(self):
+        """The Sec. 6.2 thermal argument made quantitative."""
+        cool = self._pipeline(temperature=300.0,
+                              dark_current_e_per_s=2000.0)
+        hot = self._pipeline(temperature=321.0,
+                             dark_current_e_per_s=2000.0)
+        assert hot.measure_snr(50) < cool.measure_snr(50)
+
+    def test_dynamic_range_reasonable(self):
+        """A healthy CIS pixel has 50-80 dB of dynamic range."""
+        dr = self._pipeline().dynamic_range_db()
+        assert 50 < dr < 90
+
+    def test_rejects_negative_scene(self):
+        with pytest.raises(ConfigurationError):
+            self._pipeline().capture(np.array([-1.0]))
+
+
+class TestSnrDb:
+    def test_20db_per_decade(self):
+        assert snr_db(1000, 10) == pytest.approx(40.0)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ConfigurationError):
+            snr_db(0, 1)
+        with pytest.raises(ConfigurationError):
+            snr_db(1, 0)

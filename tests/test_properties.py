@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.energy.report import Category, EnergyEntry, EnergyReport
+from repro.hw.analog.adc_fom import adc_energy_per_conversion, walden_fom
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.cells import DynamicCell, StaticCell
+from repro.hw.analog.components import ColumnADC
+from repro.hw.digital.memory import FIFO
+from repro.memlib import SRAMModel
+from repro.sim.delay import estimate_frame_timing
+from repro.sw.dag import StageGraph
+from repro.sw.stage import PixelInput, ProcessStage
+from repro.sw.stencil import stencil_ops, stencil_output_size
+from repro.tech import SUPPORTED_NODES, scale_energy, scale_leakage_power
+from repro.exceptions import TimingError
+
+nodes = st.sampled_from(SUPPORTED_NODES)
+dims = st.integers(min_value=1, max_value=256)
+small_dims = st.integers(min_value=1, max_value=16)
+
+
+class TestStencilProperties:
+    @given(in_h=dims, in_w=dims, k=small_dims, s=small_dims)
+    def test_valid_output_never_exceeds_input(self, in_h, in_w, k, s):
+        if k > in_h or k > in_w:
+            return
+        out = stencil_output_size((in_h, in_w, 1), (k, k, 1), (s, s, 1))
+        assert 1 <= out[0] <= in_h
+        assert 1 <= out[1] <= in_w
+
+    @given(in_h=dims, in_w=dims, k=small_dims, s=small_dims)
+    def test_same_padding_is_ceil_division(self, in_h, in_w, k, s):
+        if k > in_h or k > in_w:
+            return
+        out = stencil_output_size((in_h, in_w, 1), (k, k, 1), (s, s, 1),
+                                  padding="same")
+        assert out[0] == -(-in_h // s)
+        assert out[1] == -(-in_w // s)
+
+    @given(out_h=dims, out_w=dims, k=small_dims)
+    def test_ops_equal_outputs_times_kernel_volume(self, out_h, out_w, k):
+        ops = stencil_ops((out_h, out_w, 1), (k, k, 1))
+        assert ops == out_h * out_w * k * k
+
+    @given(in_h=dims, k=small_dims)
+    def test_stride_one_valid_conv_arithmetic(self, in_h, k):
+        if k > in_h:
+            return
+        out = stencil_output_size((in_h, in_h, 1), (k, k, 1), (1, 1, 1))
+        assert out[0] == in_h - k + 1
+
+
+class TestThermalNoiseProperties:
+    @given(bits=st.integers(min_value=1, max_value=16),
+           swing=st.floats(min_value=0.1, max_value=3.3))
+    def test_sized_capacitor_meets_the_noise_budget(self, bits, swing):
+        """Eq. 6 invariant: 3*sigma(kT/C) == LSB/2 at the sized C."""
+        capacitance = units.capacitance_for_resolution(swing, bits)
+        sigma = units.thermal_noise_voltage(capacitance)
+        lsb = swing / 2 ** bits
+        assert 3 * sigma == pytest.approx(lsb / 2, rel=1e-9)
+
+    @given(bits=st.integers(min_value=1, max_value=15),
+           swing=st.floats(min_value=0.1, max_value=3.3))
+    def test_one_extra_bit_quadruples_capacitance(self, bits, swing):
+        low = units.capacitance_for_resolution(swing, bits)
+        high = units.capacitance_for_resolution(swing, bits + 1)
+        assert high == pytest.approx(4 * low, rel=1e-9)
+
+
+class TestCellProperties:
+    @given(caps=st.lists(
+        st.tuples(st.floats(min_value=1e-16, max_value=1e-11),
+                  st.floats(min_value=0.0, max_value=3.3)),
+        min_size=1, max_size=8))
+    def test_dynamic_energy_is_sum_cv2(self, caps):
+        cell = DynamicCell("c", caps)
+        expected = sum(c * v ** 2 for c, v in caps)
+        assert cell.energy(1e-6) == pytest.approx(expected)
+
+    @given(load=st.floats(min_value=1e-15, max_value=1e-11),
+           swing=st.floats(min_value=0.01, max_value=2.0),
+           vdda=st.floats(min_value=0.5, max_value=3.3),
+           delay=st.floats(min_value=1e-9, max_value=1e-2))
+    def test_direct_drive_energy_is_delay_invariant(self, load, swing,
+                                                    vdda, delay):
+        """Eq. 9: E = Cload * Vswing * Vdda regardless of speed."""
+        cell = StaticCell.direct_drive("sf", load, swing, vdda=vdda)
+        assert cell.energy(delay) == pytest.approx(load * swing * vdda)
+
+    @given(load=st.floats(min_value=1e-15, max_value=1e-12),
+           gain=st.floats(min_value=0.5, max_value=10.0),
+           delay=st.floats(min_value=1e-8, max_value=1e-3),
+           hold_factor=st.floats(min_value=1.0, max_value=1e4))
+    def test_gm_id_energy_linear_in_hold_time(self, load, gain, delay,
+                                              hold_factor):
+        cell = StaticCell.gm_id_biased("amp", load, gain)
+        base = cell.energy(delay, static_time=delay)
+        held = cell.energy(delay, static_time=delay * hold_factor)
+        assert held == pytest.approx(base * hold_factor, rel=1e-9)
+
+
+class TestScalingProperties:
+    @given(a=nodes, b=nodes)
+    def test_energy_scaling_reversible(self, a, b):
+        there = scale_energy(1.0, a, b)
+        back = scale_energy(there, b, a)
+        assert back == pytest.approx(1.0, rel=1e-12)
+
+    @given(a=nodes, b=nodes, c=nodes)
+    def test_energy_scaling_transitive(self, a, b, c):
+        via = scale_energy(scale_energy(1.0, a, b), b, c)
+        direct = scale_energy(1.0, a, c)
+        assert via == pytest.approx(direct, rel=1e-12)
+
+    @given(a=nodes, b=nodes)
+    def test_leakage_scaling_reversible(self, a, b):
+        there = scale_leakage_power(1.0, a, b)
+        assert scale_leakage_power(there, b, a) == pytest.approx(1.0)
+
+    @given(node=nodes)
+    def test_scaling_factors_positive(self, node):
+        assert scale_energy(1.0, 65, node) > 0
+
+
+class TestMemlibProperties:
+    @settings(max_examples=30)
+    @given(kb=st.integers(min_value=1, max_value=4096),
+           node=nodes)
+    def test_sram_scalars_positive(self, kb, node):
+        sram = SRAMModel(capacity_bytes=kb * units.KB, node_nm=node)
+        assert sram.read_energy_per_word > 0
+        assert sram.write_energy_per_word > sram.read_energy_per_word
+        assert sram.leakage_power > 0
+        assert sram.area > 0
+
+    @settings(max_examples=30)
+    @given(kb=st.integers(min_value=1, max_value=2048))
+    def test_sram_leakage_linear_in_capacity(self, kb):
+        small = SRAMModel(capacity_bytes=kb * units.KB)
+        double = SRAMModel(capacity_bytes=2 * kb * units.KB)
+        assert double.leakage_power == pytest.approx(
+            2 * small.leakage_power)
+
+
+class TestFomProperties:
+    @given(rate=st.floats(min_value=1e3, max_value=1e10))
+    def test_fom_positive(self, rate):
+        assert walden_fom(rate) > 0
+
+    @given(rate=st.floats(min_value=1e3, max_value=1e9),
+           bits=st.integers(min_value=1, max_value=14))
+    def test_conversion_energy_exponential_in_bits(self, rate, bits):
+        single = adc_energy_per_conversion(rate, bits)
+        double = adc_energy_per_conversion(rate, bits + 1)
+        assert double == pytest.approx(2 * single, rel=1e-9)
+
+
+class TestArrayProperties:
+    @settings(max_examples=30)
+    @given(ops=st.floats(min_value=1.0, max_value=1e7),
+           count=st.integers(min_value=1, max_value=4096))
+    def test_eq3_access_counts(self, ops, count):
+        array = AnalogArray("A")
+        array.add_component(ColumnADC(energy_per_conversion=1e-12),
+                            (1, count))
+        accesses = array.component_access_counts(ops)
+        assert accesses["ADC"] == pytest.approx(ops / count)
+
+    @settings(max_examples=30)
+    @given(ops=st.floats(min_value=1.0, max_value=1e6),
+           scale=st.integers(min_value=2, max_value=10))
+    def test_energy_linear_in_ops_at_fixed_per_access_energy(self, ops,
+                                                             scale):
+        array = AnalogArray("A")
+        array.add_component(ColumnADC(energy_per_conversion=1e-12), (1, 8))
+        single = array.energy(ops, 1e-3)
+        scaled = array.energy(ops * scale, 1e-3)
+        assert scaled == pytest.approx(single * scale, rel=1e-9)
+
+
+class TestMemoryProperties:
+    @settings(max_examples=30)
+    @given(pixels=st.floats(min_value=0, max_value=1e7),
+           energy=st.floats(min_value=0, max_value=1e-11),
+           packing=st.integers(min_value=1, max_value=16))
+    def test_fifo_energy_linear_and_packed(self, pixels, energy, packing):
+        fifo = FIFO("F", size=(1, 64),
+                    write_energy_per_word=energy,
+                    read_energy_per_word=energy,
+                    pixels_per_write_word=packing)
+        assert fifo.write_energy(pixels) == pytest.approx(
+            pixels / packing * energy)
+
+
+class TestTimingProperties:
+    @given(fps=st.floats(min_value=1.0, max_value=10000.0),
+           latency_fraction=st.floats(min_value=0.0, max_value=0.95),
+           arrays=st.integers(min_value=0, max_value=8))
+    def test_frame_budget_identity(self, fps, latency_fraction, arrays):
+        """N_slots * T_A + T_D == T_FR always holds (Fig. 6)."""
+        frame_time = 1.0 / fps
+        digital = frame_time * latency_fraction
+        timing = estimate_frame_timing(fps, digital, arrays)
+        assert (timing.analog_total_time + timing.digital_latency
+                == pytest.approx(timing.frame_time, rel=1e-9))
+
+    @given(fps=st.floats(min_value=1.0, max_value=1000.0),
+           overrun=st.floats(min_value=1.0, max_value=10.0))
+    def test_digital_overrun_always_rejected(self, fps, overrun):
+        frame_time = 1.0 / fps
+        with pytest.raises(TimingError):
+            estimate_frame_timing(fps, frame_time * overrun, 2)
+
+
+class TestDagProperties:
+    @settings(max_examples=30)
+    @given(length=st.integers(min_value=1, max_value=12))
+    def test_linear_chain_topological_order(self, length):
+        source = PixelInput((16, 16, 1), name="Input")
+        stages = [source]
+        previous = source
+        for index in range(length):
+            stage = ProcessStage(f"S{index}", input_size=(16, 16, 1),
+                                 kernel=(1, 1, 1), stride=(1, 1, 1))
+            stage.set_input_stage(previous)
+            stages.append(stage)
+            previous = stage
+        graph = StageGraph(stages)
+        order = [s.name for s in graph.topological_order]
+        for index in range(length):
+            assert order.index(f"S{index}") > order.index("Input")
+            if index:
+                assert order.index(f"S{index}") > order.index(
+                    f"S{index - 1}")
+        assert [s.name for s in graph.sinks] == [f"S{length - 1}"]
+
+
+class TestReportProperties:
+    @settings(max_examples=30)
+    @given(energies=st.lists(st.floats(min_value=0, max_value=1e-3),
+                             min_size=1, max_size=20),
+           fps=st.floats(min_value=1, max_value=1000))
+    def test_total_is_sum_of_categories(self, energies, fps):
+        report = EnergyReport(system_name="S", frame_rate=fps,
+                              frame_time=1 / fps, digital_latency=0.0,
+                              analog_stage_delay=1e-3)
+        categories = list(Category)
+        for index, energy in enumerate(energies):
+            report.add(EnergyEntry(f"c{index}",
+                                   categories[index % len(categories)],
+                                   "sensor", energy))
+        assert sum(report.by_category().values()) == pytest.approx(
+            report.total_energy)
+        assert report.total_power == pytest.approx(
+            report.total_energy * fps)

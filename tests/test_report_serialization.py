@@ -1,0 +1,48 @@
+"""Tests for energy-report serialization."""
+
+import json
+
+import pytest
+
+from repro.energy.report import Category, EnergyEntry, EnergyReport
+from repro.exceptions import ConfigurationError
+from repro.usecases.fig5 import run_fig5
+
+
+class TestRoundTrip:
+    def test_fig5_round_trip(self):
+        original = run_fig5()
+        restored = EnergyReport.from_dict(original.to_dict())
+        assert restored.system_name == original.system_name
+        assert restored.total_energy == pytest.approx(
+            original.total_energy)
+        assert restored.by_category() == original.by_category()
+        assert restored.by_stage() == original.by_stage()
+
+    def test_json_serializable(self):
+        payload = run_fig5().to_dict()
+        text = json.dumps(payload)
+        assert "PixelArray/BinningPixel" in text
+
+    def test_entries_preserve_all_fields(self):
+        report = EnergyReport(system_name="S", frame_rate=30,
+                              frame_time=1 / 30, digital_latency=1e-6,
+                              analog_stage_delay=1e-3)
+        report.add(EnergyEntry("X", Category.SEN, "sensor", 1e-9,
+                               stage="Input"))
+        restored = EnergyReport.from_dict(report.to_dict())
+        entry = restored.entries[0]
+        assert entry.name == "X"
+        assert entry.category is Category.SEN
+        assert entry.layer == "sensor"
+        assert entry.stage == "Input"
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            EnergyReport.from_dict({"system": "S"})
+
+    def test_unknown_category_rejected(self):
+        payload = run_fig5().to_dict()
+        payload["entries"][0]["category"] = "WARP-DRIVE"
+        with pytest.raises(ConfigurationError, match="malformed"):
+            EnergyReport.from_dict(payload)

@@ -1,0 +1,113 @@
+"""Tests for the stage DAG validation (the 'well-formed dependencies' check)."""
+
+import pytest
+
+from repro.exceptions import DAGError
+from repro.sw.dag import StageGraph
+from repro.sw.stage import PixelInput, ProcessStage
+
+
+def _chain():
+    source = PixelInput((32, 32, 1), name="Input")
+    binning = ProcessStage("Bin", input_size=(32, 32, 1),
+                           kernel=(2, 2, 1), stride=(2, 2, 1))
+    edge = ProcessStage("Edge", input_size=(16, 16, 1),
+                        kernel=(3, 3, 1), stride=(1, 1, 1), padding="same")
+    binning.set_input_stage(source)
+    edge.set_input_stage(binning)
+    return [source, binning, edge]
+
+
+class TestConstruction:
+    def test_topological_order_respects_dependencies(self):
+        graph = StageGraph(_chain())
+        names = [s.name for s in graph.topological_order]
+        assert names.index("Input") < names.index("Bin") < names.index("Edge")
+
+    def test_sources_and_sinks(self):
+        graph = StageGraph(_chain())
+        assert [s.name for s in graph.sources] == ["Input"]
+        assert [s.name for s in graph.sinks] == ["Edge"]
+
+    def test_len_and_contains(self):
+        graph = StageGraph(_chain())
+        assert len(graph) == 3
+        assert "Bin" in graph
+        assert "Nope" not in graph
+
+    def test_get_unknown_stage(self):
+        graph = StageGraph(_chain())
+        with pytest.raises(DAGError):
+            graph.get("Nope")
+
+    def test_consumers(self):
+        graph = StageGraph(_chain())
+        source = graph.get("Input")
+        assert [s.name for s in graph.consumers(source)] == ["Bin"]
+
+    def test_edges(self):
+        graph = StageGraph(_chain())
+        edges = {(p.name, c.name) for p, c in graph.edges()}
+        assert edges == {("Input", "Bin"), ("Bin", "Edge")}
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(DAGError):
+            StageGraph([])
+
+    def test_duplicate_names_rejected(self):
+        a = PixelInput((8, 8, 1), name="X")
+        b = PixelInput((8, 8, 1), name="X")
+        with pytest.raises(DAGError, match="duplicate"):
+            StageGraph([a, b])
+
+    def test_cycle_detected(self):
+        source = PixelInput((8, 8, 1), name="Input")
+        a = ProcessStage("A", input_size=(8, 8, 1), kernel=(1, 1, 1),
+                         stride=(1, 1, 1))
+        b = ProcessStage("B", input_size=(8, 8, 1), kernel=(1, 1, 1),
+                         stride=(1, 1, 1))
+        a.set_input_stage(source)
+        a.set_input_stage(b)
+        b.set_input_stage(a)
+        with pytest.raises(DAGError, match="cycle"):
+            StageGraph([source, a, b])
+
+    def test_missing_producer_rejected(self):
+        source = PixelInput((8, 8, 1), name="Input")
+        stage = ProcessStage("A", input_size=(8, 8, 1), kernel=(1, 1, 1),
+                             stride=(1, 1, 1))
+        stage.set_input_stage(source)
+        with pytest.raises(DAGError, match="not part of the graph"):
+            StageGraph([stage])
+
+    def test_shape_mismatch_rejected(self):
+        source = PixelInput((8, 8, 1), name="Input")
+        stage = ProcessStage("A", input_size=(16, 16, 1), kernel=(1, 1, 1),
+                             stride=(1, 1, 1))
+        stage.set_input_stage(source)
+        with pytest.raises(DAGError, match="expects input"):
+            StageGraph([source, stage])
+
+    def test_pixel_input_required(self):
+        stage = ProcessStage("A", input_size=(8, 8, 1), kernel=(1, 1, 1),
+                             stride=(1, 1, 1))
+        with pytest.raises(DAGError, match="PixelInput"):
+            StageGraph([stage])
+
+    def test_multi_input_stage(self):
+        """Frame subtraction consumes two producers of identical shape."""
+        source = PixelInput((8, 8, 1), name="Input")
+        down_a = ProcessStage("A", input_size=(8, 8, 1), kernel=(1, 1, 1),
+                              stride=(1, 1, 1))
+        down_b = ProcessStage("B", input_size=(8, 8, 1), kernel=(1, 1, 1),
+                              stride=(1, 1, 1))
+        sub = ProcessStage("Sub", input_size=(8, 8, 1), kernel=(1, 1, 1),
+                           stride=(1, 1, 1))
+        down_a.set_input_stage(source)
+        down_b.set_input_stage(source)
+        sub.set_input_stage(down_a)
+        sub.set_input_stage(down_b)
+        graph = StageGraph([source, down_a, down_b, sub])
+        assert [s.name for s in graph.sinks] == ["Sub"]

@@ -1,0 +1,157 @@
+"""Tests for algorithm stages."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sw.stage import (
+    Conv2DStage,
+    DepthwiseConv2DStage,
+    FullyConnectedStage,
+    PixelInput,
+    ProcessStage,
+)
+
+
+class TestPixelInput:
+    def test_output_statistics(self):
+        source = PixelInput((400, 640, 1), name="Input")
+        assert source.output_pixels == 400 * 640
+        assert source.output_bytes == 400 * 640  # 8-bit pixels
+        assert source.total_ops == 400 * 640
+
+    def test_higher_bit_depth(self):
+        source = PixelInput((100, 100, 1), name="In", bits_per_pixel=12)
+        assert source.output_bytes == pytest.approx(100 * 100 * 1.5)
+
+    def test_cannot_have_producers(self):
+        source = PixelInput((8, 8, 1))
+        other = PixelInput((8, 8, 1), name="Other")
+        with pytest.raises(ConfigurationError):
+            source.set_input_stage(other)
+
+
+class TestProcessStage:
+    def test_derived_output_size(self):
+        stage = ProcessStage("Bin", input_size=(32, 32, 1),
+                             kernel=(2, 2, 1), stride=(2, 2, 1))
+        assert stage.output_size == (16, 16, 1)
+
+    def test_declared_output_size_checked(self):
+        with pytest.raises(ConfigurationError, match="does not match"):
+            ProcessStage("Bad", input_size=(32, 32, 1), kernel=(2, 2, 1),
+                         stride=(2, 2, 1), output_size=(8, 8, 1))
+
+    def test_total_ops_default_kernel_volume(self):
+        stage = ProcessStage("Bin", input_size=(32, 32, 1),
+                             kernel=(2, 2, 1), stride=(2, 2, 1))
+        assert stage.total_ops == 16 * 16 * 4
+
+    def test_ops_per_output_override(self):
+        stage = ProcessStage("Cmp", input_size=(32, 32, 1),
+                             kernel=(1, 1, 1), stride=(1, 1, 1),
+                             ops_per_output=3.0)
+        assert stage.total_ops == 32 * 32 * 3
+
+    def test_same_padding(self):
+        stage = ProcessStage("Edge", input_size=(16, 16, 1),
+                             kernel=(3, 3, 1), stride=(1, 1, 1),
+                             padding="same")
+        assert stage.output_size == (16, 16, 1)
+
+    def test_input_reads(self):
+        stage = ProcessStage("Edge", input_size=(16, 16, 1),
+                             kernel=(3, 3, 1), stride=(1, 1, 1),
+                             padding="same")
+        assert stage.input_reads == 16 * 16 * 9
+
+    def test_output_compression(self):
+        stage = ProcessStage("ROI", input_size=(16, 16, 1),
+                             kernel=(1, 1, 1), stride=(1, 1, 1),
+                             output_compression=0.5)
+        assert stage.output_bytes == pytest.approx(16 * 16 * 0.5)
+
+    def test_compression_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ProcessStage("Bad", input_size=(8, 8, 1), kernel=(1, 1, 1),
+                         stride=(1, 1, 1), output_compression=0.0)
+
+    def test_dag_wiring(self):
+        source = PixelInput((32, 32, 1))
+        stage = ProcessStage("Bin", input_size=(32, 32, 1),
+                             kernel=(2, 2, 1), stride=(2, 2, 1))
+        stage.set_input_stage(source)
+        assert stage.input_stages == [source]
+
+    def test_self_loop_rejected(self):
+        stage = ProcessStage("Bin", input_size=(32, 32, 1),
+                             kernel=(2, 2, 1), stride=(2, 2, 1))
+        with pytest.raises(ConfigurationError):
+            stage.set_input_stage(stage)
+
+    def test_duplicate_edge_rejected(self):
+        source = PixelInput((32, 32, 1))
+        stage = ProcessStage("Bin", input_size=(32, 32, 1),
+                             kernel=(2, 2, 1), stride=(2, 2, 1))
+        stage.set_input_stage(source)
+        with pytest.raises(ConfigurationError):
+            stage.set_input_stage(source)
+
+
+class TestConv2D:
+    def test_output_channels_follow_kernels(self):
+        conv = Conv2DStage("C1", input_size=(32, 32, 3), num_kernels=16,
+                           kernel_size=(3, 3))
+        assert conv.output_size == (32, 32, 16)
+
+    def test_mac_count(self):
+        conv = Conv2DStage("C1", input_size=(32, 32, 3), num_kernels=16,
+                           kernel_size=(3, 3))
+        assert conv.num_macs == 32 * 32 * 16 * 3 * 3 * 3
+
+    def test_strided_conv(self):
+        conv = Conv2DStage("C1", input_size=(32, 32, 1), num_kernels=8,
+                           kernel_size=(3, 3), stride=(2, 2, 1))
+        assert conv.output_size == (16, 16, 8)
+
+    def test_weight_bytes(self):
+        conv = Conv2DStage("C1", input_size=(32, 32, 3), num_kernels=16,
+                           kernel_size=(3, 3))
+        assert conv.weight_bytes == 3 * 3 * 3 * 16
+
+    def test_rejects_zero_kernels(self):
+        with pytest.raises(ConfigurationError):
+            Conv2DStage("C1", input_size=(32, 32, 3), num_kernels=0,
+                        kernel_size=(3, 3))
+
+
+class TestDepthwiseConv2D:
+    def test_channels_preserved(self):
+        dw = DepthwiseConv2DStage("DW", input_size=(32, 32, 16),
+                                  kernel_size=(3, 3))
+        assert dw.output_size == (32, 32, 16)
+
+    def test_macs_much_cheaper_than_full_conv(self):
+        dw = DepthwiseConv2DStage("DW", input_size=(32, 32, 16),
+                                  kernel_size=(3, 3))
+        conv = Conv2DStage("C", input_size=(32, 32, 16), num_kernels=16,
+                           kernel_size=(3, 3))
+        assert dw.num_macs * 15 < conv.num_macs
+
+
+class TestFullyConnected:
+    def test_macs(self):
+        fc = FullyConnectedStage("FC", in_features=128, out_features=10)
+        assert fc.num_macs == 1280
+
+    def test_output_size(self):
+        fc = FullyConnectedStage("FC", in_features=128, out_features=10)
+        assert fc.output_size == (1, 1, 10)
+        assert fc.output_pixels == 10
+
+    def test_weight_bytes(self):
+        fc = FullyConnectedStage("FC", in_features=128, out_features=10)
+        assert fc.weight_bytes == 1280
+
+    def test_rejects_bad_features(self):
+        with pytest.raises(ConfigurationError):
+            FullyConnectedStage("FC", in_features=0, out_features=10)

@@ -1,0 +1,68 @@
+"""Tests for stencil arithmetic."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sw.stencil import (
+    stencil_ops,
+    stencil_output_size,
+    stencil_reads,
+    volume,
+)
+
+
+class TestOutputSize:
+    def test_valid_convolution(self):
+        assert stencil_output_size((32, 32, 1), (3, 3, 1), (1, 1, 1)) \
+            == (30, 30, 1)
+
+    def test_same_padding_keeps_size(self):
+        assert stencil_output_size((32, 32, 1), (3, 3, 1), (1, 1, 1),
+                                   padding="same") == (32, 32, 1)
+
+    def test_binning(self):
+        assert stencil_output_size((32, 32, 1), (2, 2, 1), (2, 2, 1)) \
+            == (16, 16, 1)
+
+    def test_same_padding_with_stride(self):
+        assert stencil_output_size((31, 31, 1), (3, 3, 1), (2, 2, 1),
+                                   padding="same") == (16, 16, 1)
+
+    def test_two_dim_sizes_get_implicit_channel(self):
+        assert stencil_output_size((32, 32), (2, 2), (2, 2)) == (16, 16, 1)
+
+    def test_kernel_larger_than_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stencil_output_size((2, 2, 1), (3, 3, 1), (1, 1, 1))
+
+    def test_invalid_padding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stencil_output_size((8, 8, 1), (3, 3, 1), (1, 1, 1),
+                                padding="reflect")
+
+    def test_non_positive_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stencil_output_size((0, 32, 1), (3, 3, 1), (1, 1, 1))
+
+
+class TestOps:
+    def test_conv_macs(self):
+        """A 3x3 conv over a 30x30 output = 8100 MACs."""
+        assert stencil_ops((30, 30, 1), (3, 3, 1)) == 8100
+
+    def test_ops_per_element_multiplier(self):
+        assert stencil_ops((10, 10, 1), (2, 2, 1), ops_per_element=2.0) \
+            == 800
+
+    def test_rejects_non_positive_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            stencil_ops((10, 10, 1), (2, 2, 1), ops_per_element=0)
+
+
+class TestReadsAndVolume:
+    def test_reads_without_reuse(self):
+        assert stencil_reads((16, 16, 1), (3, 3, 1)) == 16 * 16 * 9
+
+    def test_volume(self):
+        assert volume((4, 5, 3)) == 60
+        assert volume((4, 5)) == 20

@@ -1,0 +1,106 @@
+"""Tests for the process-technology scaling substrate."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.tech import (
+    NODE_TABLE,
+    REFERENCE_MAC_ENERGY_65NM,
+    SUPPORTED_NODES,
+    get_node,
+    mac_energy,
+    scale_area,
+    scale_delay,
+    scale_energy,
+    scale_leakage_power,
+)
+
+
+class TestNodeTable:
+    def test_reference_node_is_normalized(self):
+        node = get_node(65)
+        assert node.energy_factor == pytest.approx(1.0)
+        assert node.leakage_factor == pytest.approx(1.0)
+        assert node.area_factor == pytest.approx(1.0)
+        assert node.delay_factor == pytest.approx(1.0)
+
+    def test_all_common_cis_nodes_supported(self):
+        for node_nm in (180, 130, 110, 90, 65, 45, 28, 22, 14, 7):
+            assert get_node(node_nm).feature_nm == node_nm
+
+    def test_unknown_node_rejected_with_suggestions(self):
+        with pytest.raises(ConfigurationError, match="supported nodes"):
+            get_node(33)
+
+    def test_lookup_tolerates_float_keys(self):
+        assert get_node(65.0).feature_nm == 65.0
+
+    def test_vdd_monotonically_non_increasing(self):
+        vdds = [NODE_TABLE[n].vdd for n in sorted(NODE_TABLE, reverse=True)]
+        assert vdds == sorted(vdds, reverse=True)
+
+    def test_dynamic_energy_monotonically_decreasing_with_node(self):
+        factors = [NODE_TABLE[n].energy_factor
+                   for n in sorted(NODE_TABLE, reverse=True)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_leakage_peaks_at_65nm(self):
+        """The pre-high-k leakage anomaly the paper cites [20]."""
+        peak = max(NODE_TABLE, key=lambda n: NODE_TABLE[n].leakage_factor)
+        assert peak == 65
+
+    def test_65nm_leaks_more_than_130_and_22(self):
+        assert NODE_TABLE[65].leakage_factor > NODE_TABLE[130].leakage_factor
+        assert NODE_TABLE[65].leakage_factor > NODE_TABLE[22].leakage_factor
+
+    def test_supported_nodes_sorted(self):
+        assert list(SUPPORTED_NODES) == sorted(SUPPORTED_NODES)
+
+
+class TestScaling:
+    def test_identity_scaling(self):
+        assert scale_energy(3.0, 65, 65) == pytest.approx(3.0)
+
+    def test_energy_scaling_is_reversible(self):
+        down = scale_energy(1.0, 130, 22)
+        assert scale_energy(down, 22, 130) == pytest.approx(1.0)
+
+    def test_scaling_down_nodes_reduces_energy(self):
+        assert scale_energy(1.0, 65, 22) < 1.0
+        assert scale_energy(1.0, 130, 65) < 1.0
+
+    def test_scaling_up_nodes_increases_energy(self):
+        assert scale_energy(1.0, 65, 130) > 1.0
+
+    def test_leakage_scaling_non_monotonic(self):
+        """130 nm -> 65 nm leakage goes UP; 65 nm -> 22 nm goes down."""
+        assert scale_leakage_power(1.0, 130, 65) > 1.0
+        assert scale_leakage_power(1.0, 65, 22) < 1.0
+
+    def test_area_scaling_quadratic(self):
+        ratio = scale_area(1.0, 130, 65)
+        assert ratio == pytest.approx((65 / 130) ** 2)
+
+    def test_delay_scaling_linear(self):
+        assert scale_delay(1.0, 130, 65) == pytest.approx(65 / 130)
+
+    def test_transitivity(self):
+        via_90 = scale_energy(scale_energy(1.0, 180, 90), 90, 22)
+        direct = scale_energy(1.0, 180, 22)
+        assert via_90 == pytest.approx(direct)
+
+
+class TestMacEnergy:
+    def test_reference_at_65nm(self):
+        assert mac_energy(65) == pytest.approx(REFERENCE_MAC_ENERGY_65NM)
+
+    def test_order_of_magnitude_is_pj(self):
+        assert 0.1 * units.pJ < mac_energy(65) < 10 * units.pJ
+
+    def test_22nm_mac_is_several_times_cheaper(self):
+        ratio = mac_energy(65) / mac_energy(22)
+        assert 2.0 < ratio < 10.0
+
+    def test_180nm_mac_is_much_more_expensive(self):
+        assert mac_energy(180) > 3 * mac_energy(65)

@@ -1,0 +1,130 @@
+"""Tests for the irregular-algorithm memory-trace hook."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.memlib import DRAMModel, SRAMModel
+from repro.sw.trace import MemoryTrace, TraceEvent
+
+
+class TestTraceEvent:
+    def test_valid_event(self):
+        event = TraceEvent("R", 64, timestamp=0.5)
+        assert event.op == "R"
+
+    def test_invalid_op(self):
+        with pytest.raises(ConfigurationError):
+            TraceEvent("X", 64)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            TraceEvent("R", 0)
+
+    def test_negative_timestamp(self):
+        with pytest.raises(ConfigurationError):
+            TraceEvent("R", 64, timestamp=-1.0)
+
+
+class TestParsing:
+    def test_basic_format(self):
+        trace = MemoryTrace.parse("R 64\nW 128\nR 64\n")
+        assert trace.num_reads == 2
+        assert trace.num_writes == 1
+        assert trace.read_bytes == 128
+        assert trace.write_bytes == 128
+
+    def test_comments_and_blank_lines(self):
+        trace = MemoryTrace.parse(
+            "# header\nR 64  # load\n\nW 32\n")
+        assert len(trace) == 2
+
+    def test_timestamps(self):
+        trace = MemoryTrace.parse("R 64 0.0\nW 64 0.5\nR 64 2.0\n")
+        assert trace.duration == pytest.approx(2.0)
+
+    def test_lowercase_ops_accepted(self):
+        trace = MemoryTrace.parse("r 8\nw 8\n")
+        assert trace.num_reads == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigurationError, match="line 2"):
+            MemoryTrace.parse("R 64\nR sixty-four\n")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="expected"):
+            MemoryTrace.parse("R\n")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            MemoryTrace.parse("# only comments\n")
+
+    def test_partial_timestamps_rejected(self):
+        with pytest.raises(ConfigurationError, match="all events or none"):
+            MemoryTrace.parse("R 64 0.0\nW 64\n")
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-decreasing"):
+            MemoryTrace.parse("R 64 1.0\nW 64 0.5\n")
+
+
+class TestFromCounts:
+    def test_aggregate_construction(self):
+        trace = MemoryTrace.from_counts(reads=100, writes=50,
+                                        bytes_per_access=4)
+        assert trace.read_bytes == 400
+        assert trace.write_bytes == 200
+
+    def test_zero_accesses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTrace.from_counts(reads=0, writes=0)
+
+
+class TestEnergyAgainstMemories:
+    def test_sram_billing(self):
+        sram = SRAMModel(capacity_bytes=64 * units.KB, node_nm=22)
+        trace = MemoryTrace.from_counts(reads=1000, writes=500,
+                                        bytes_per_access=8)
+        dynamic, leakage = trace.energy_against(sram, frame_time=1 / 30)
+        expected = (8000 * sram.read_energy_per_byte
+                    + 4000 * sram.write_energy_per_byte)
+        assert dynamic == pytest.approx(expected)
+        assert leakage == pytest.approx(sram.leakage_power / 30)
+
+    def test_dram_billing(self):
+        """The DRAMPower-style integration the paper mentions."""
+        dram = DRAMModel(capacity_bytes=8 * units.MB)
+        trace = MemoryTrace.parse("R 4096\nW 4096\n")
+        dynamic, _ = trace.energy_against(dram)
+        assert dynamic == pytest.approx(
+            8192 * dram.access_energy_per_byte)
+
+    def test_timestamped_window_used_for_leakage(self):
+        sram = SRAMModel(capacity_bytes=8 * units.KB)
+        trace = MemoryTrace.parse("R 64 0.0\nW 64 0.25\n")
+        _, leakage = trace.energy_against(sram, frame_time=10.0)
+        # The 0.25 s trace window wins over the 10 s frame time.
+        assert leakage == pytest.approx(sram.leakage_power * 0.25)
+
+    def test_memory_without_energy_attrs_rejected(self):
+        trace = MemoryTrace.parse("R 64\n")
+        with pytest.raises(ConfigurationError, match="per-byte"):
+            trace.energy_against(object())
+
+    def test_repr(self):
+        trace = MemoryTrace.parse("R 64\nW 32\n")
+        assert "64" in repr(trace)
+
+
+class TestSRAM8T:
+    def test_8t_reads_cheaper_leaks_more(self):
+        """The Sec. 5 customized-8T-vs-6T mismatch, now modelable."""
+        six = SRAMModel(capacity_bytes=64 * units.KB, cell_type="6T")
+        eight = SRAMModel(capacity_bytes=64 * units.KB, cell_type="8T")
+        assert eight.read_energy_per_word < six.read_energy_per_word
+        assert eight.leakage_power > six.leakage_power
+        assert eight.area > six.area
+
+    def test_unknown_cell_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="cell type"):
+            SRAMModel(capacity_bytes=8 * units.KB, cell_type="10T")

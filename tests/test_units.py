@@ -1,0 +1,104 @@
+"""Tests for unit constants and physical helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.units import (
+    capacitance_for_resolution,
+    format_energy,
+    format_power,
+    format_time,
+    thermal_noise_voltage,
+)
+
+
+class TestConstants:
+    def test_energy_prefixes_scale_by_thousands(self):
+        assert units.mJ == pytest.approx(units.J / 1e3)
+        assert units.pJ == pytest.approx(units.nJ / 1e3)
+        assert units.fJ == pytest.approx(units.pJ / 1e3)
+
+    def test_capacitance_prefixes(self):
+        assert units.fF == pytest.approx(1e-15)
+        assert units.pF == pytest.approx(1e-12)
+
+    def test_frequency_prefixes(self):
+        assert units.GHz == pytest.approx(1e9)
+        assert units.MHz == pytest.approx(1e6)
+
+    def test_data_prefixes_are_binary(self):
+        assert units.KB == 1024
+        assert units.MB == 1024 ** 2
+
+    def test_area_units(self):
+        assert units.mm2 == pytest.approx(1e-6)
+        assert units.um2 == pytest.approx(1e-12)
+
+    def test_boltzmann_constant(self):
+        assert units.BOLTZMANN == pytest.approx(1.380649e-23)
+
+
+class TestFormatting:
+    def test_format_energy_picks_natural_prefix(self):
+        assert format_energy(3.2e-12) == "3.2 pJ"
+        assert format_energy(1.5e-9) == "1.5 nJ"
+        assert format_energy(2.0) == "2 J"
+
+    def test_format_energy_zero(self):
+        assert "0" in format_energy(0.0)
+
+    def test_format_energy_below_smallest_prefix(self):
+        text = format_energy(1e-20)
+        assert "aJ" in text
+
+    def test_format_power(self):
+        assert format_power(1.3e-3) == "1.3 mW"
+
+    def test_format_time(self):
+        assert format_time(16.7e-3) == "16.7 ms"
+
+
+class TestThermalNoise:
+    def test_kt_over_c_at_room_temperature(self):
+        capacitance = 1e-12  # 1 pF
+        expected = math.sqrt(1.380649e-23 * 300.0 / capacitance)
+        assert thermal_noise_voltage(capacitance) == pytest.approx(expected)
+
+    def test_larger_capacitor_means_less_noise(self):
+        assert (thermal_noise_voltage(10 * units.fF)
+                > thermal_noise_voltage(100 * units.fF))
+
+    def test_rejects_non_positive_capacitance(self):
+        with pytest.raises(ValueError):
+            thermal_noise_voltage(0.0)
+
+
+class TestCapacitanceForResolution:
+    def test_eq6_formula(self):
+        """3*sigma < LSB/2 with LSB = Vswing / 2**bits (Eq. 6 as printed)."""
+        c = capacitance_for_resolution(1.0, 8)
+        sigma = thermal_noise_voltage(c)
+        lsb = 1.0 / 2 ** 8
+        assert 3 * sigma == pytest.approx(lsb / 2)
+
+    def test_more_bits_need_more_capacitance(self):
+        assert (capacitance_for_resolution(1.0, 10)
+                > capacitance_for_resolution(1.0, 8))
+
+    def test_quadratic_in_resolution(self):
+        """One extra bit quadruples the required capacitance."""
+        c8 = capacitance_for_resolution(1.0, 8)
+        c9 = capacitance_for_resolution(1.0, 9)
+        assert c9 / c8 == pytest.approx(4.0)
+
+    def test_smaller_swing_needs_more_capacitance(self):
+        assert (capacitance_for_resolution(0.5, 8)
+                > capacitance_for_resolution(1.0, 8))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            capacitance_for_resolution(0.0, 8)
+        with pytest.raises(ValueError):
+            capacitance_for_resolution(1.0, 0)

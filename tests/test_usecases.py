@@ -1,0 +1,259 @@
+"""Tests for the Sec. 6 use cases: every Finding's shape is asserted here."""
+
+import pytest
+
+from repro import units
+from repro.area import power_density
+from repro.area.model import CPU_POWER_DENSITY, GPU_POWER_DENSITY
+from repro.energy.report import Category
+from repro.exceptions import ConfigurationError
+from repro.usecases import (
+    UseCaseConfig,
+    build_edgaze,
+    build_edgaze_mixed,
+    build_rhythmic,
+    edgaze_configs,
+    rhythmic_configs,
+    run_edgaze,
+    run_edgaze_mixed,
+    run_rhythmic,
+)
+
+
+@pytest.fixture(scope="module")
+def rhythmic():
+    return {cfg.label: run_rhythmic(cfg) for cfg in rhythmic_configs()}
+
+
+@pytest.fixture(scope="module")
+def edgaze():
+    return {cfg.label: run_edgaze(cfg) for cfg in edgaze_configs()}
+
+
+@pytest.fixture(scope="module")
+def edgaze_mixed():
+    return {node: run_edgaze_mixed(node) for node in (130, 65)}
+
+
+class TestConfigGrid:
+    def test_rhythmic_grid(self):
+        assert len(rhythmic_configs()) == 6
+
+    def test_edgaze_grid(self):
+        assert len(edgaze_configs()) == 8
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UseCaseConfig("4D-In", 65)
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UseCaseConfig("2D-In", 90)
+
+    def test_placement_properties(self):
+        assert UseCaseConfig("2D-Off", 65).digital_node == 22
+        assert UseCaseConfig("2D-In", 65).digital_node == 65
+        assert UseCaseConfig("3D-In", 130).is_stacked
+        assert UseCaseConfig("3D-In-STT", 130).uses_stt_ram
+
+
+class TestFig9aRhythmic:
+    """Finding 1, communication-dominant workload."""
+
+    def test_in_sensor_beats_off_sensor(self, rhythmic):
+        for node in (130, 65):
+            assert (rhythmic[f"2D-In ({node}nm)"].total_energy
+                    < rhythmic[f"2D-Off ({node}nm)"].total_energy)
+
+    def test_savings_grow_with_newer_cis_node(self, rhythmic):
+        """Paper: 14.5 % saving at 130 nm grows to 33.4 % at 65 nm."""
+
+        def saving(node):
+            off = rhythmic[f"2D-Off ({node}nm)"].total_energy
+            inside = rhythmic[f"2D-In ({node}nm)"].total_energy
+            return 1.0 - inside / off
+
+        assert saving(65) > saving(130)
+        assert 0.05 < saving(130) < 0.35
+        assert 0.20 < saving(65) < 0.50
+
+    def test_mipi_dominates_off_sensor(self, rhythmic):
+        report = rhythmic["2D-Off (65nm)"]
+        assert report.category_energy(Category.MIPI) \
+            > 0.5 * report.total_energy
+
+    def test_roi_halves_mipi_volume(self, rhythmic):
+        off = rhythmic["2D-Off (65nm)"].category_energy(Category.MIPI)
+        inside = rhythmic["2D-In (65nm)"].category_energy(Category.MIPI)
+        assert inside == pytest.approx(off / 2, rel=0.01)
+
+    def test_3d_beats_2d_in(self, rhythmic):
+        """Paper: 3D integration saves ~15.8 % on average over 2D-In."""
+        savings = []
+        for node in (130, 65):
+            base = rhythmic[f"2D-In ({node}nm)"].total_energy
+            stacked = rhythmic[f"3D-In ({node}nm)"].total_energy
+            savings.append(1.0 - stacked / base)
+        average = sum(savings) / len(savings)
+        assert 0.05 < average < 0.35
+
+    def test_utsv_cost_insignificant(self, rhythmic):
+        report = rhythmic["3D-In (65nm)"]
+        assert report.category_energy(Category.UTSV) \
+            < 0.05 * report.total_energy
+
+
+class TestFig9bEdGaze:
+    """Finding 1/2, compute-dominant workload."""
+
+    def test_in_sensor_loses_to_off_sensor(self, edgaze):
+        for node in (130, 65):
+            assert (edgaze[f"2D-In ({node}nm)"].total_energy
+                    > edgaze[f"2D-Off ({node}nm)"].total_energy)
+
+    def test_65nm_worse_than_130nm_in_sensor(self, edgaze):
+        """The 65 nm leakage anomaly: newer CIS node, higher energy."""
+        assert (edgaze["2D-In (65nm)"].total_energy
+                > edgaze["2D-In (130nm)"].total_energy)
+
+    def test_communication_light_off_sensor(self, edgaze):
+        """Paper: comm is ~15 % of the off-sensor total."""
+        report = edgaze["2D-Off (65nm)"]
+        share = report.communication_energy / report.total_energy
+        assert share < 0.45
+
+    def test_memory_dominates_2d_in_65nm(self, edgaze):
+        """Paper: memory is 71.3 % of the 2D-In 65 nm total."""
+        report = edgaze["2D-In (65nm)"]
+        share = report.category_energy(Category.MEM_D) / report.total_energy
+        assert 0.55 < share < 0.90
+
+    def test_3d_stacking_reduces_energy(self, edgaze):
+        """Paper: 38.5 % average reduction from 3D stacking."""
+        for node in (130, 65):
+            base = edgaze[f"2D-In ({node}nm)"].total_energy
+            stacked = edgaze[f"3D-In ({node}nm)"].total_energy
+            assert stacked < base
+
+    def test_memory_still_dominates_3d_in(self, edgaze):
+        report = edgaze["3D-In (65nm)"]
+        assert report.category_energy(Category.MEM_D) \
+            > 0.4 * report.total_energy
+
+    def test_stt_ram_slashes_3d_energy(self, edgaze):
+        """Paper: STT-RAM cuts ~69 % off 3D-In by removing leakage."""
+        for node in (130, 65):
+            sram = edgaze[f"3D-In ({node}nm)"].total_energy
+            stt = edgaze[f"3D-In-STT ({node}nm)"].total_energy
+            assert 0.35 < 1.0 - stt / sram < 0.85
+
+    def test_frame_buffer_never_gated(self):
+        _, system, _ = build_edgaze(UseCaseConfig("2D-In", 65))
+        assert system.find_unit("FrameBuffer").duty_alpha == 1.0
+
+
+class TestFig11to13Mixed:
+    """Finding 3, analog vs digital processing."""
+
+    def test_mixed_beats_fully_digital(self, edgaze, edgaze_mixed):
+        for node in (130, 65):
+            digital = edgaze[f"2D-In ({node}nm)"].total_energy
+            mixed = edgaze_mixed[node].total_energy
+            assert mixed < digital
+
+    def test_savings_bigger_at_65nm(self, edgaze, edgaze_mixed):
+        """Paper: 38.8 % at 130 nm, 77.1 % at 65 nm (leaky SRAM removed)."""
+
+        def saving(node):
+            digital = edgaze[f"2D-In ({node}nm)"].total_energy
+            return 1.0 - edgaze_mixed[node].total_energy / digital
+
+        assert saving(65) > saving(130)
+        assert saving(65) > 0.30
+
+    def test_sen_drops_without_adcs(self, edgaze, edgaze_mixed):
+        for node in (130, 65):
+            digital_sen = edgaze[f"2D-In ({node}nm)"].category_energy(
+                Category.SEN)
+            mixed_sen = edgaze_mixed[node].category_energy(Category.SEN)
+            assert mixed_sen < digital_sen
+
+    def test_mem_d_shrinks_most_at_65nm(self, edgaze, edgaze_mixed):
+        digital = edgaze["2D-In (65nm)"].category_energy(Category.MEM_D)
+        mixed = edgaze_mixed[65].category_energy(Category.MEM_D)
+        assert mixed < 0.8 * digital
+
+    def test_fig12_dnn_stage_dominates_after_mixing(self, edgaze_mixed):
+        for node in (130, 65):
+            stages = edgaze_mixed[node].by_stage()
+            total = sum(stages.values())
+            assert stages["RoiDNN"] > 0.6 * total
+
+    def test_fig12_first_stages_dominate_before_mixing_at_65nm(self,
+                                                               edgaze):
+        stages = edgaze["2D-In (65nm)"].by_stage()
+        first_two = (stages.get("Downsample", 0.0)
+                     + stages.get("FrameSubtract", 0.0)
+                     + stages.get("Input", 0.0))
+        assert first_two > stages["RoiDNN"]
+
+    def test_fig13_memory_down_compute_up(self, edgaze, edgaze_mixed):
+        """First two stages: memory shrinks, compute slightly grows."""
+        digital = edgaze["2D-In (65nm)"]
+        mixed = edgaze_mixed[65]
+        digital_first_mem = sum(
+            e.energy for e in digital.entries
+            if e.stage in ("Downsample", "FrameSubtract", "Input")
+            and e.category in (Category.MEM_D, Category.MEM_A))
+        mixed_first_mem = sum(
+            e.energy for e in mixed.entries
+            if e.stage in ("Downsample", "FrameSubtract", "Input")
+            and e.category in (Category.MEM_D, Category.MEM_A))
+        digital_first_comp = sum(
+            e.energy for e in digital.entries
+            if e.stage in ("Downsample", "FrameSubtract")
+            and e.category in (Category.COMP_D, Category.COMP_A))
+        mixed_first_comp = sum(
+            e.energy for e in mixed.entries
+            if e.stage in ("Downsample", "FrameSubtract")
+            and e.category in (Category.COMP_D, Category.COMP_A))
+        assert mixed_first_mem < digital_first_mem
+        assert mixed_first_comp > digital_first_comp
+
+    def test_analog_path_has_analog_entries(self, edgaze_mixed):
+        report = edgaze_mixed[65]
+        assert report.category_energy(Category.MEM_A) > 0
+        assert report.category_energy(Category.COMP_A) > 0
+
+
+class TestTable3PowerDensity:
+    def test_all_densities_far_below_cpu_gpu(self):
+        """Sec. 6.2: three to four orders below CPU/GPU hotspots."""
+        for cfg in (UseCaseConfig("2D-In", 65), UseCaseConfig("3D-In", 65)):
+            stages, system, mapping = build_edgaze(cfg)
+            report = run_edgaze(cfg)
+            density = power_density(system, report)
+            assert density < 0.05 * GPU_POWER_DENSITY
+            assert density < 0.02 * CPU_POWER_DENSITY
+
+    def test_rhythmic_density_insensitive_to_stacking(self):
+        """Paper: communication-dominant Rhythmic shows no significant
+        density difference across variants."""
+        densities = {}
+        for placement in ("2D-Off", "3D-In"):
+            cfg = UseCaseConfig(placement, 130)
+            _, system, _ = build_rhythmic(cfg)
+            densities[placement] = power_density(system, run_rhythmic(cfg))
+        ratio = densities["3D-In"] / densities["2D-Off"]
+        assert 0.5 < ratio < 2.0
+
+    def test_edgaze_65nm_2d_in_density_highest(self):
+        """Paper Table 3 (65/22): 2D-In 2.24 beats 3D-In 0.70 because of
+        65 nm leakage."""
+        densities = {}
+        for placement in ("2D-Off", "2D-In", "3D-In"):
+            cfg = UseCaseConfig(placement, 65)
+            _, system, _ = build_edgaze(cfg)
+            densities[placement] = power_density(system, run_edgaze(cfg))
+        assert densities["2D-In"] > densities["3D-In"]
+        assert densities["2D-In"] > densities["2D-Off"]

@@ -1,0 +1,141 @@
+"""Per-chip structural tests: each Table 2 model matches its row."""
+
+import pytest
+
+from repro import units
+from repro.hw.analog.domain import SignalDomain
+from repro.validation import chip_by_name
+
+
+def _system(name):
+    _, system, _ = chip_by_name(name).build()
+    return system
+
+
+class TestISSCC17:
+    def test_3t_aps_with_sharing(self):
+        system = _system("ISSCC'17")
+        pixels = system.find_unit("PixelArray")
+        aps = pixels.components[0][0]
+        cell_names = [u.cell.name for u in aps.cell_usages]
+        assert "FD" not in cell_names  # 3T pixel
+
+    def test_has_analog_memory(self):
+        system = _system("ISSCC'17")
+        haar = system.find_unit("HaarMemory")
+        assert haar.category == "memory"
+        assert haar.num_components == 20 * 80  # Table 2: 20x80
+
+    def test_160kb_digital_memory(self):
+        system = _system("ISSCC'17")
+        buffer = system.find_unit("FeatureSRAM")
+        assert buffer.capacity_pixels == 160 * 1024
+
+    def test_runs_at_1fps(self):
+        assert chip_by_name("ISSCC'17").frame_rate == 1
+
+
+class TestJSSC19:
+    def test_4t_aps_with_cds(self):
+        system = _system("JSSC'19")
+        aps = system.find_unit("PixelArray").components[0][0]
+        cell_names = [u.cell.name for u in aps.cell_usages]
+        assert "FD" in cell_names
+        sf = [u for u in aps.cell_usages if u.cell.name == "SF"][0]
+        assert sf.temporal == 2  # CDS
+
+    def test_4x240_analog_memory(self):
+        system = _system("JSSC'19")
+        memory = system.find_unit("RowMemory")
+        assert memory.num_components == 4 * 240
+
+    def test_low_bit_readout(self):
+        system = _system("JSSC'19")
+        adc = system.find_unit("ADCArray").components[0][0]
+        assert adc.cell_usages[0].cell.bits == 3  # 2.75-bit readout
+
+
+class TestISSCC21:
+    def test_stacked_65_22(self):
+        system = _system("ISSCC'21")
+        assert system.is_stacked
+        nodes = {layer.name: layer.node_nm
+                 for layer in system.layers.values()}
+        assert nodes["sensor"] == 65
+        assert nodes["compute"] == 22
+
+    def test_12mpixel_array(self):
+        chip = chip_by_name("ISSCC'21")
+        assert chip.num_pixels == 3040 * 4056
+
+    def test_8mb_memory(self):
+        system = _system("ISSCC'21")
+        frame = system.find_unit("FrameSRAM")
+        assert frame.capacity_bytes == 8 * units.MB
+
+    def test_2304_macs(self):
+        system = _system("ISSCC'21")
+        dnn = system.find_unit("DNNProcessor")
+        rows, cols = dnn.dimensions
+        assert rows * cols == 2304
+
+
+class TestPWMChips:
+    @pytest.mark.parametrize("name", ["JSSC'21-I", "ISSCC'22"])
+    def test_pwm_pixels_output_time_domain(self, name):
+        system = _system(name)
+        pixels = [a for a in system.analog_arrays if "Pixel" in a.name][0]
+        assert pixels.output_domain is SignalDomain.TIME
+
+    @pytest.mark.parametrize("name", ["JSSC'21-I", "ISSCC'22"])
+    def test_180nm_node(self, name):
+        assert chip_by_name(name).process_node == "180 nm"
+
+
+class TestVLSI21:
+    def test_dps_has_per_pixel_adc(self):
+        system = _system("VLSI'21")
+        dps = system.find_unit("DPSArray").components[0][0]
+        cell_names = [u.cell.name for u in dps.cell_usages]
+        assert "ADC" in cell_names
+        assert dps.output_domain is SignalDomain.DIGITAL
+
+    def test_2mpixel_global_shutter_rate(self):
+        chip = chip_by_name("VLSI'21")
+        assert chip.num_pixels == 1200 * 1600
+        assert chip.frame_rate == 480
+
+    def test_6mb_memory_on_logic_layer(self):
+        system = _system("VLSI'21")
+        frame = system.find_unit("FrameSRAM")
+        assert frame.capacity_bytes == 6 * units.MB
+        assert frame.layer == "compute"
+
+
+class TestTCAS22:
+    def test_binary_first_layer(self):
+        _, system, mapping = chip_by_name("TCAS-I'22").build()
+        macs = system.find_unit("CurrentMACArray")
+        assert macs.components[0][0].input_domain is SignalDomain.VOLTAGE
+
+    def test_tiny_always_on_array(self):
+        assert chip_by_name("TCAS-I'22").num_pixels == 32 * 32
+
+
+class TestJSSC21II:
+    def test_charge_domain_compressive_mac(self):
+        system = _system("JSSC'21-II")
+        macs = system.find_unit("CSMACArray")
+        mac = macs.components[0][0]
+        assert mac.input_volume == 4  # 4x compressive sensing
+
+    def test_vga_array(self):
+        assert chip_by_name("JSSC'21-II").num_pixels == 480 * 640
+
+
+class TestSensors20:
+    def test_column_parallel_mac_and_pool(self):
+        system = _system("Sensors'20")
+        assert system.find_unit("ConvMACArray").num_components == 128
+        pools = system.find_unit("MaxPoolArray")
+        assert pools.components[0][0].input_volume == 4  # 2x2 max pool
