@@ -12,8 +12,6 @@ calls out and shows which paper finding depends on it:
 * explicit-vs-FoM ADC energy — the Fig. 7g/7h mismatch mechanism.
 """
 
-from conftest import write_result
-
 from repro import simulate, units
 from repro.energy.report import Category
 from repro.sim.simulator import simulate as _simulate
@@ -34,7 +32,7 @@ def _edgaze_with_gated_frame_buffer(node, duty_alpha):
     return _simulate(stages, system, mapping, frame_rate=30)
 
 
-def test_ablation_frame_buffer_gating(benchmark):
+def test_ablation_frame_buffer_gating(benchmark, write_result):
     """Finding 1's 65nm>130nm inversion requires the no-gating constraint."""
 
     def run():
@@ -76,7 +74,7 @@ def _rhythmic_with_roi(compression):
     return _simulate(stages, system, mapping, frame_rate=30)
 
 
-def test_ablation_roi_crossover(benchmark):
+def test_ablation_roi_crossover(benchmark, write_result):
     """Finding 1: in-sensor pays only while the encoder removes data."""
 
     def run():
@@ -109,7 +107,7 @@ def test_ablation_roi_crossover(benchmark):
     assert savings[1.0] < 0
 
 
-def test_ablation_exposure_slots(benchmark):
+def test_ablation_exposure_slots(benchmark, write_result):
     """The Sec. 4.1 delay split: more analog slots squeeze each stage."""
 
     def run():
@@ -138,7 +136,7 @@ def test_ablation_exposure_slots(benchmark):
             > results[2].analog_stage_delay)
 
 
-def test_ablation_adc_energy_source(benchmark):
+def test_ablation_adc_energy_source(benchmark, write_result):
     """FoM-survey vs explicit ADC energy: the Fig. 7g/7h mismatch knob."""
     from repro.validation.chips.jssc21_ii import JSSC21_II
 

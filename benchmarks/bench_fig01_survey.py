@@ -1,7 +1,5 @@
 """Fig. 1 — share of imaging / computational / stacked CIS papers, 2000-2022."""
 
-from conftest import write_result
-
 from repro.survey import percentages_by_year
 
 
@@ -9,7 +7,7 @@ def _series():
     return percentages_by_year()
 
 
-def test_fig01_survey(benchmark):
+def test_fig01_survey(benchmark, write_result):
     rows = benchmark(_series)
 
     lines = ["Fig. 1 — Normalized percentage of CIS design styles per year",

@@ -1,7 +1,5 @@
 """Fig. 3 — CIS process node vs IRDS CMOS node vs pixel pitch scaling."""
 
-from conftest import write_result
-
 from repro.survey import (
     cis_node_trend,
     node_gap_by_year,
@@ -13,7 +11,7 @@ def _series():
     return (cis_node_trend(), pixel_pitch_trend(), node_gap_by_year())
 
 
-def test_fig03_scaling(benchmark):
+def test_fig03_scaling(benchmark, write_result):
     (node_slope, _), (pitch_slope, _), gap_rows = benchmark(_series)
 
     lines = ["Fig. 3 — CIS node scaling vs IRDS roadmap",

@@ -1,7 +1,5 @@
 """Fig. 5 / Fig. 6 — the example CIS and its stall-free pipeline timing."""
 
-from conftest import write_result
-
 from repro import units
 from repro.sim.chart import pipeline_chart
 from repro.usecases.fig5 import (
@@ -12,7 +10,7 @@ from repro.usecases.fig5 import (
 )
 
 
-def test_fig06_pipeline_timing(benchmark):
+def test_fig06_pipeline_timing(benchmark, write_result):
     report = benchmark(run_fig5)
 
     frame_time = report.frame_time
@@ -39,7 +37,7 @@ def test_fig06_pipeline_timing(benchmark):
     assert abs(3 * t_a + t_d - frame_time) < 1e-12
 
 
-def test_fig06_cycle_accurate_agrees(benchmark):
+def test_fig06_cycle_accurate_agrees(benchmark, write_result):
     """The event-driven simulator confirms the analytical T_D."""
     exact = benchmark(lambda: run_fig5(cycle_accurate=True))
     analytical = run_fig5()

@@ -4,13 +4,11 @@ Fig. 7a: estimated vs reported energy per pixel, Pearson correlation and
 MAPE.  Fig. 7b-j: the per-chip component breakdowns.
 """
 
-from conftest import write_result
-
 from repro import units
 from repro.validation import run_validation
 
 
-def test_fig07_validation(benchmark):
+def test_fig07_validation(benchmark, write_result):
     summary = benchmark.pedantic(run_validation, rounds=3, iterations=1)
 
     lines = [summary.to_table(), "",

@@ -1,7 +1,5 @@
 """Fig. 9a — Rhythmic Pixel Regions: 2D-In vs 2D-Off vs 3D-In energy."""
 
-from conftest import write_result
-
 from repro import units
 from repro.energy.report import Category
 from repro.usecases import rhythmic_configs, run_rhythmic
@@ -14,7 +12,7 @@ def _run_grid():
     return {cfg.label: run_rhythmic(cfg) for cfg in rhythmic_configs()}
 
 
-def test_fig09a_rhythmic(benchmark):
+def test_fig09a_rhythmic(benchmark, write_result):
     reports = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
 
     header = f"{'config':<18} {'total uJ':>9} " + " ".join(

@@ -1,7 +1,5 @@
 """Fig. 9b — Ed-Gaze: 2D-In vs 2D-Off vs 3D-In vs 3D-In-STT energy."""
 
-from conftest import write_result
-
 from repro import units
 from repro.energy.report import Category
 from repro.usecases import edgaze_configs, run_edgaze
@@ -14,7 +12,7 @@ def _run_grid():
     return {cfg.label: run_edgaze(cfg) for cfg in edgaze_configs()}
 
 
-def test_fig09b_edgaze(benchmark):
+def test_fig09b_edgaze(benchmark, write_result):
     reports = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
 
     header = f"{'config':<20} {'total uJ':>9} " + " ".join(

@@ -1,7 +1,5 @@
 """Fig. 11 — mixed-signal vs fully-digital in-sensor Ed-Gaze energy."""
 
-from conftest import write_result
-
 from repro import units
 from repro.energy.report import Category
 from repro.usecases import UseCaseConfig, run_edgaze, run_edgaze_mixed
@@ -18,7 +16,7 @@ def _run_pairs():
     return pairs
 
 
-def test_fig11_mixed_signal(benchmark):
+def test_fig11_mixed_signal(benchmark, write_result):
     pairs = benchmark.pedantic(_run_pairs, rounds=3, iterations=1)
 
     header = f"{'config':<24} {'total uJ':>9} " + " ".join(

@@ -1,7 +1,5 @@
 """Fig. 12 — normalized energy breakdown among the three Ed-Gaze stages."""
 
-from conftest import write_result
-
 from repro.usecases import UseCaseConfig, run_edgaze, run_edgaze_mixed
 
 #: Stage grouping of Fig. 12: S1 = downsampling (incl. sensing), S2 =
@@ -32,7 +30,7 @@ def _run_grid():
     return grid
 
 
-def test_fig12_stage_breakdown(benchmark):
+def test_fig12_stage_breakdown(benchmark, write_result):
     grid = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
 
     lines = ["Fig. 12 — normalized energy share per stage (S1/S2/S3)",

@@ -1,7 +1,5 @@
 """Fig. 13 — compute vs memory breakdown of the first two Ed-Gaze stages."""
 
-from conftest import write_result
-
 from repro import units
 from repro.energy.report import Category
 from repro.usecases import UseCaseConfig, run_edgaze, run_edgaze_mixed
@@ -32,7 +30,7 @@ def _run_grid():
     return grid
 
 
-def test_fig13_first_stages(benchmark):
+def test_fig13_first_stages(benchmark, write_result):
     grid = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
 
     lines = ["Fig. 13 — first two stages: compute vs memory (uJ)",

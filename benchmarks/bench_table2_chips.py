@@ -1,7 +1,5 @@
 """Table 2 — the nine validation chips and their design diversity."""
 
-from conftest import write_result
-
 from repro import units
 from repro.validation import ALL_CHIPS
 
@@ -24,7 +22,7 @@ def _inventory():
     return rows
 
 
-def test_table2_chip_inventory(benchmark):
+def test_table2_chip_inventory(benchmark, write_result):
     rows = benchmark(_inventory)
 
     lines = ["Table 2 — validation chip inventory",

@@ -1,7 +1,5 @@
 """Table 3 — power density (mW/mm^2) across placements and workloads."""
 
-from conftest import write_result
-
 from repro import units
 from repro.area import power_density
 from repro.area.model import CPU_POWER_DENSITY, GPU_POWER_DENSITY
@@ -35,7 +33,7 @@ def _run_grid():
     return grid
 
 
-def test_table3_power_density(benchmark):
+def test_table3_power_density(benchmark, write_result):
     grid = benchmark.pedantic(_run_grid, rounds=3, iterations=1)
 
     unit = units.mW / units.mm2

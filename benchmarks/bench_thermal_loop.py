@@ -5,8 +5,6 @@ temperature → low-light-SNR table that quantifies the thermal-noise
 argument behind Finding 2.
 """
 
-from conftest import write_result
-
 from repro import units
 from repro.noise import (
     FunctionalPixel,
@@ -31,7 +29,7 @@ def _run():
     return rows
 
 
-def test_thermal_loop(benchmark):
+def test_thermal_loop(benchmark, write_result):
     rows = benchmark.pedantic(_run, rounds=3, iterations=1)
 
     lines = ["Extension — thermal loop on Ed-Gaze @65 nm",

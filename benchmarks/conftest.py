@@ -4,18 +4,31 @@ Every bench regenerates one table or figure of the paper: it writes the
 reproduced rows/series to ``benchmarks/results/<name>.txt``, attaches the
 headline numbers to the pytest-benchmark ``extra_info`` record, and asserts
 the shape claims the paper makes about that experiment.
+
+``write_result`` is provided as a fixture (not an importable helper) so
+the benches never ``import conftest`` — module-name collisions between
+``tests/conftest.py`` and this file are what broke collection in the
+seed repo.
 """
 
 from __future__ import annotations
 
 import pathlib
 
+import pytest
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def write_result(name: str, text: str) -> pathlib.Path:
+def _write_result(name: str, text: str) -> pathlib.Path:
     """Persist a regenerated table/series under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     return path
+
+
+@pytest.fixture
+def write_result():
+    """The result writer, injected so benches need no conftest import."""
+    return _write_result

@@ -4,9 +4,13 @@ Builds a custom always-on classifier sensor, then demonstrates the three
 kinds of feedback CamJ gives a designer:
 
 1. a frame-rate sweep showing where the digital pipeline stops fitting the
-   frame budget (TimingError -> "re-design the accelerator");
+   frame budget (a typed TimingError -> "re-design the accelerator");
 2. a stall diagnosis when a line buffer is sized below the kernel window;
-3. a node sweep quantifying what a newer digital node buys.
+3. a generic parameter sweep quantifying what a newer digital node buys.
+
+The sweeps run through the session API (Simulator.run_many), so the
+points are simulated in parallel and infeasibility comes back as data —
+no hand-rolled try/except.
 
 Run:  python examples/design_space_sweep.py
 """
@@ -17,16 +21,16 @@ from repro import (
     ColumnADC,
     Conv2DStage,
     ComputeUnit,
+    Design,
     Layer,
     LineBuffer,
     PixelInput,
     SENSOR_LAYER,
     SensorSystem,
-    StallError,
-    TimingError,
-    simulate,
+    Simulator,
     units,
 )
+from repro.analysis import sweep_frame_rate, sweep_parameter
 from repro.tech import mac_energy
 
 
@@ -67,28 +71,26 @@ def build(node_nm=65, line_rows=3, clock_hz=50 * units.MHz):
 
 def main():
     print("=== 1. frame-rate sweep: where does the design stop fitting? ===")
-    for fps in (30, 120, 480, 2000, 10000, 50000):
-        stages, system, mapping = build()
-        try:
-            report = simulate(stages, system, mapping, frame_rate=fps)
-            print(f"  {fps:6d} FPS: {units.format_energy(report.total_energy)}"
+    for point in sweep_frame_rate(build, [30, 120, 480, 2000, 10000, 50000]):
+        if point.feasible:
+            report = point.report
+            print(f"  {point.parameter:6g} FPS: "
+                  f"{units.format_energy(report.total_energy)}"
                   f"/frame, {units.format_power(report.total_power)}")
-        except TimingError as error:
-            print(f"  {fps:6d} FPS: REJECTED — {error}")
-            break
+        else:
+            print(f"  {point.parameter:6g} FPS: REJECTED — {point.failure}")
 
     print("\n=== 2. stall feedback: a 2-row buffer under a 3x3 kernel ===")
-    stages, system, mapping = build(line_rows=2)
-    try:
-        simulate(stages, system, mapping, frame_rate=30)
-    except StallError as error:
-        print(f"  StallError: {error}")
+    result = Simulator().run(Design(*build(line_rows=2)))
+    print(f"  {result.error_type}: {result.failure}")
 
-    print("\n=== 3. node sweep at 30 FPS ===")
-    for node in (130, 110, 90, 65, 45, 28):
-        stages, system, mapping = build(node_nm=node)
-        report = simulate(stages, system, mapping, frame_rate=30)
-        print(f"  {node:4d} nm: {units.format_energy(report.total_energy)}"
+    print("\n=== 3. node sweep at 30 FPS (generic sweep_parameter) ===")
+    points = sweep_parameter(lambda node: build(node_nm=int(node)),
+                             [130, 110, 90, 65, 45, 28])
+    for point in points:
+        report = point.report
+        print(f"  {point.parameter:4g} nm: "
+              f"{units.format_energy(report.total_energy)}"
               f"/frame  (digital "
               f"{units.format_energy(report.digital_energy)})")
 

@@ -1,8 +1,14 @@
-"""Quickstart: the paper's Fig. 5 example, end to end.
+"""Quickstart: the paper's Fig. 5 example through the session API.
 
 A 32x32 pixel array bins every 2x2 tile in the charge domain, digitizes
 the 16x16 result through column ADCs, runs a 3x3 digital edge detector fed
 by a line buffer, and ships the edge map off-chip over MIPI CSI-2.
+
+The three ``camj_*_config`` functions below mirror Fig. 5's three-part
+programming interface.  They bundle into a first-class :class:`Design` —
+a frozen, hashable value that serializes to JSON — which a
+:class:`Simulator` session turns into structured results, one at a time
+or as a parallel batch.
 
 Run:  python examples/quickstart.py
 """
@@ -12,13 +18,15 @@ from repro import (
     AnalogArray,
     ColumnADC,
     ComputeUnit,
+    Design,
     Layer,
     LineBuffer,
     PixelInput,
     ProcessStage,
     SENSOR_LAYER,
     SensorSystem,
-    simulate,
+    SimOptions,
+    Simulator,
     units,
 )
 
@@ -83,9 +91,13 @@ def camj_mapping():
 
 
 def main():
-    stages = camj_sw_config()
-    system = camj_hw_config()
-    report = simulate(stages, system, camj_mapping(), frame_rate=30)
+    # The three parts become one first-class, serializable scenario.
+    design = Design(camj_sw_config(), camj_hw_config(), camj_mapping())
+    print(f"design {design.name!r}  content hash {design.content_hash[:16]}…")
+
+    # A simulator session runs designs under frozen options.
+    simulator = Simulator(SimOptions(frame_rate=30))
+    report = simulator.run(design).unwrap()
 
     print(report.to_table())
     print()
@@ -98,11 +110,35 @@ def main():
           f" = the 33.3 ms frame time of Fig. 6)")
     print()
     from repro.sim.chart import pipeline_chart
-    print(pipeline_chart(stages, system, camj_mapping(), frame_rate=30))
+    print(pipeline_chart(*design, frame_rate=30))
     print()
     print("per-component breakdown:")
     for name, energy in sorted(report.by_component().items()):
         print(f"  {name:35s} {units.format_energy(energy)}")
+
+    # Batches run in parallel with per-design results in input order;
+    # structured failures mark infeasible points instead of raising.
+    print()
+    print("frame-rate batch through Simulator.run_many:")
+    batch = simulator.run_many(
+        [(design, SimOptions(frame_rate=fps))
+         for fps in (15, 30, 60, 120, 1e6)])
+    for result in batch:
+        fps = result.options.frame_rate
+        if result.ok:
+            print(f"  {fps:>10g} FPS  "
+                  f"{units.format_energy(result.report.total_energy)}/frame")
+        else:
+            print(f"  {fps:>10g} FPS  infeasible ({result.error_type})")
+
+    # The design round-trips through JSON: store, diff, replay.
+    clone = Design.from_json(design.to_json())
+    replayed = simulator.run(clone)
+    print()
+    print(f"JSON round-trip: equal designs = {clone == design}, "
+          f"replayed total = "
+          f"{units.format_energy(replayed.report.total_energy)} "
+          f"(cache hit: {replayed.cached})")
 
 
 if __name__ == "__main__":

@@ -2,11 +2,23 @@
 
 The public API mirrors the paper's three-part programming interface
 (Fig. 5): describe the algorithm as stages, the hardware as a
-:class:`SensorSystem` of analog arrays plus digital units, map one onto
-the other, and call :func:`simulate` under an FPS target.
+:class:`SensorSystem` of analog arrays plus digital units, and map one
+onto the other.  Those three parts bundle into a first-class
+:class:`Design` — a frozen, hashable value that serializes to JSON —
+which a :class:`Simulator` session turns into structured
+:class:`SimResult` outcomes, one design at a time or in parallel
+batches::
 
-    >>> from repro import (PixelInput, ProcessStage, SensorSystem,
-    ...                    AnalogArray, simulate)
+    >>> from repro import Design, SimOptions, Simulator
+    >>> design = Design(camj_sw_config(), camj_hw_config(), camj_mapping())
+    >>> result = Simulator(SimOptions(frame_rate=30)).run(design)
+    >>> result.report.total_energy          # doctest: +SKIP
+
+Designs round-trip through ``Design.to_dict()`` / ``Design.from_dict()``
+(and spec files runnable via ``python -m repro run spec.json``), and
+``Simulator.run_many`` fans a batch out across worker threads with
+content-hash result caching.  The classic functional entry point
+:func:`simulate` remains as a thin wrapper over the same engine.
 """
 
 from repro import units
@@ -66,6 +78,17 @@ from repro.hw.layer import COMPUTE_LAYER, Layer, OFF_CHIP, SENSOR_LAYER
 from repro.memlib import DRAMModel, SRAMModel, STTRAMModel
 from repro.energy import Category, EnergyEntry, EnergyReport
 from repro.sim import Mapping, simulate
+from repro.api import (
+    Design,
+    SimOptions,
+    SimResult,
+    Simulator,
+    build_usecase,
+    design_from_spec,
+    load_scenario,
+    register_usecase,
+    run_design,
+)
 from repro.area import estimate_area, power_density
 
 __version__ = "1.0.0"
@@ -96,4 +119,8 @@ __all__ = [
     # simulation and reporting
     "Mapping", "simulate", "EnergyReport", "EnergyEntry", "Category",
     "estimate_area", "power_density",
+    # session API
+    "Design", "SimOptions", "SimResult", "Simulator", "run_design",
+    "build_usecase", "register_usecase", "design_from_spec",
+    "load_scenario",
 ]

@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro <command>``.
+"""Command-line entry point: ``python -m repro <command>`` (or ``repro``).
 
 Quick access to the headline experiments without writing any code:
 
@@ -10,19 +10,56 @@ Quick access to the headline experiments without writing any code:
     python -m repro threelayer   # Sony IMX400-style burst stack
     python -m repro survey       # Fig. 1 / Fig. 3 trend data
     python -m repro chip "JSSC'21-II"   # one validation chip in detail
+
+Plus the serialized-scenario workflow of the session API:
+
+    python -m repro run spec.json            # execute a scenario spec
+    python -m repro sweep spec.json --param frame_rate \\
+        --values 15,30,60,120                # sweep an option over a spec
+    python -m repro usecases                 # names `run` specs can reference
+
+Every command accepts ``--json`` (before or after the subcommand) to
+emit machine-readable output instead of tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import units
 
 
-def _cmd_validate(_args) -> int:
+def _emit_json(payload) -> int:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _wants_json(args) -> bool:
+    return getattr(args, "json", False)
+
+
+def _cmd_validate(args) -> int:
     from repro.validation import run_validation
-    print(run_validation().to_table())
+    summary = run_validation()
+    if _wants_json(args):
+        return _emit_json({
+            "mape": summary.mean_absolute_percentage_error,
+            "pearson": summary.pearson_correlation,
+            "chips": [
+                {
+                    "name": result.chip.name,
+                    "estimated_energy_per_pixel":
+                        result.estimated_energy_per_pixel,
+                    "reported_energy_per_pixel":
+                        result.reported_energy_per_pixel,
+                    "error": result.absolute_percentage_error,
+                }
+                for result in summary.results
+            ],
+        })
+    print(summary.to_table())
     return 0
 
 
@@ -30,6 +67,8 @@ def _cmd_fig5(args) -> int:
     from repro.analysis import identify_bottlenecks
     from repro.usecases.fig5 import run_fig5
     report = run_fig5(frame_rate=args.fps)
+    if _wants_json(args):
+        return _emit_json(report.to_dict())
     print(report.to_table())
     print("\nbottlenecks:")
     for bottleneck in identify_bottlenecks(report):
@@ -37,33 +76,53 @@ def _cmd_fig5(args) -> int:
     return 0
 
 
-def _cmd_rhythmic(_args) -> int:
-    from repro.usecases import rhythmic_configs, run_rhythmic
-    for config in rhythmic_configs():
-        report = run_rhythmic(config)
-        print(f"{config.label:16s} "
-              f"{units.format_energy(report.total_energy)}/frame "
-              f"({units.format_power(report.total_power)})")
-    return 0
-
-
-def _cmd_edgaze(_args) -> int:
-    from repro.usecases import edgaze_configs, run_edgaze
-    for config in edgaze_configs():
-        report = run_edgaze(config)
+def _run_config_grid(args, configs, run_one) -> int:
+    """Shared body of the rhythmic/edgaze exploration commands."""
+    reports = [(config, run_one(config)) for config in configs]
+    if _wants_json(args):
+        return _emit_json([{"label": config.label, **report.to_dict()}
+                           for config, report in reports])
+    for config, report in reports:
         print(f"{config.label:18s} "
               f"{units.format_energy(report.total_energy)}/frame "
               f"({units.format_power(report.total_power)})")
     return 0
 
 
-def _cmd_mixed(_args) -> int:
+def _cmd_rhythmic(args) -> int:
+    from repro.usecases import rhythmic_configs, run_rhythmic
+    return _run_config_grid(args, rhythmic_configs(), run_rhythmic)
+
+
+def _cmd_edgaze(args) -> int:
+    from repro.usecases import edgaze_configs, run_edgaze
+    return _run_config_grid(args, edgaze_configs(), run_edgaze)
+
+
+def _cmd_mixed(args) -> int:
     from repro.analysis import compare_reports
     from repro.usecases import UseCaseConfig, run_edgaze, run_edgaze_mixed
+    deltas = []
     for node in (130, 65):
         digital = run_edgaze(UseCaseConfig("2D-In", node))
         mixed = run_edgaze_mixed(node)
-        print(compare_reports(digital, mixed).describe())
+        deltas.append((node, compare_reports(digital, mixed)))
+    if _wants_json(args):
+        return _emit_json([
+            {
+                "cis_node": node,
+                "baseline": delta.baseline_name,
+                "candidate": delta.candidate_name,
+                "baseline_total": delta.baseline_total,
+                "candidate_total": delta.candidate_total,
+                "savings_fraction": delta.savings_fraction,
+                "by_category": {category.value: value for category, value
+                                in delta.by_category.items()},
+            }
+            for node, delta in deltas
+        ])
+    for _, delta in deltas:
+        print(delta.describe())
         print()
     return 0
 
@@ -71,6 +130,10 @@ def _cmd_mixed(_args) -> int:
 def _cmd_threelayer(args) -> int:
     from repro.usecases.threelayer import run_three_layer
     report = run_three_layer(burst_fps=args.fps)
+    if _wants_json(args):
+        payload = report.to_dict()
+        payload["by_layer"] = report.by_layer()
+        return _emit_json(payload)
     print(report.to_table())
     print("\nper-layer energy:")
     for layer, energy in report.by_layer().items():
@@ -86,6 +149,20 @@ def _cmd_chip(args) -> int:
         print(error.args[0], file=sys.stderr)
         return 1
     result = run_chip(chip)
+    if _wants_json(args):
+        return _emit_json({
+            "name": chip.name,
+            "description": chip.description,
+            "reference": chip.reference,
+            "process_node": chip.process_node,
+            "num_pixels": chip.num_pixels,
+            "frame_rate": chip.frame_rate,
+            "estimated_energy_per_pixel": result.estimated_energy_per_pixel,
+            "reported_energy_per_pixel": result.reported_energy_per_pixel,
+            "error": result.absolute_percentage_error,
+            "breakdown_per_pixel": result.breakdown_per_pixel(),
+            "breakdown_errors": result.breakdown_errors(),
+        })
     print(f"{chip.name} — {chip.description}")
     print(f"  {chip.reference}")
     print(f"  {chip.process_node}, {chip.num_pixels} px @ "
@@ -101,16 +178,22 @@ def _cmd_chip(args) -> int:
     return 0
 
 
-def _cmd_survey(_args) -> int:
+def _cmd_survey(args) -> int:
     from repro.survey import (cis_node_trend, node_gap_by_year,
                               percentages_by_year)
     rows = percentages_by_year()
+    slope, _ = cis_node_trend()
+    if _wants_json(args):
+        return _emit_json({
+            "fig1_percentages_by_year": rows,
+            "fig3_node_halving_years": -1 / slope,
+            "fig3_node_gap_by_year": node_gap_by_year(),
+        })
     print("Fig. 1 — computational share of CIS papers:")
     for row in rows[::4]:
         share = row["computational"] + row["stacked_computational"]
         print(f"  {row['year']}: {share:5.1f}% "
               f"(stacked {row['stacked_computational']:.1f}%)")
-    slope, _ = cis_node_trend()
     print(f"\nFig. 3 — CIS node halving period: {-1 / slope:.1f} years")
     for row in node_gap_by_year()[-3:]:
         print(f"  {row['year']}: CIS ~{row['cis_node_nm']:.0f} nm vs "
@@ -119,23 +202,133 @@ def _cmd_survey(_args) -> int:
     return 0
 
 
+def _cmd_usecases(args) -> int:
+    from repro.api import available_usecases
+    names = available_usecases()
+    if _wants_json(args):
+        return _emit_json(names)
+    for name in names:
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    """Execute one serialized scenario spec end to end."""
+    from repro.api import Simulator, load_scenario
+    from repro.exceptions import CamJError
+    try:
+        design, options = load_scenario(args.spec)
+    except (OSError, CamJError) as error:
+        print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
+        return 1
+    result = Simulator(options).run(design)
+    if _wants_json(args):
+        _emit_json(result.to_dict())
+        return 0 if result.ok else 1
+    if not result.ok:
+        print(f"{design.name}: {result.error_type}: {result.failure}",
+              file=sys.stderr)
+        return 1
+    print(result.report.to_table())
+    print(f"\ndesign hash  {result.design_hash}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Sweep one simulation option over a serialized scenario spec."""
+    from repro.api import Simulator, load_scenario
+    from repro.exceptions import CamJError, ConfigurationError
+    try:
+        design, options = load_scenario(args.spec)
+    except (OSError, CamJError) as error:
+        print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
+        return 1
+    try:
+        values = [float(raw) for raw in args.values.split(",") if raw]
+    except ValueError:
+        print(f"--values must be comma-separated numbers, "
+              f"got {args.values!r}", file=sys.stderr)
+        return 1
+    if not values:
+        print("--values must name at least one value", file=sys.stderr)
+        return 1
+    if args.param == "exposure_slots":
+        if any(value != int(value) for value in values):
+            print("--values for exposure_slots must be whole numbers, "
+                  f"got {args.values!r}", file=sys.stderr)
+            return 1
+        values = [int(value) for value in values]
+    try:
+        items = [(design, options.replace(**{args.param: value}))
+                 for value in values]
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    results = Simulator().run_many(items)
+    if _wants_json(args):
+        return _emit_json({
+            "design": design.name,
+            "design_hash": design.content_hash,
+            "param": args.param,
+            "points": [{"value": value, **result.to_dict()}
+                       for value, result in zip(values, results)],
+        })
+    print(f"sweep of {args.param} over {design.name}:")
+    for value, result in zip(values, results):
+        if result.ok:
+            print(f"  {value:>10g}  "
+                  f"{units.format_energy(result.report.total_energy)}/frame "
+                  f"({units.format_power(result.report.total_power)})")
+        else:
+            print(f"  {value:>10g}  infeasible: {result.failure}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    # SUPPRESS keeps a subcommand's unset flag from clobbering a --json
+    # given before the subcommand.
+    common.add_argument("--json", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="emit machine-readable JSON instead of tables")
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CamJ reproduction: CIS energy modeling experiments")
+    parser.add_argument("--json", action="store_true", default=False,
+                        help="emit machine-readable JSON instead of tables")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("validate", help="Fig. 7 nine-chip validation")
-    fig5 = sub.add_parser("fig5", help="the paper's running example")
+    sub.add_parser("validate", help="Fig. 7 nine-chip validation",
+                   parents=[common])
+    fig5 = sub.add_parser("fig5", help="the paper's running example",
+                          parents=[common])
     fig5.add_argument("--fps", type=float, default=30.0)
-    sub.add_parser("rhythmic", help="Fig. 9a exploration")
-    sub.add_parser("edgaze", help="Fig. 9b exploration")
-    sub.add_parser("mixed", help="Fig. 11 mixed-signal comparison")
-    three = sub.add_parser("threelayer", help="IMX400-style burst stack")
+    sub.add_parser("rhythmic", help="Fig. 9a exploration", parents=[common])
+    sub.add_parser("edgaze", help="Fig. 9b exploration", parents=[common])
+    sub.add_parser("mixed", help="Fig. 11 mixed-signal comparison",
+                   parents=[common])
+    three = sub.add_parser("threelayer", help="IMX400-style burst stack",
+                           parents=[common])
     three.add_argument("--fps", type=float, default=960.0)
-    sub.add_parser("survey", help="Fig. 1 / Fig. 3 trend data")
-    chip = sub.add_parser("chip", help="one validation chip in detail")
+    sub.add_parser("survey", help="Fig. 1 / Fig. 3 trend data",
+                   parents=[common])
+    chip = sub.add_parser("chip", help="one validation chip in detail",
+                          parents=[common])
     chip.add_argument("name", help="Table 2 chip name, e.g. JSSC'21-II")
+    sub.add_parser("usecases", help="registered builders spec files can use",
+                   parents=[common])
+    run = sub.add_parser("run", help="execute a serialized scenario spec",
+                         parents=[common])
+    run.add_argument("spec", help="path to a scenario spec JSON file")
+    sweep = sub.add_parser(
+        "sweep", help="sweep a simulation option over a scenario spec",
+        parents=[common])
+    sweep.add_argument("spec", help="path to a scenario spec JSON file")
+    sweep.add_argument("--param", default="frame_rate",
+                       choices=("frame_rate", "exposure_slots"),
+                       help="which SimOptions field to sweep")
+    sweep.add_argument("--values", required=True,
+                       help="comma-separated values, e.g. 15,30,60,120")
     return parser
 
 
@@ -148,6 +341,9 @@ _COMMANDS = {
     "mixed": _cmd_mixed,
     "threelayer": _cmd_threelayer,
     "survey": _cmd_survey,
+    "usecases": _cmd_usecases,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
 }
 
 

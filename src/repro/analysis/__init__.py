@@ -21,6 +21,7 @@ from repro.analysis.sweep import (
     SweepPoint,
     sweep_frame_rate,
     sweep_nodes,
+    sweep_parameter,
 )
 from repro.analysis.pareto import (
     DesignPoint,
@@ -39,6 +40,7 @@ __all__ = [
     "SweepPoint",
     "sweep_frame_rate",
     "sweep_nodes",
+    "sweep_parameter",
     "DesignPoint",
     "design_point",
     "pareto_front",

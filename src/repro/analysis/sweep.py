@@ -1,20 +1,30 @@
-"""Parameter sweeps over a rebuildable design.
+"""Parameter sweeps over rebuildable designs, batched through the session API.
 
-A sweep drives a *builder* — any callable returning ``(stages, system,
-mapping)`` — across a parameter range and records the resulting reports,
+A sweep drives a *builder* — any callable returning a
+:class:`repro.api.Design` or the legacy ``(stages, system, mapping)``
+triple — across a parameter range and records the resulting reports,
 marking points where the design stops being feasible (TimingError /
-StallError) instead of aborting: infeasibility boundaries are exactly what
-a designer sweeps to find.
+StallError) instead of aborting: infeasibility boundaries are exactly
+what a designer sweeps to find.
+
+All sweeps execute through :meth:`repro.api.Simulator.run_many`, so the
+points are simulated in parallel and identical designs (by content hash)
+are only evaluated once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.api.design import Design
+from repro.api.result import SimOptions, SimResult
+from repro.api.simulator import Simulator
 from repro.energy.report import EnergyReport
 from repro.exceptions import CamJError, ConfigurationError
-from repro.sim.simulator import simulate
+
+#: What a sweep builder may return.
+BuilderResult = Union[Design, tuple]
 
 
 @dataclass(frozen=True)
@@ -30,12 +40,73 @@ class SweepPoint:
         return self.report is not None
 
 
-def _evaluate(builder: Callable, frame_rate: float) -> EnergyReport:
-    stages, system, mapping = builder()
-    return simulate(stages, system, mapping, frame_rate=frame_rate)
+def _as_design(built: BuilderResult) -> Design:
+    if isinstance(built, Design):
+        return built
+    stages, system, mapping = built
+    return Design(stages, system, mapping)
 
 
-def sweep_frame_rate(builder: Callable, frame_rates: Sequence[float]
+def _to_points(parameters: Sequence[float],
+               results: Sequence[SimResult]) -> List[SweepPoint]:
+    return [SweepPoint(parameter=parameter, report=result.report,
+                       failure=result.failure)
+            for parameter, result in zip(parameters, results)]
+
+
+def _build_points(values: Sequence[float],
+                  build_one: Callable[[float], BuilderResult]
+                  ) -> Tuple[List[Tuple[float, Design]], List[SweepPoint]]:
+    """Build one design per value; a failing builder marks the point.
+
+    A value the builder itself rejects (bad node, inconsistent mapping —
+    any :class:`CamJError`) is an infeasibility boundary just like a
+    simulation-time failure, so it becomes a failed point instead of
+    aborting the sweep.
+    """
+    buildable: List[Tuple[float, Design]] = []
+    failed: List[SweepPoint] = []
+    for value in values:
+        try:
+            buildable.append((value, _as_design(build_one(value))))
+        except CamJError as error:
+            failed.append(SweepPoint(parameter=value, report=None,
+                                     failure=str(error)))
+    return buildable, failed
+
+
+def _merge_points(values: Sequence[float], simulated: List[SweepPoint],
+                  failed: List[SweepPoint]) -> List[SweepPoint]:
+    by_parameter = {point.parameter: point
+                    for point in [*simulated, *failed]}
+    return [by_parameter[value] for value in values]
+
+
+def sweep_parameter(builder_for_value: Callable[[float], BuilderResult],
+                    values: Sequence[float],
+                    options: Optional[SimOptions] = None,
+                    simulator: Optional[Simulator] = None
+                    ) -> List[SweepPoint]:
+    """Evaluate ``builder_for_value(value)`` across ``values``.
+
+    The generic sweep: the parameter may change anything — a process
+    node, a buffer size, a kernel width — as long as the builder returns
+    a complete design for each value.  Points are simulated in parallel
+    and come back in input order.
+    """
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    simulator = simulator if simulator is not None else Simulator(options)
+    buildable, failed = _build_points(values, builder_for_value)
+    results = simulator.run_many([design for _, design in buildable],
+                                 options=options)
+    simulated = _to_points([value for value, _ in buildable], results)
+    return _merge_points(values, simulated, failed)
+
+
+def sweep_frame_rate(builder: Callable[[], BuilderResult],
+                     frame_rates: Sequence[float],
+                     simulator: Optional[Simulator] = None
                      ) -> List[SweepPoint]:
     """Evaluate one design across FPS targets.
 
@@ -45,21 +116,22 @@ def sweep_frame_rate(builder: Callable, frame_rates: Sequence[float]
     """
     if not frame_rates:
         raise ConfigurationError("sweep needs at least one frame rate")
-    points = []
-    for fps in frame_rates:
-        try:
-            report = _evaluate(builder, fps)
-            points.append(SweepPoint(parameter=fps, report=report,
-                                     failure=None))
-        except CamJError as error:
-            points.append(SweepPoint(parameter=fps, report=None,
-                                     failure=str(error)))
-    return points
+    simulator = simulator if simulator is not None else Simulator()
+    # The design is the same at every point; build it exactly once.
+    try:
+        design = _as_design(builder())
+    except CamJError as error:
+        return [SweepPoint(parameter=fps, report=None, failure=str(error))
+                for fps in frame_rates]
+    items = [(design, SimOptions(frame_rate=fps)) for fps in frame_rates]
+    results = simulator.run_many(items)
+    return _to_points(frame_rates, results)
 
 
 def sweep_nodes(builder_for_node: Callable[[float], Callable],
                 nodes: Sequence[float],
-                frame_rate: float = 30.0) -> List[SweepPoint]:
+                frame_rate: float = 30.0,
+                simulator: Optional[Simulator] = None) -> List[SweepPoint]:
     """Evaluate a node-parameterized design across process nodes.
 
     ``builder_for_node(node)`` must return a zero-argument builder for the
@@ -67,13 +139,6 @@ def sweep_nodes(builder_for_node: Callable[[float], Callable],
     """
     if not nodes:
         raise ConfigurationError("sweep needs at least one node")
-    points = []
-    for node in nodes:
-        try:
-            report = _evaluate(builder_for_node(node), frame_rate)
-            points.append(SweepPoint(parameter=node, report=report,
-                                     failure=None))
-        except CamJError as error:
-            points.append(SweepPoint(parameter=node, report=None,
-                                     failure=str(error)))
-    return points
+    return sweep_parameter(lambda node: builder_for_node(node)(), nodes,
+                           options=SimOptions(frame_rate=frame_rate),
+                           simulator=simulator)

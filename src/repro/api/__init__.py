@@ -1,0 +1,42 @@
+"""The first-class session API: designs in, structured results out.
+
+This package turns the paper's three-part interface into values:
+
+* :class:`Design` — a frozen, hashable, JSON-serializable bundle of
+  ``(StageGraph, SensorSystem, Mapping)``;
+* :class:`SimOptions` / :class:`SimResult` — frozen run options and the
+  structured outcome (report or typed failure) of one simulation;
+* :class:`Simulator` — a session that runs designs, caches results by
+  content hash, and executes batches in parallel via ``run_many``;
+* the spec layer (:func:`load_scenario`, :func:`design_from_spec`) and
+  the use-case registry (:func:`build_usecase`), which make every
+  scenario storable, diffable, and replayable as plain JSON.
+"""
+
+from repro.api.design import Design
+from repro.api.registry import (
+    available_usecases,
+    build_usecase,
+    register_usecase,
+)
+from repro.api.result import SimOptions, SimResult
+from repro.api.serialize import DESIGN_SCHEMA
+from repro.api.simulator import BatchStats, CacheInfo, Simulator, run_design
+from repro.api.spec import design_from_spec, load_scenario, scenario_from_spec
+
+__all__ = [
+    "Design",
+    "SimOptions",
+    "SimResult",
+    "Simulator",
+    "BatchStats",
+    "CacheInfo",
+    "run_design",
+    "DESIGN_SCHEMA",
+    "design_from_spec",
+    "scenario_from_spec",
+    "load_scenario",
+    "build_usecase",
+    "register_usecase",
+    "available_usecases",
+]

@@ -1,0 +1,217 @@
+"""The first-class design object: one complete, serializable scenario.
+
+A :class:`Design` bundles the paper's three-part programming interface
+(Fig. 5) — the algorithm :class:`~repro.sw.dag.StageGraph`, the hardware
+:class:`~repro.hw.chip.SensorSystem`, and the
+:class:`~repro.sim.mapping.Mapping` between them — into a single frozen
+value that can be hashed, serialized to JSON, stored, diffed, and
+replayed.  It also unpacks like the legacy ``(stages, system, mapping)``
+triple, so every pre-existing consumer of the builder functions keeps
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.api import serialize
+from repro.exceptions import SerializationError
+from repro.hw.chip import SensorSystem
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import Stage
+
+
+class Design:
+    """A frozen ``(stages, system, mapping)`` bundle.
+
+    Parameters
+    ----------
+    stages:
+        A :class:`StageGraph` or the plain stage list of ``camj_sw_config``.
+    system:
+        The hardware description.
+    mapping:
+        A :class:`Mapping` or the plain dict of ``camj_mapping``.
+    name:
+        Optional label; defaults to the system name.
+
+    The mapping is validated against both descriptions at construction,
+    so an inconsistent design fails fast rather than at simulation time.
+    Freezing is shallow: the bundled objects are not copied, and mutating
+    them after construction invalidates the cached content hash.
+    """
+
+    __slots__ = ("_stages", "_graph", "_system", "_mapping", "_name",
+                 "_hash_cache")
+
+    def __init__(self, stages: Union[StageGraph, Sequence[Stage]],
+                 system: SensorSystem,
+                 mapping: Union[Mapping, Dict[str, str]],
+                 name: Optional[str] = None):
+        if isinstance(stages, StageGraph):
+            graph = stages
+            stage_list = list(stages.stages)
+        else:
+            stage_list = list(stages)
+            graph = StageGraph(stage_list)
+        mapping = mapping if isinstance(mapping, Mapping) else Mapping(mapping)
+        mapping.validate(graph, system)
+        object.__setattr__(self, "_stages", stage_list)
+        object.__setattr__(self, "_graph", graph)
+        object.__setattr__(self, "_system", system)
+        object.__setattr__(self, "_mapping", mapping)
+        object.__setattr__(self, "_name",
+                           name if name is not None else system.name)
+        object.__setattr__(self, "_hash_cache", None)
+
+    # --- frozen-ness ------------------------------------------------------
+
+    def __setattr__(self, attr: str, value: Any) -> None:
+        raise AttributeError(
+            f"Design is frozen; cannot set {attr!r}")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(
+            f"Design is frozen; cannot delete {attr!r}")
+
+    # --- the three parts ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable label of the scenario."""
+        return self._name
+
+    @property
+    def stages(self) -> List[Stage]:
+        """The algorithm stages, in declaration order."""
+        return list(self._stages)
+
+    @property
+    def graph(self) -> StageGraph:
+        """The validated algorithm DAG."""
+        return self._graph
+
+    @property
+    def system(self) -> SensorSystem:
+        """The hardware description."""
+        return self._system
+
+    @property
+    def mapping(self) -> Mapping:
+        """The stage-to-hardware mapping."""
+        return self._mapping
+
+    # --- legacy triple protocol ---------------------------------------------
+
+    def __iter__(self) -> Iterator:
+        """Unpack like the legacy ``(stages, system, mapping)`` triple."""
+        return iter(self.as_tuple())
+
+    def __len__(self) -> int:
+        return 3
+
+    def __getitem__(self, index):
+        return self.as_tuple()[index]
+
+    def as_tuple(self):
+        """``(stage_list, system, mapping_dict)`` — the legacy triple."""
+        return (list(self._stages), self._system,
+                dict(self._mapping.assignments))
+
+    # --- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned, JSON-compatible payload (see ``repro.api.serialize``)."""
+        return serialize.encode_design(self._stages, self._system,
+                                       self._mapping, name=self._name)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Design":
+        """Inverse of :meth:`to_dict`."""
+        graph, system, mapping, name = serialize.decode_design_parts(payload)
+        return cls(graph, system, mapping, name=name)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The design as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "Design":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise SerializationError(
+                f"design document is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+    def save(self, path) -> None:
+        """Write the design spec to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Design":
+        """Read a design spec written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # --- identity ---------------------------------------------------------
+
+    @property
+    def content_hash(self) -> str:
+        """Stable SHA-256 over the canonical serialized form.
+
+        Two designs built independently from the same parameters hash
+        identically; the hash keys the :class:`~repro.api.Simulator`
+        result cache and names archived reports.
+        """
+        cached = self._hash_cache
+        if cached is None:
+            try:
+                canonical = json.dumps(self.to_dict(), sort_keys=True,
+                                       separators=(",", ":"))
+            except SerializationError as error:
+                # Remember the failure too: custom-typed designs would
+                # otherwise re-walk the whole tree on every hash/eq/key.
+                object.__setattr__(self, "_hash_cache", error)
+                raise
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_hash_cache", cached)
+        if isinstance(cached, SerializationError):
+            raise cached
+        return cached
+
+    def _content_hash_or_none(self) -> Optional[str]:
+        try:
+            return self.content_hash
+        except SerializationError:
+            # Custom stage/cell/unit types simulate fine but have no
+            # canonical form; such designs fall back to identity.
+            return None
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Design):
+            return NotImplemented
+        if self is other:
+            return True
+        ours, theirs = self._content_hash_or_none(), \
+            other._content_hash_or_none()
+        if ours is None or theirs is None:
+            return False
+        return ours == theirs
+
+    def __hash__(self) -> int:
+        digest = self._content_hash_or_none()
+        return hash(digest) if digest is not None else id(self)
+
+    def __repr__(self) -> str:
+        try:
+            digest = self.content_hash[:12]
+        except SerializationError:
+            digest = "<unhashable>"
+        return (f"Design({self._name!r}, stages={len(self._stages)}, "
+                f"hash={digest})")

@@ -1,0 +1,144 @@
+"""Session options and structured simulation results.
+
+:class:`SimOptions` captures everything :func:`repro.simulate` used to
+take as loose keyword arguments, as one frozen, hashable value —
+simulator sessions carry it, batches override it per design, and result
+caches key on it.  :class:`SimResult` is the structured outcome of one
+simulation: either an :class:`~repro.energy.report.EnergyReport` or a
+typed failure, so batch consumers (sweeps, the CLI) no longer hand-roll
+``try/except CamJError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.energy.report import EnergyReport
+from repro.exceptions import CamJError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Frozen simulation options (the former ``simulate()`` kwargs).
+
+    ``frame_rate``
+        FPS target the analog delays are inferred from (Sec. 4.1).
+    ``exposure_slots``
+        Analog pipeline slots the exposure phase occupies (Fig. 6 uses 1).
+    ``cycle_accurate``
+        Use the event-driven per-cycle digital simulator instead of the
+        analytical timeline.
+    ``skip_checks``
+        Skip the pre-simulation design checks (expert escape hatch).
+    """
+
+    frame_rate: float = 30.0
+    exposure_slots: int = 1
+    cycle_accurate: bool = False
+    skip_checks: bool = False
+
+    def __post_init__(self) -> None:
+        # Spec files hand us arbitrary JSON values: type-check before
+        # comparing, so a string frame rate fails cleanly.
+        if isinstance(self.frame_rate, bool) \
+                or not isinstance(self.frame_rate, (int, float)):
+            raise ConfigurationError(
+                f"frame rate must be a number, got {self.frame_rate!r}")
+        if isinstance(self.exposure_slots, bool) \
+                or not isinstance(self.exposure_slots, int):
+            raise ConfigurationError(
+                f"exposure slots must be an integer, "
+                f"got {self.exposure_slots!r}")
+        if not isinstance(self.cycle_accurate, bool) \
+                or not isinstance(self.skip_checks, bool):
+            raise ConfigurationError(
+                "cycle_accurate and skip_checks must be booleans")
+        if self.frame_rate <= 0:
+            raise ConfigurationError(
+                f"frame rate must be positive, got {self.frame_rate}")
+        if self.exposure_slots < 1:
+            raise ConfigurationError(
+                f"exposure slots must be >= 1, got {self.exposure_slots}")
+
+    def replace(self, **changes: Any) -> "SimOptions":
+        """A copy with some fields changed."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (the ``options`` block of a spec file)."""
+        return {
+            "frame_rate": self.frame_rate,
+            "exposure_slots": self.exposure_slots,
+            "cycle_accurate": self.cycle_accurate,
+            "skip_checks": self.skip_checks,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimOptions":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"options must be an object, got {type(payload).__name__}")
+        known = {"frame_rate", "exposure_slots", "cycle_accurate",
+                 "skip_checks"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown simulation options: {sorted(unknown)}; "
+                f"supported: {sorted(known)}")
+        return cls(**payload)
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one design under one set of options.
+
+    Exactly one of ``report`` / ``error`` is set.  ``error`` keeps the
+    original :class:`CamJError` instance so :meth:`unwrap` re-raises it
+    unchanged for callers that want the legacy raising behavior.
+    """
+
+    design_name: str
+    options: SimOptions
+    design_hash: Optional[str] = None
+    report: Optional[EnergyReport] = None
+    error: Optional[CamJError] = field(default=None, repr=False)
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the simulation produced a report."""
+        return self.report is not None
+
+    @property
+    def error_type(self) -> Optional[str]:
+        """Class name of the captured failure, if any."""
+        return type(self.error).__name__ if self.error is not None else None
+
+    @property
+    def failure(self) -> Optional[str]:
+        """Human-readable failure message, if any."""
+        return str(self.error) if self.error is not None else None
+
+    def unwrap(self) -> EnergyReport:
+        """The report, or re-raise the captured failure."""
+        if self.error is not None:
+            raise self.error
+        assert self.report is not None
+        return self.report
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form, report or typed failure included."""
+        return {
+            "design": self.design_name,
+            "design_hash": self.design_hash,
+            "options": self.options.to_dict(),
+            "ok": self.ok,
+            "report": self.report.to_dict() if self.report else None,
+            "error": ({"type": self.error_type, "message": self.failure}
+                      if self.error is not None else None),
+            "elapsed_s": self.elapsed_s,
+            "cached": self.cached,
+        }

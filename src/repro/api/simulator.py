@@ -1,0 +1,334 @@
+"""The simulator session: cached, parallel execution of designs.
+
+A :class:`Simulator` carries a default :class:`~repro.api.result.SimOptions`
+and turns :class:`~repro.api.design.Design` values into structured
+:class:`~repro.api.result.SimResult` outcomes.  :meth:`Simulator.run_many`
+fans a batch out across a thread pool and deduplicates identical
+``(design, options)`` jobs through a content-hash-keyed result cache, so
+sweeps and exploration grids pay for each distinct scenario exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, replace
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api.design import Design
+from repro.api.result import SimOptions, SimResult
+from repro.exceptions import CamJError, ConfigurationError, SerializationError
+from repro.sim.simulator import _simulate_graph
+
+#: One batch item: a bare design (session options apply) or an explicit
+#: ``(design, options)`` pair.
+BatchItem = Union[Design, Tuple[Design, SimOptions]]
+
+#: Sentinel first element of batch keys for unserializable designs:
+#: such jobs still fan out to workers but bypass dedup and the cache.
+_UNCACHED = object()
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """What the last :meth:`Simulator.run_many` call actually did."""
+
+    total: int
+    unique: int
+    cache_hits: int
+    max_workers: int
+    workers_used: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Result-cache counters of one simulator session."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+class Simulator:
+    """A simulation session over :class:`Design` values.
+
+    Parameters
+    ----------
+    options:
+        Session-default options; ``None`` means ``SimOptions()``.
+    max_workers:
+        Thread-pool width for :meth:`run_many`.  Defaults to
+        ``min(len(batch), max(2, os.cpu_count()))`` so batches always
+        exercise multiple workers.
+    cache:
+        Enable per-design result caching keyed by
+        ``(design.content_hash, options)``.  Designs containing custom,
+        unserializable parts are simulated but never cached.
+    executor:
+        ``"thread"`` (default) fans batches across a thread pool;
+        ``"process"`` ships each design's serialized payload to a
+        :class:`~concurrent.futures.ProcessPoolExecutor` worker, which
+        sidesteps the GIL for CPU-bound batches on multi-core machines
+        at the cost of per-worker startup.
+
+    The session is thread-safe: ``run`` may be called concurrently,
+    which is exactly what ``run_many`` does.
+    """
+
+    _EXECUTORS = ("thread", "process")
+
+    def __init__(self, options: Optional[SimOptions] = None, *,
+                 max_workers: Optional[int] = None,
+                 cache: bool = True,
+                 executor: str = "thread"):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}")
+        if executor not in self._EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {self._EXECUTORS}, "
+                f"got {executor!r}")
+        self.options = options if options is not None else SimOptions()
+        self._max_workers = max_workers
+        self._executor_kind = executor
+        self._cache_enabled = cache
+        self._cache: Dict[Tuple[str, SimOptions], SimResult] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._lock = threading.Lock()
+        self.last_batch_stats: Optional[BatchStats] = None
+
+    # --- single runs ------------------------------------------------------
+
+    def run(self, design: Design,
+            options: Optional[SimOptions] = None) -> SimResult:
+        """Simulate one design; failures come back as typed results.
+
+        Framework errors (:class:`CamJError` subclasses — timing, stall,
+        check, mapping failures) are captured into the result; genuine
+        programming errors still propagate.
+        """
+        if not isinstance(design, Design):
+            raise ConfigurationError(
+                f"Simulator.run expects a Design, got "
+                f"{type(design).__name__}; wrap the legacy triple via "
+                f"Design(stages, system, mapping)")
+        resolved = options if options is not None else self.options
+        key = self._job_key(design, resolved)
+        if key is not None and self._cache_enabled:
+            with self._lock:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._cache_hits += 1
+                    return replace(hit, cached=True)
+                self._cache_misses += 1
+        result = self._execute(design, resolved, key)
+        if key is not None and self._cache_enabled:
+            with self._lock:
+                self._cache.setdefault(key, result)
+        return result
+
+    def _execute(self, design: Design, options: SimOptions,
+                 key: Optional[Tuple[str, SimOptions]]) -> SimResult:
+        started = time.perf_counter()
+        design_hash = key[0] if key is not None else None
+        try:
+            report = _simulate_graph(
+                design.graph, design.system, design.mapping,
+                frame_rate=options.frame_rate,
+                exposure_slots=options.exposure_slots,
+                cycle_accurate=options.cycle_accurate,
+                skip_checks=options.skip_checks,
+                mapping_validated=True)  # Design validated at construction
+            return SimResult(design_name=design.name, options=options,
+                             design_hash=design_hash, report=report,
+                             elapsed_s=time.perf_counter() - started)
+        except CamJError as error:
+            return SimResult(design_name=design.name, options=options,
+                             design_hash=design_hash, error=error,
+                             elapsed_s=time.perf_counter() - started)
+
+    def _job_key(self, design: Design, options: SimOptions
+                 ) -> Optional[Tuple[str, SimOptions]]:
+        """Content identity of one job; ``None`` when unserializable."""
+        try:
+            return (design.content_hash, options)
+        except SerializationError:
+            return None
+
+    # --- batch runs -------------------------------------------------------
+
+    def run_many(self, items: Iterable[BatchItem],
+                 options: Optional[SimOptions] = None) -> List[SimResult]:
+        """Simulate a batch in parallel; results come back in input order.
+
+        ``items`` mixes bare designs and ``(design, options)`` pairs;
+        bare designs use ``options`` (or the session default).  Identical
+        ``(design, options)`` jobs — by content hash — are executed once
+        and fanned back out to every requesting slot.
+        """
+        jobs = [self._normalize_item(item, options) for item in items]
+        if not jobs:
+            return []
+
+        # Deduplicate by content: one worker job per distinct scenario.
+        # Unserializable designs get a per-slot sentinel key — never
+        # cached or deduplicated, but still fanned out (thread mode).
+        unique: Dict[Any, Tuple[Design, SimOptions]] = {}
+        slots: List[Any] = []
+        deduplicated = 0
+        for index, (design, resolved) in enumerate(jobs):
+            key = self._job_key(design, resolved)
+            if key is None:
+                if self._executor_kind == "process":
+                    # Can't ship a payload to a worker process; the
+                    # assembly loop below runs these in-line.
+                    slots.append((None, design, resolved))
+                    continue
+                key = (_UNCACHED, index)
+            if key in unique:
+                deduplicated += 1
+            else:
+                unique[key] = (design, resolved)
+            slots.append((key, design, resolved))
+
+        hits_before = self._cache_hits
+        started = time.perf_counter()
+
+        # Serve cache hits up front: a warm batch never touches a pool.
+        outcomes: Dict[Any, SimResult] = {}
+        pending: Dict[Any, Tuple[Design, SimOptions]] = {}
+        for key, job in unique.items():
+            if self._cache_enabled and key[0] is not _UNCACHED:
+                with self._lock:
+                    hit = self._cache.get(key)
+                if hit is not None:
+                    with self._lock:
+                        self._cache_hits += 1
+                    outcomes[key] = replace(hit, cached=True)
+                    continue
+            pending[key] = job
+
+        max_workers = self._max_workers
+        if max_workers is None:
+            max_workers = min(max(len(pending), 1),
+                              max(2, os.cpu_count() or 1))
+        worker_ids = set()
+
+        if pending:
+            if self._executor_kind == "process":
+                outcomes.update(self._run_unique_in_processes(
+                    pending, max_workers, worker_ids))
+            else:
+                outcomes.update(self._run_unique_in_threads(
+                    pending, max_workers, worker_ids))
+
+        results: List[SimResult] = []
+        for key, design, resolved in slots:
+            if key is None:
+                results.append(self.run(design, resolved))
+            else:
+                results.append(outcomes[key])
+
+        self.last_batch_stats = BatchStats(
+            total=len(jobs), unique=len(jobs) - deduplicated,
+            cache_hits=self._cache_hits - hits_before,
+            max_workers=max_workers, workers_used=len(worker_ids),
+            elapsed_s=time.perf_counter() - started)
+        return results
+
+    def _run_unique_in_threads(self, pending, max_workers, worker_ids
+                               ) -> Dict[Any, SimResult]:
+        def job(design: Design, resolved: SimOptions) -> SimResult:
+            worker_ids.add(threading.get_ident())
+            return self.run(design, resolved)
+
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = {key: pool.submit(job, design, resolved)
+                       for key, (design, resolved) in pending.items()}
+            return {key: future.result()
+                    for key, future in futures.items()}
+
+    def _run_unique_in_processes(self, pending, max_workers, worker_ids
+                                 ) -> Dict[Any, SimResult]:
+        """Fan cache-missing jobs out as serialized payloads."""
+        outcomes: Dict[Any, SimResult] = {}
+        if self._cache_enabled:
+            with self._lock:
+                self._cache_misses += len(pending)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                key: pool.submit(_subprocess_job, design.to_dict(),
+                                 resolved)
+                for key, (design, resolved) in pending.items()}
+            for key, future in futures.items():
+                pid, result = future.result()
+                worker_ids.add(pid)
+                result = replace(result, design_hash=key[0])
+                if self._cache_enabled:
+                    with self._lock:
+                        self._cache.setdefault(key, result)
+                outcomes[key] = result
+        return outcomes
+
+    def _normalize_item(self, item: BatchItem,
+                        options: Optional[SimOptions]
+                        ) -> Tuple[Design, SimOptions]:
+        if isinstance(item, Design):
+            return item, (options if options is not None else self.options)
+        try:
+            design, item_options = item
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"run_many items must be Design or (Design, SimOptions), "
+                f"got {type(item).__name__}") from None
+        if not isinstance(design, Design) \
+                or not isinstance(item_options, SimOptions):
+            raise ConfigurationError(
+                f"run_many items must be Design or (Design, SimOptions), "
+                f"got ({type(design).__name__}, "
+                f"{type(item_options).__name__})")
+        return design, item_options
+
+    # --- cache management -------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/size counters of the session result cache."""
+        with self._lock:
+            return CacheInfo(hits=self._cache_hits,
+                             misses=self._cache_misses,
+                             size=len(self._cache))
+
+    def clear_cache(self) -> None:
+        """Drop cached results (counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+
+def _subprocess_job(payload: Dict[str, Any],
+                    options: SimOptions) -> Tuple[int, SimResult]:
+    """Worker body of the process executor: rebuild, simulate, return.
+
+    The design travels as its serialized payload (always picklable),
+    so worker processes never depend on pickling user-built objects.
+    """
+    design = Design.from_dict(payload)
+    result = Simulator(cache=False)._execute(design, options, None)
+    return os.getpid(), result
+
+
+def run_design(design: Design,
+               options: Optional[SimOptions] = None,
+               **overrides) -> "SimResult":
+    """One-shot convenience: simulate a design with fresh session state.
+
+    Keyword overrides are :class:`SimOptions` fields, e.g.
+    ``run_design(design, frame_rate=60)``.
+    """
+    base = options if options is not None else SimOptions()
+    if overrides:
+        base = base.replace(**overrides)
+    return Simulator(base, cache=False).run(design)

@@ -1,0 +1,77 @@
+"""Scenario spec files: the JSON form of (design, options).
+
+A *scenario spec* is what ``python -m repro run <spec.json>`` executes
+and what :meth:`repro.api.Design.save` + an ``options`` block archives.
+Three layouts are accepted:
+
+1. Full scenario::
+
+       {"design": {... Design.to_dict() payload ...},
+        "options": {"frame_rate": 60.0}}
+
+2. Registry reference::
+
+       {"design": {"usecase": "edgaze",
+                   "params": {"placement": "2D-In", "cis_node": 65}},
+        "options": {"frame_rate": 30.0}}
+
+3. Bare design payload (``schema`` key at top level): default options.
+
+The ``options`` block is optional everywhere and follows
+:meth:`repro.api.SimOptions.to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+from repro.api.design import Design
+from repro.api.registry import build_usecase
+from repro.api.result import SimOptions
+from repro.api.serialize import DESIGN_SCHEMA
+from repro.exceptions import SerializationError
+
+
+def design_from_spec(payload: Dict[str, Any]) -> Design:
+    """A design from either a structural payload or a registry reference."""
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"design spec must be an object, got {type(payload).__name__}")
+    if "usecase" in payload:
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise SerializationError(
+                f"usecase 'params' must be an object, "
+                f"got {type(params).__name__}")
+        return build_usecase(payload["usecase"], **params)
+    if payload.get("schema") == DESIGN_SCHEMA:
+        return Design.from_dict(payload)
+    raise SerializationError(
+        "design spec needs either a 'usecase' reference or a "
+        f"{DESIGN_SCHEMA!r} structural payload")
+
+
+def scenario_from_spec(payload: Dict[str, Any]
+                       ) -> Tuple[Design, SimOptions]:
+    """``(design, options)`` from any accepted spec layout."""
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"scenario spec must be an object, got {type(payload).__name__}")
+    if "design" in payload:
+        design = design_from_spec(payload["design"])
+        options = SimOptions.from_dict(payload.get("options", {}))
+        return design, options
+    # Bare design payload (or bare usecase reference): default options.
+    return design_from_spec(payload), SimOptions()
+
+
+def load_scenario(path) -> Tuple[Design, SimOptions]:
+    """Read a scenario spec file written as JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise SerializationError(
+                f"spec file {path} is not valid JSON: {error}") from error
+    return scenario_from_spec(payload)

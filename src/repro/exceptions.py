@@ -41,3 +41,7 @@ class TimingError(CamJError):
 
 class SimulationError(CamJError):
     """The cycle-level simulation reached an inconsistent state."""
+
+
+class SerializationError(ConfigurationError):
+    """A design cannot be converted to/from its serialized spec form."""

@@ -1,9 +1,16 @@
 """The top-level CamJ simulation entry point (Fig. 4).
 
-:func:`simulate` ties the framework together: DAG validation, mapping
-resolution, pre-simulation design checks, cycle-level digital simulation,
-frame-rate-driven delay inference, and the three energy models, producing
-a component-level :class:`repro.energy.report.EnergyReport`.
+:func:`_simulate_graph` is the engine that ties the framework together:
+DAG validation, mapping resolution, pre-simulation design checks,
+cycle-level digital simulation, frame-rate-driven delay inference, and
+the three energy models, producing a component-level
+:class:`repro.energy.report.EnergyReport`.
+
+:func:`simulate` is the thin functional wrapper kept for backward
+compatibility; new code should prefer the session API
+(:class:`repro.api.Simulator` over :class:`repro.api.Design`), which
+adds structured results, caching, and parallel batch execution on top
+of the same engine.
 """
 
 from __future__ import annotations
@@ -23,41 +30,19 @@ from repro.sw.dag import StageGraph
 from repro.sw.stage import Stage
 
 
-def simulate(stages: Union[StageGraph, Sequence[Stage]],
-             system: SensorSystem,
-             mapping: Union[Mapping, Dict[str, str]],
-             frame_rate: float,
-             exposure_slots: int = 1,
-             cycle_accurate: bool = False,
-             skip_checks: bool = False) -> EnergyReport:
-    """Estimate the per-frame energy of ``system`` running ``stages``.
+def _simulate_graph(graph: StageGraph, system: SensorSystem,
+                    mapping: Mapping, frame_rate: float,
+                    exposure_slots: int = 1,
+                    cycle_accurate: bool = False,
+                    skip_checks: bool = False,
+                    mapping_validated: bool = False) -> EnergyReport:
+    """The simulation engine over already-normalized design objects.
 
-    Parameters
-    ----------
-    stages:
-        A :class:`StageGraph` or the plain stage list of ``camj_sw_config``.
-    system:
-        The hardware description.
-    mapping:
-        A :class:`Mapping` or the plain dict of ``camj_mapping``.
-    frame_rate:
-        The FPS target the analog delays are inferred from (Sec. 4.1).
-    exposure_slots:
-        Analog pipeline slots the exposure phase occupies (Fig. 6 uses 1).
-    cycle_accurate:
-        Use the event-driven per-cycle simulator for the digital latency
-        instead of the analytical timeline (slower; uniform clock only).
-    skip_checks:
-        Skip the pre-simulation design checks (expert escape hatch).
-
-    Returns
-    -------
-    EnergyReport
-        Component-level energy entries plus the inferred timing facts.
+    ``mapping_validated`` lets callers that validated at construction
+    time (:class:`repro.api.Design`) skip re-validating per run.
     """
-    graph = stages if isinstance(stages, StageGraph) else StageGraph(stages)
-    mapping = mapping if isinstance(mapping, Mapping) else Mapping(mapping)
-    mapping.validate(graph, system)
+    if not mapping_validated:
+        mapping.validate(graph, system)
     if not skip_checks:
         run_pre_simulation_checks(graph, system, mapping)
 
@@ -84,3 +69,47 @@ def simulate(stages: Union[StageGraph, Sequence[Stage]],
     report.extend(digital_energy(system, timeline, timing.frame_time))
     report.extend(communication_energy(graph, system, mapping))
     return report
+
+
+def simulate(stages: Union[StageGraph, Sequence[Stage]],
+             system: SensorSystem,
+             mapping: Union[Mapping, Dict[str, str]],
+             frame_rate: float,
+             exposure_slots: int = 1,
+             cycle_accurate: bool = False,
+             skip_checks: bool = False) -> EnergyReport:
+    """Estimate the per-frame energy of ``system`` running ``stages``.
+
+    Back-compat wrapper: normalizes the loose argument triple and runs
+    the engine once.  Equivalent to
+    ``Simulator(SimOptions(...)).run(Design(stages, system, mapping)).unwrap()``.
+
+    Parameters
+    ----------
+    stages:
+        A :class:`StageGraph` or the plain stage list of ``camj_sw_config``.
+    system:
+        The hardware description.
+    mapping:
+        A :class:`Mapping` or the plain dict of ``camj_mapping``.
+    frame_rate:
+        The FPS target the analog delays are inferred from (Sec. 4.1).
+    exposure_slots:
+        Analog pipeline slots the exposure phase occupies (Fig. 6 uses 1).
+    cycle_accurate:
+        Use the event-driven per-cycle simulator for the digital latency
+        instead of the analytical timeline (slower; uniform clock only).
+    skip_checks:
+        Skip the pre-simulation design checks (expert escape hatch).
+
+    Returns
+    -------
+    EnergyReport
+        Component-level energy entries plus the inferred timing facts.
+    """
+    graph = stages if isinstance(stages, StageGraph) else StageGraph(stages)
+    mapping = mapping if isinstance(mapping, Mapping) else Mapping(mapping)
+    return _simulate_graph(graph, system, mapping, frame_rate=frame_rate,
+                           exposure_slots=exposure_slots,
+                           cycle_accurate=cycle_accurate,
+                           skip_checks=skip_checks)

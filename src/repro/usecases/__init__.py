@@ -15,6 +15,14 @@ from repro.usecases.edgaze_mixed import (
     build_edgaze_mixed,
     run_edgaze_mixed,
 )
+from repro.usecases.fig5 import (
+    build_fig5_design,
+    run_fig5,
+)
+from repro.usecases.threelayer import (
+    build_three_layer,
+    run_three_layer,
+)
 
 __all__ = [
     "UseCaseConfig",
@@ -28,4 +36,8 @@ __all__ = [
     "edgaze_configs",
     "build_edgaze_mixed",
     "run_edgaze_mixed",
+    "build_fig5_design",
+    "run_fig5",
+    "build_three_layer",
+    "run_three_layer",
 ]

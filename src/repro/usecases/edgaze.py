@@ -11,9 +11,12 @@ paper's Finding 1/2.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro import units
+from repro.api.design import Design
+from repro.api.result import SimOptions
+from repro.api.simulator import run_design
 from repro.energy.report import EnergyReport
 from repro.hw.analog.array import AnalogArray
 from repro.hw.analog.components import ActivePixelSensor, ColumnADC
@@ -22,7 +25,6 @@ from repro.hw.digital.compute import ComputeUnit, SystolicArray
 from repro.hw.digital.memory import DoubleBuffer, LineBuffer
 from repro.hw.layer import COMPUTE_LAYER, Layer, SENSOR_LAYER
 from repro.memlib import SRAMModel, STTRAMModel
-from repro.sim.simulator import simulate
 from repro.sw.stage import Conv2DStage, PixelInput, ProcessStage
 from repro.tech import mac_energy
 from repro.usecases.common import FRAME_RATE, UseCaseConfig
@@ -58,9 +60,12 @@ def edgaze_stages() -> List:
     return [source, downsample, subtract, dnn]
 
 
-def build_edgaze(config: UseCaseConfig
-                 ) -> Tuple[List, SensorSystem, Dict[str, str]]:
-    """Build the Ed-Gaze stages/hardware/mapping for one configuration."""
+def build_edgaze(config: UseCaseConfig) -> Design:
+    """Build the Ed-Gaze scenario for one configuration.
+
+    Returns a :class:`Design` (which still unpacks like the legacy
+    ``(stages, system, mapping)`` triple).
+    """
     stages = edgaze_stages()
 
     layers = [Layer(SENSOR_LAYER, config.cis_node)]
@@ -162,13 +167,13 @@ def build_edgaze(config: UseCaseConfig
 
     mapping = {"Input": "PixelArray", "Downsample": "DownsamplePE",
                "FrameSubtract": "SubtractPE", "RoiDNN": "DNNArray"}
-    return stages, system, mapping
+    return Design(stages, system, mapping)
 
 
 def run_edgaze(config: UseCaseConfig) -> EnergyReport:
     """Simulate one Ed-Gaze configuration at the 30 FPS target."""
-    stages, system, mapping = build_edgaze(config)
-    return simulate(stages, system, mapping, frame_rate=FRAME_RATE)
+    return run_design(build_edgaze(config),
+                      SimOptions(frame_rate=FRAME_RATE)).unwrap()
 
 
 def edgaze_configs() -> List[UseCaseConfig]:

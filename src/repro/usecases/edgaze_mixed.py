@@ -15,9 +15,10 @@ come from (Finding 3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
 from repro import units
+from repro.api.design import Design
+from repro.api.result import SimOptions
+from repro.api.simulator import run_design
 from repro.energy.report import EnergyReport
 from repro.hw.analog.array import AnalogArray
 from repro.hw.analog.cells import DynamicCell, OpAmp
@@ -34,7 +35,6 @@ from repro.hw.digital.compute import SystolicArray
 from repro.hw.digital.memory import DoubleBuffer
 from repro.hw.layer import Layer, SENSOR_LAYER
 from repro.memlib import SRAMModel
-from repro.sim.simulator import simulate
 from repro.tech import mac_energy
 from repro.usecases.common import FRAME_RATE
 from repro.usecases.edgaze import (
@@ -49,9 +49,12 @@ from repro.usecases.edgaze import (
 ANALOG_CAPACITANCE = 100 * units.fF
 
 
-def build_edgaze_mixed(cis_node: int
-                       ) -> Tuple[List, SensorSystem, Dict[str, str]]:
-    """Build the Fig. 10 mixed-signal Ed-Gaze at one CIS node."""
+def build_edgaze_mixed(cis_node: int) -> Design:
+    """Build the Fig. 10 mixed-signal Ed-Gaze at one CIS node.
+
+    Returns a :class:`Design` (which still unpacks like the legacy
+    ``(stages, system, mapping)`` triple).
+    """
     stages = edgaze_stages()
 
     system = SensorSystem(f"Ed-Gaze 2D-In-Mixed ({cis_node}nm)",
@@ -147,10 +150,10 @@ def build_edgaze_mixed(cis_node: int
     mapping = {"Input": "PixelArray", "Downsample": "PixelArray",
                "FrameSubtract": "AnalogSubtractArray",
                "RoiDNN": "DNNArray"}
-    return stages, system, mapping
+    return Design(stages, system, mapping)
 
 
 def run_edgaze_mixed(cis_node: int) -> EnergyReport:
     """Simulate the mixed-signal Ed-Gaze at one CIS node, 30 FPS."""
-    stages, system, mapping = build_edgaze_mixed(cis_node)
-    return simulate(stages, system, mapping, frame_rate=FRAME_RATE)
+    return run_design(build_edgaze_mixed(cis_node),
+                      SimOptions(frame_rate=FRAME_RATE)).unwrap()

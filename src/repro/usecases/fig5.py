@@ -10,6 +10,9 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro import units
+from repro.api.design import Design
+from repro.api.result import SimOptions
+from repro.api.simulator import run_design
 from repro.energy.report import EnergyReport
 from repro.hw.analog.array import AnalogArray
 from repro.hw.analog.components import ActivePixelSensor, ColumnADC
@@ -17,7 +20,6 @@ from repro.hw.chip import SensorSystem
 from repro.hw.digital.compute import ComputeUnit
 from repro.hw.digital.memory import LineBuffer
 from repro.hw.layer import Layer, SENSOR_LAYER
-from repro.sim.simulator import simulate
 from repro.sw.stage import PixelInput, ProcessStage
 
 FIG5_MAPPING: Dict[str, str] = {
@@ -69,9 +71,15 @@ def build_fig5_system() -> SensorSystem:
     return system
 
 
+def build_fig5_design() -> Design:
+    """The complete Fig. 5 scenario as a first-class :class:`Design`."""
+    return Design(build_fig5_stages(), build_fig5_system(),
+                  dict(FIG5_MAPPING), name="Fig5")
+
+
 def run_fig5(frame_rate: float = 30.0,
              cycle_accurate: bool = False) -> EnergyReport:
     """Simulate the Fig. 5 example at an FPS target."""
-    return simulate(build_fig5_stages(), build_fig5_system(),
-                    dict(FIG5_MAPPING), frame_rate=frame_rate,
-                    cycle_accurate=cycle_accurate)
+    return run_design(build_fig5_design(),
+                      SimOptions(frame_rate=frame_rate,
+                                 cycle_accurate=cycle_accurate)).unwrap()

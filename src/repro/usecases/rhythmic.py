@@ -9,9 +9,12 @@ exploration moves it inside the (2D or stacked) sensor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro import units
+from repro.api.design import Design
+from repro.api.result import SimOptions
+from repro.api.simulator import run_design
 from repro.energy.report import EnergyReport
 from repro.hw.analog.array import AnalogArray
 from repro.hw.analog.components import ActivePixelSensor, ColumnADC
@@ -20,7 +23,6 @@ from repro.hw.digital.compute import ComputeUnit
 from repro.hw.digital.memory import FIFO
 from repro.hw.layer import COMPUTE_LAYER, Layer, SENSOR_LAYER
 from repro.memlib import SRAMModel
-from repro.sim.simulator import simulate
 from repro.sw.stage import PixelInput, ProcessStage
 from repro.tech import mac_energy
 from repro.usecases.common import FRAME_RATE, UseCaseConfig
@@ -34,9 +36,12 @@ ROI_COMPRESSION = 0.5
 NUM_PE_LANES = 16
 
 
-def build_rhythmic(config: UseCaseConfig
-                   ) -> Tuple[List, SensorSystem, Dict[str, str]]:
-    """Build the Rhythmic stages/hardware/mapping for one configuration."""
+def build_rhythmic(config: UseCaseConfig) -> Design:
+    """Build the Rhythmic scenario for one configuration.
+
+    Returns a :class:`Design` (which still unpacks like the legacy
+    ``(stages, system, mapping)`` triple).
+    """
     source = PixelInput((_ROWS, _COLS, 1), name="Input")
     ops_per_pixel = TOTAL_OPS / (_ROWS * _COLS)
     encode = ProcessStage("CompareSample", input_size=(_ROWS, _COLS, 1),
@@ -100,13 +105,13 @@ def build_rhythmic(config: UseCaseConfig
     system.set_pixel_array_geometry(_ROWS, _COLS, pitch=3.0 * units.um)
 
     mapping = {"Input": "PixelArray", "CompareSample": "CompareSamplePE"}
-    return [source, encode], system, mapping
+    return Design([source, encode], system, mapping)
 
 
 def run_rhythmic(config: UseCaseConfig) -> EnergyReport:
     """Simulate one Rhythmic configuration at the 30 FPS target."""
-    stages, system, mapping = build_rhythmic(config)
-    return simulate(stages, system, mapping, frame_rate=FRAME_RATE)
+    return run_design(build_rhythmic(config),
+                      SimOptions(frame_rate=FRAME_RATE)).unwrap()
 
 
 def rhythmic_configs() -> List[UseCaseConfig]:

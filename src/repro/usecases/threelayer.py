@@ -10,9 +10,10 @@ exploration the paper's framework enables beyond its own evaluation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
 from repro import units
+from repro.api.design import Design
+from repro.api.result import SimOptions
+from repro.api.simulator import run_design
 from repro.energy.report import EnergyReport
 from repro.hw.analog.array import AnalogArray
 from repro.hw.analog.components import ActivePixelSensor, ColumnADC
@@ -21,7 +22,6 @@ from repro.hw.digital.compute import ComputeUnit
 from repro.hw.digital.memory import DoubleBuffer, FIFO
 from repro.hw.layer import Layer, SENSOR_LAYER
 from repro.memlib import DRAMModel, SRAMModel
-from repro.sim.simulator import simulate
 from repro.sw.stage import PixelInput, ProcessStage
 
 #: Layer names of the three-die stack.
@@ -31,9 +31,12 @@ LOGIC_LAYER = "logic"
 _ROWS, _COLS = 1080, 1920
 
 
-def build_three_layer(burst_fps: float = 960.0
-                      ) -> Tuple[List, SensorSystem, Dict[str, str]]:
-    """A 1080p burst-capture stack: pixel / DRAM / logic layers."""
+def build_three_layer(burst_fps: float = 960.0) -> Design:
+    """A 1080p burst-capture stack: pixel / DRAM / logic layers.
+
+    Returns a :class:`Design` (which still unpacks like the legacy
+    ``(stages, system, mapping)`` triple).
+    """
     source = PixelInput((_ROWS, _COLS, 1), name="Input", bits_per_pixel=10)
     isp = ProcessStage("ISP", input_size=(_ROWS, _COLS, 1),
                        kernel=(3, 3, 1), stride=(1, 1, 1), padding="same",
@@ -113,10 +116,10 @@ def build_three_layer(burst_fps: float = 960.0
     encode.set_input_stage(isp)
     mapping = {"Input": "PixelArray", "ISP": "ISPCore",
                "Encode": "Encoder"}
-    return [source, isp, encode], system, mapping
+    return Design([source, isp, encode], system, mapping)
 
 
 def run_three_layer(burst_fps: float = 960.0) -> EnergyReport:
     """Simulate the burst-capture stack at the burst frame rate."""
-    stages, system, mapping = build_three_layer(burst_fps)
-    return simulate(stages, system, mapping, frame_rate=burst_fps)
+    return run_design(build_three_layer(burst_fps),
+                      SimOptions(frame_rate=burst_fps)).unwrap()

@@ -140,11 +140,59 @@ class TestSweeps:
         # The 65 nm leakage anomaly shows up in the sweep too.
         assert points[1].report.total_energy > points[0].report.total_energy
 
+    def test_generic_parameter_sweep(self):
+        """sweep_parameter drives any builder argument, here the node."""
+        from repro.analysis import sweep_parameter
+        from repro.usecases.edgaze import build_edgaze
+
+        points = sweep_parameter(
+            lambda node: build_edgaze(UseCaseConfig("2D-In", int(node))),
+            [130, 65])
+        assert [p.parameter for p in points] == [130, 65]
+        assert all(p.feasible for p in points)
+
+    def test_sweeps_accept_design_builders(self):
+        """Builders may return a Design instead of the legacy triple."""
+        from repro.usecases.fig5 import build_fig5_design
+
+        points = sweep_frame_rate(build_fig5_design, [30, 60])
+        assert all(p.feasible for p in points)
+
+    def test_sweep_shares_a_simulator_cache(self):
+        """An explicit session dedups identical points across sweeps."""
+        from repro.api import Simulator
+        from repro.analysis import sweep_parameter
+        from repro.usecases.fig5 import build_fig5_design
+
+        simulator = Simulator()
+        sweep_parameter(lambda _: build_fig5_design(), [1, 2],
+                        simulator=simulator)
+        assert simulator.cache_info().size == 1  # same design both times
+
+    def test_builder_failure_marks_the_point_not_the_sweep(self):
+        """A value the builder itself rejects stays an infeasible point."""
+        from repro.analysis import sweep_parameter
+        from repro.usecases.fig5 import build_fig5_design
+
+        def builder(value):
+            if value == 2:
+                raise ConfigurationError("value 2 is unbuildable")
+            return build_fig5_design()
+
+        points = sweep_parameter(builder, [1, 2, 3])
+        assert [p.parameter for p in points] == [1, 2, 3]
+        assert points[0].feasible and points[2].feasible
+        assert not points[1].feasible
+        assert "unbuildable" in points[1].failure
+
     def test_empty_sweeps_rejected(self):
+        from repro.analysis import sweep_parameter
         with pytest.raises(ConfigurationError):
             sweep_frame_rate(_fig5_builder, [])
         with pytest.raises(ConfigurationError):
             sweep_nodes(lambda n: _fig5_builder, [])
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(lambda v: _fig5_builder(), [])
 
 
 class TestPareto:

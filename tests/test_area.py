@@ -11,7 +11,11 @@ from repro.hw.chip import SensorSystem
 from repro.hw.digital.memory import FIFO
 from repro.hw.layer import COMPUTE_LAYER, Layer, SENSOR_LAYER
 
-from conftest import FIG5_MAPPING, build_fig5_stages, build_fig5_system
+from repro.usecases.fig5 import (
+    FIG5_MAPPING,
+    build_fig5_stages,
+    build_fig5_system,
+)
 
 
 def _report_with(entries, fps=30):

@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.usecases.fig5 import build_fig5_design
 
 
 class TestParser:
@@ -66,6 +69,147 @@ class TestCommands:
     def test_fig5_custom_fps(self, capsys):
         assert main(["fig5", "--fps", "120"]) == 0
         assert "120" in capsys.readouterr().out
+
+
+class TestJsonFlag:
+    def test_fig5_json(self, capsys):
+        assert main(["fig5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "Fig5"
+        assert payload["total_energy"] > 0
+
+    def test_json_before_subcommand(self, capsys):
+        assert main(["--json", "fig5"]) == 0
+        assert json.loads(capsys.readouterr().out)["system"] == "Fig5"
+
+    def test_rhythmic_json(self, capsys):
+        assert main(["rhythmic", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 6
+        assert {"label", "total_energy"} <= set(rows[0])
+
+    def test_validate_json(self, capsys):
+        assert main(["validate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pearson"] > 0.99
+        assert len(payload["chips"]) == 9
+
+    def test_survey_json(self, capsys):
+        assert main(["survey", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fig3_node_halving_years"] > 0
+
+    def test_usecases_json(self, capsys):
+        assert main(["usecases", "--json"]) == 0
+        assert "fig5" in json.loads(capsys.readouterr().out)
+
+
+class TestRunCommand:
+    def _write_spec(self, tmp_path, payload):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_run_structural_spec(self, tmp_path, capsys):
+        """Acceptance: a serialized scenario executes end to end."""
+        spec = self._write_spec(tmp_path, {
+            "design": build_fig5_design().to_dict(),
+            "options": {"frame_rate": 60.0},
+        })
+        assert main(["run", spec, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert payload["options"]["frame_rate"] == 60.0
+        assert payload["report"]["total_energy"] > 0
+        assert payload["design_hash"] == build_fig5_design().content_hash
+
+    def test_run_usecase_reference(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, {
+            "design": {"usecase": "rhythmic",
+                       "params": {"placement": "2D-In", "cis_node": 65}},
+        })
+        assert main(["run", spec]) == 0
+        assert "Energy report" in capsys.readouterr().out
+
+    def test_run_infeasible_scenario(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, {
+            "design": {"usecase": "fig5"},
+            "options": {"frame_rate": 1e7},
+        })
+        assert main(["run", spec]) == 1
+        assert "TimingError" in capsys.readouterr().err
+
+    def test_run_infeasible_scenario_json_exit_code(self, tmp_path, capsys):
+        """--json still signals failure through the exit status."""
+        spec = self._write_spec(tmp_path, {
+            "design": {"usecase": "fig5"},
+            "options": {"frame_rate": 1e7},
+        })
+        assert main(["run", spec, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert not payload["ok"]
+        assert payload["error"]["type"] == "TimingError"
+
+    def test_sweep_fractional_exposure_slots_rejected(self, tmp_path,
+                                                      capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"design": {"usecase": "fig5"}}))
+        assert main(["sweep", str(path), "--param", "exposure_slots",
+                     "--values", "1,2.5"]) == 1
+        assert "whole numbers" in capsys.readouterr().err
+
+    def test_run_missing_file(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.json")]) == 1
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_run_malformed_spec(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["run", str(path)]) == 1
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_run_string_option_value_fails_cleanly(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, {
+            "design": {"usecase": "fig5"},
+            "options": {"frame_rate": "60"},
+        })
+        assert main(["run", spec]) == 1
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_run_bad_usecase_params_fail_cleanly(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, {
+            "design": {"usecase": "fig5", "params": {"fps": 60}},
+        })
+        assert main(["run", spec]) == 1
+        err = capsys.readouterr().err
+        assert "cannot load spec" in err and "fps" in err
+
+
+class TestSweepCommand:
+    def test_sweep_frame_rate(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"design": {"usecase": "fig5"}}))
+        assert main(["sweep", str(path), "--values", "15,30,1e7",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["param"] == "frame_rate"
+        assert [point["value"] for point in payload["points"]] \
+            == [15.0, 30.0, 1e7]
+        assert payload["points"][0]["ok"]
+        assert not payload["points"][2]["ok"]
+
+    def test_sweep_table_output(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"design": {"usecase": "fig5"}}))
+        assert main(["sweep", str(path), "--values", "30,60"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep of frame_rate" in out
+
+    def test_sweep_bad_values(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"design": {"usecase": "fig5"}}))
+        assert main(["sweep", str(path), "--values", "fast,slow"]) == 1
+        assert "comma-separated numbers" in capsys.readouterr().err
 
 
 class TestChipCommand:

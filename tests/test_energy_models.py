@@ -22,7 +22,11 @@ from repro.sim.mapping import Mapping
 from repro.sw.dag import StageGraph
 from repro.sw.stage import PixelInput, ProcessStage
 
-from conftest import FIG5_MAPPING, build_fig5_stages, build_fig5_system
+from repro.usecases.fig5 import (
+    FIG5_MAPPING,
+    build_fig5_stages,
+    build_fig5_system,
+)
 
 
 class TestAnalogUsage:

@@ -1,13 +1,25 @@
 """Smoke tests: every shipped example must run cleanly end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+_EXAMPLES_DIR = _REPO_ROOT / "examples"
 _EXAMPLES = sorted(_EXAMPLES_DIR.glob("*.py"))
+
+
+def _env_with_src():
+    """The examples need ``src`` importable even without `pip install -e .`."""
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join(
+        [src, existing])
+    return env
 
 
 @pytest.mark.parametrize("script", _EXAMPLES,
@@ -15,7 +27,7 @@ _EXAMPLES = sorted(_EXAMPLES_DIR.glob("*.py"))
 def test_example_runs(script):
     result = subprocess.run(
         [sys.executable, str(script)],
-        capture_output=True, text=True, timeout=240)
+        capture_output=True, text=True, timeout=240, env=_env_with_src())
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "example produced no output"
 

@@ -6,7 +6,11 @@ from repro.exceptions import MappingError
 from repro.sim.mapping import Mapping
 from repro.sw.dag import StageGraph
 
-from conftest import FIG5_MAPPING, build_fig5_stages, build_fig5_system
+from repro.usecases.fig5 import (
+    FIG5_MAPPING,
+    build_fig5_stages,
+    build_fig5_system,
+)
 
 
 class TestMappingBasics:

@@ -5,7 +5,11 @@ import pytest
 from repro import Category, Mapping, simulate, units
 from repro.exceptions import MappingError, TimingError
 
-from conftest import FIG5_MAPPING, build_fig5_stages, build_fig5_system
+from repro.usecases.fig5 import (
+    FIG5_MAPPING,
+    build_fig5_stages,
+    build_fig5_system,
+)
 
 
 class TestFig5EndToEnd:
