@@ -38,7 +38,8 @@ def _run_batched_cold(designs):
     return Simulator().run_many(designs)
 
 
-def test_batch_api_matches_and_keeps_pace(benchmark, write_result):
+def test_batch_api_matches_and_keeps_pace(benchmark, write_result,
+                                          write_bench_json, bench_smoke):
     designs = _designs()
 
     started = time.perf_counter()
@@ -92,12 +93,29 @@ def test_batch_api_matches_and_keeps_pace(benchmark, write_result):
     benchmark.extra_info["speedup_warm"] = round(warm_speedup, 2)
     benchmark.extra_info["max_workers"] = stats.max_workers
 
+    cache_info = cold.cache_info()
+    write_bench_json("batch_api", {
+        "configs": len(designs),
+        "sequential_wall_s": sequential_s,
+        "run_many_cold_wall_s": batch_cold_s,
+        "run_many_warm_wall_s": batch_warm_s,
+        "speedup_cold": speedup,
+        "speedup_warm": warm_speedup,
+        "max_workers": stats.max_workers,
+        "workers_used_cold": stats.workers_used,
+        "workers_used_warm": warm_stats.workers_used,
+        "cache_hits": cache_info.hits,
+        "cache_misses": cache_info.misses,
+        "cache_size": cache_info.size,
+    })
+
     # Regression guards: the batch machinery must not dominate the work.
     # Cache effectiveness is asserted structurally (every warm result is
     # a hit and no pool is spun up for it) rather than by comparing two
     # millisecond-scale timings, which is flaky on shared CI runners.
-    assert batch_cold_s < _MAX_ACCEPTABLE_SLOWDOWN * sequential_s \
-        + _STARTUP_SLACK_S
+    if not bench_smoke:  # smoke jobs never fail on wall-clock noise
+        assert batch_cold_s < _MAX_ACCEPTABLE_SLOWDOWN * sequential_s \
+            + _STARTUP_SLACK_S
     assert stats.max_workers >= 2
     assert warm_stats.cache_hits == len(designs)
     assert warm_stats.workers_used == 0  # warm batch never touches a pool

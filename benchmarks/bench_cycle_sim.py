@@ -1,0 +1,149 @@
+"""Cycle-simulator benchmark: event-driven skip-ahead vs reference loop.
+
+Runs the cycle-accurate digital validator over small/medium/large frame
+sizes through both implementations, asserts the cycle counts are
+bit-identical, and records the speedup.  The event-driven simulator does
+O(state transitions) work instead of O(cycles x stages x depth), so the
+speedup grows with frame size — the acceptance bar is >= 10x on the
+medium config (skipped in smoke mode, where tiny frames leave nothing
+to amortize).
+
+Emits ``benchmarks/results/BENCH_cycle_sim.json``: per-config wall
+times, simulated-cycles-per-second rates, and speedups.
+"""
+
+import time
+
+from repro import units
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import ActivePixelSensor, ColumnADC
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit
+from repro.hw.digital.memory import FIFO
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.sim.cycle_sim import (
+    _cycle_accurate_reference,
+    cycle_accurate_latency,
+)
+from repro.sim.mapping import Mapping
+from repro.sw.dag import StageGraph
+from repro.sw.stage import PixelInput, ProcessStage
+
+#: Acceptance bar for the event-driven rewrite on the medium config.
+_MIN_MEDIUM_SPEEDUP = 10.0
+
+_FULL_SIZES = {"small": 64, "medium": 256, "large": 512}
+_SMOKE_SIZES = {"small": 16, "medium": 32, "large": 48}
+
+
+def _pipeline(size):
+    """A three-stage streaming pipeline over a ``size x size`` frame."""
+    source = PixelInput((size, size, 1), name="Input")
+    denoise = ProcessStage("Denoise", input_size=(size, size, 1),
+                           kernel=(1, 1, 1), stride=(1, 1, 1))
+    sharpen = ProcessStage("Sharpen", input_size=(size, size, 1),
+                           kernel=(1, 1, 1), stride=(1, 1, 1))
+    denoise.set_input_stage(source)
+    sharpen.set_input_stage(denoise)
+
+    system = SensorSystem("Bench", layers=[Layer(SENSOR_LAYER, 65)])
+    pixels = AnalogArray("Pixels")
+    pixels.add_component(ActivePixelSensor(), (size, size))
+    adcs = AnalogArray("ADCs")
+    adcs.add_component(ColumnADC(), (1, size))
+    pixels.set_output(adcs)
+    in_fifo = FIFO("InFifo", size=(1, 4 * size), write_energy_per_word=0,
+                   read_energy_per_word=0, num_read_ports=4,
+                   num_write_ports=4)
+    adcs.set_output(in_fifo)
+    mid = FIFO("Mid", size=(1, 2 * size), write_energy_per_word=0,
+               read_energy_per_word=0, num_read_ports=4, num_write_ports=4)
+    first = ComputeUnit("DenoisePE", input_pixels_per_cycle=(1, 1),
+                        output_pixels_per_cycle=(1, 1),
+                        energy_per_cycle=1 * units.pJ, num_stages=3)
+    second = ComputeUnit("SharpenPE", input_pixels_per_cycle=(1, 1),
+                         output_pixels_per_cycle=(1, 1),
+                         energy_per_cycle=1 * units.pJ, num_stages=2)
+    first.set_input(in_fifo).set_output(mid)
+    second.set_input(mid)
+    second.set_sink()
+    system.add_analog_array(pixels)
+    system.add_analog_array(adcs)
+    system.add_memory(in_fifo)
+    system.add_memory(mid)
+    system.add_compute_unit(first)
+    system.add_compute_unit(second)
+
+    graph = StageGraph([source, denoise, sharpen])
+    mapping = Mapping({"Input": "Pixels", "Denoise": "DenoisePE",
+                       "Sharpen": "SharpenPE"})
+    clock = first.clock_hz
+    return graph, system, mapping, clock
+
+
+def _timed(simulator, graph, system, mapping):
+    started = time.perf_counter()
+    latency = simulator(graph, system, mapping)
+    return latency, time.perf_counter() - started
+
+
+def test_event_driven_matches_and_outruns_reference(benchmark, write_result,
+                                                    write_bench_json,
+                                                    bench_smoke):
+    sizes = _SMOKE_SIZES if bench_smoke else _FULL_SIZES
+
+    configs = {}
+    for label, size in sizes.items():
+        graph, system, mapping, clock = _pipeline(size)
+        reference_latency, reference_s = _timed(
+            _cycle_accurate_reference, graph, system, mapping)
+        event_latency, event_s = _timed(
+            cycle_accurate_latency, graph, system, mapping)
+
+        # The acceptance-critical claim: identical cycle counts.
+        assert event_latency == reference_latency
+        cycles = round(reference_latency * clock)
+        configs[label] = {
+            "frame": f"{size}x{size}",
+            "cycles": cycles,
+            "reference_wall_s": reference_s,
+            "event_wall_s": event_s,
+            "reference_cycles_per_s": cycles / reference_s
+            if reference_s else float("inf"),
+            "event_cycles_per_s": cycles / event_s
+            if event_s else float("inf"),
+            "speedup": reference_s / event_s if event_s else float("inf"),
+        }
+
+    # The benchmarked quantity: the event-driven path on the medium config.
+    graph, system, mapping, _ = _pipeline(sizes["medium"])
+    benchmark.pedantic(cycle_accurate_latency,
+                       args=(graph, system, mapping), rounds=3, iterations=1)
+
+    lines = ["Cycle-accurate simulator — event-driven skip-ahead vs "
+             "reference per-cycle loop",
+             f"{'config':<10} {'frame':>10} {'cycles':>10} "
+             f"{'reference':>12} {'event':>12} {'speedup':>9}"]
+    for label, row in configs.items():
+        lines.append(
+            f"{label:<10} {row['frame']:>10} {row['cycles']:>10} "
+            f"{row['reference_wall_s'] * 1e3:>10.2f}ms "
+            f"{row['event_wall_s'] * 1e3:>10.2f}ms "
+            f"{row['speedup']:>8.1f}x")
+    write_result("cycle_sim", "\n".join(lines))
+    write_bench_json("cycle_sim", {
+        "configs": configs,
+        "cycle_counts_identical": True,
+        "min_medium_speedup": _MIN_MEDIUM_SPEEDUP,
+    })
+
+    medium = configs["medium"]
+    benchmark.extra_info["medium_cycles"] = medium["cycles"]
+    benchmark.extra_info["medium_speedup"] = round(medium["speedup"], 1)
+
+    if not bench_smoke:
+        # Wall-clock acceptance — full configs only; smoke runs are for
+        # validity, not timing, and tiny frames amortize nothing.
+        assert medium["speedup"] >= _MIN_MEDIUM_SPEEDUP, (
+            f"event-driven simulator only {medium['speedup']:.1f}x faster "
+            f"than the reference loop on the medium config")

@@ -5,19 +5,33 @@ reproduced rows/series to ``benchmarks/results/<name>.txt``, attaches the
 headline numbers to the pytest-benchmark ``extra_info`` record, and asserts
 the shape claims the paper makes about that experiment.
 
-``write_result`` is provided as a fixture (not an importable helper) so
-the benches never ``import conftest`` — module-name collisions between
-``tests/conftest.py`` and this file are what broke collection in the
-seed repo.
+Performance-tracking benches additionally emit a machine-readable
+``benchmarks/results/BENCH_<name>.json`` via ``write_bench_json`` —
+wall times, throughput rates, cache counters — so CI can archive the
+perf trajectory and tooling can diff runs without parsing text tables.
+
+``write_result`` / ``write_bench_json`` are provided as fixtures (not
+importable helpers) so the benches never ``import conftest`` —
+module-name collisions between ``tests/conftest.py`` and this file are
+what broke collection in the seed repo.
+
+Setting ``REPRO_BENCH_SMOKE=1`` asks benches to shrink their workloads
+and drop wall-clock assertions: CI smoke jobs only validate that the
+benchmarks run and that their JSON is well-formed, never timing noise.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Schema tag stamped into every BENCH_*.json payload.
+BENCH_SCHEMA = "repro-bench/v1"
 
 
 def _write_result(name: str, text: str) -> pathlib.Path:
@@ -28,7 +42,33 @@ def _write_result(name: str, text: str) -> pathlib.Path:
     return path
 
 
+def _write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist machine-readable perf numbers as BENCH_<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    document = {"schema": BENCH_SCHEMA, "name": name,
+                "smoke": _is_smoke(), **payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _is_smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
 @pytest.fixture
 def write_result():
-    """The result writer, injected so benches need no conftest import."""
+    """The text-result writer, injected so benches need no conftest import."""
     return _write_result
+
+
+@pytest.fixture
+def write_bench_json():
+    """The BENCH_*.json writer (wall times, rates, cache counters)."""
+    return _write_bench_json
+
+
+@pytest.fixture
+def bench_smoke():
+    """Whether to shrink workloads and skip wall-clock assertions."""
+    return _is_smoke()

@@ -117,13 +117,18 @@ def sweep_frame_rate(builder: Callable[[], BuilderResult],
     if not frame_rates:
         raise ConfigurationError("sweep needs at least one frame rate")
     simulator = simulator if simulator is not None else Simulator()
-    # The design is the same at every point; build it exactly once.
+    # The design is the same at every point; build it exactly once — its
+    # pre-simulation checks then run once for the whole sweep, since the
+    # session memoizes them per design.
     try:
         design = _as_design(builder())
     except CamJError as error:
         return [SweepPoint(parameter=fps, report=None, failure=str(error))
                 for fps in frame_rates]
-    items = [(design, SimOptions(frame_rate=fps)) for fps in frame_rates]
+    # Vary only the FPS: session defaults (cycle_accurate, exposure
+    # slots, ...) apply at every point instead of being silently reset.
+    base = simulator.options
+    items = [(design, base.replace(frame_rate=fps)) for fps in frame_rates]
     results = simulator.run_many(items)
     return _to_points(frame_rates, results)
 

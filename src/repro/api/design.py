@@ -45,7 +45,7 @@ class Design:
     """
 
     __slots__ = ("_stages", "_graph", "_system", "_mapping", "_name",
-                 "_hash_cache")
+                 "_hash_cache", "_resolved_cache", "_checks_cache")
 
     def __init__(self, stages: Union[StageGraph, Sequence[Stage]],
                  system: SensorSystem,
@@ -66,6 +66,8 @@ class Design:
         object.__setattr__(self, "_name",
                            name if name is not None else system.name)
         object.__setattr__(self, "_hash_cache", None)
+        object.__setattr__(self, "_resolved_cache", None)
+        object.__setattr__(self, "_checks_cache", None)
 
     # --- frozen-ness ------------------------------------------------------
 
@@ -103,6 +105,48 @@ class Design:
     def mapping(self) -> Mapping:
         """The stage-to-hardware mapping."""
         return self._mapping
+
+    @property
+    def resolved_units(self) -> Dict[str, Any]:
+        """Stage name -> hardware unit object, resolved once and cached.
+
+        The mapping was validated at construction, so resolution skips
+        re-validation; the engine threads this dict through every phase
+        of a run instead of re-resolving.
+        """
+        cached = self._resolved_cache
+        if cached is None:
+            cached = self._mapping.resolve(self._graph, self._system,
+                                           validate=False)
+            object.__setattr__(self, "_resolved_cache", cached)
+        return cached
+
+    def ensure_checked(self) -> None:
+        """Run the pre-simulation design checks exactly once.
+
+        The checks depend only on the design, never on simulation
+        options, so their outcome — pass or the raised
+        :class:`~repro.exceptions.CheckError` — is memoized.  Sessions
+        re-running one design across many options (frame-rate sweeps,
+        cycle-accurate validation passes) pay for the check walk once.
+        """
+        from repro.sim.checks import run_pre_simulation_checks
+
+        cached = self._checks_cache
+        if cached is None:
+            try:
+                run_pre_simulation_checks(self._graph, self._system,
+                                          self._mapping,
+                                          resolved=self.resolved_units)
+            except Exception as error:
+                object.__setattr__(self, "_checks_cache", error)
+                raise
+            object.__setattr__(self, "_checks_cache", True)
+        elif cached is not True:
+            # Raise a fresh instance per call: re-raising the memoized one
+            # would mutate its shared __traceback__ and alias one object
+            # across every captured SimResult.
+            raise type(cached)(*cached.args) from cached
 
     # --- legacy triple protocol ---------------------------------------------
 

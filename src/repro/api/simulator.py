@@ -33,7 +33,13 @@ _UNCACHED = object()
 
 @dataclass(frozen=True)
 class BatchStats:
-    """What the last :meth:`Simulator.run_many` call actually did."""
+    """What the last :meth:`Simulator.run_many` call actually did.
+
+    ``workers_used`` counts the distinct pool workers that executed at
+    least one job, plus the calling thread when it ran unserializable
+    jobs inline; a batch served entirely from the result cache reports
+    exactly 0 because no pool is spun up for it.
+    """
 
     total: int
     unique: int
@@ -98,6 +104,9 @@ class Simulator:
         self._cache: Dict[Tuple[str, SimOptions], SimResult] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Content hashes whose pre-simulation checks already passed in
+        #: this session: identical designs skip the check walk entirely.
+        self._checked_hashes: set = set()
         self._lock = threading.Lock()
         self.last_batch_stats: Optional[BatchStats] = None
 
@@ -136,13 +145,24 @@ class Simulator:
         started = time.perf_counter()
         design_hash = key[0] if key is not None else None
         try:
+            # Checks depend only on the design, so a design already
+            # validated — this object (memoized) or an identical one in
+            # this session (by content hash) — never re-walks them.
+            if not options.skip_checks:
+                if design_hash is None \
+                        or design_hash not in self._checked_hashes:
+                    design.ensure_checked()
+                    if design_hash is not None:
+                        with self._lock:
+                            self._checked_hashes.add(design_hash)
             report = _simulate_graph(
                 design.graph, design.system, design.mapping,
                 frame_rate=options.frame_rate,
                 exposure_slots=options.exposure_slots,
                 cycle_accurate=options.cycle_accurate,
-                skip_checks=options.skip_checks,
-                mapping_validated=True)  # Design validated at construction
+                skip_checks=True,  # handled above, at most once per design
+                mapping_validated=True,  # Design validated at construction
+                resolved=design.resolved_units)
             return SimResult(design_name=design.name, options=options,
                              design_hash=design_hash, report=report,
                              elapsed_s=time.perf_counter() - started)
@@ -227,16 +247,19 @@ class Simulator:
                     pending, max_workers, worker_ids))
 
         results: List[SimResult] = []
+        ran_inline = False
         for key, design, resolved in slots:
             if key is None:
                 results.append(self.run(design, resolved))
+                ran_inline = True
             else:
                 results.append(outcomes[key])
 
         self.last_batch_stats = BatchStats(
             total=len(jobs), unique=len(jobs) - deduplicated,
             cache_hits=self._cache_hits - hits_before,
-            max_workers=max_workers, workers_used=len(worker_ids),
+            max_workers=max_workers,
+            workers_used=len(worker_ids) + (1 if ran_inline else 0),
             elapsed_s=time.perf_counter() - started)
         return results
 
@@ -254,16 +277,35 @@ class Simulator:
 
     def _run_unique_in_processes(self, pending, max_workers, worker_ids
                                  ) -> Dict[Any, SimResult]:
-        """Fan cache-missing jobs out as serialized payloads."""
+        """Fan cache-missing jobs out as serialized payloads.
+
+        Batches where every job shares one :class:`SimOptions` — the
+        common case for ``run_many(designs, options=...)`` — ship the
+        options to each worker process exactly once, through the pool
+        initializer, instead of serializing them into every task.
+        """
         outcomes: Dict[Any, SimResult] = {}
         if self._cache_enabled:
             with self._lock:
                 self._cache_misses += len(pending)
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                key: pool.submit(_subprocess_job, design.to_dict(),
-                                 resolved)
-                for key, (design, resolved) in pending.items()}
+        distinct_options = {options for _, options in pending.values()}
+        shared = (next(iter(distinct_options))
+                  if len(distinct_options) == 1 else None)
+        pool_kwargs: Dict[str, Any] = {"max_workers": max_workers}
+        if shared is not None:
+            pool_kwargs.update(initializer=_set_worker_options,
+                               initargs=(shared,))
+        with ProcessPoolExecutor(**pool_kwargs) as pool:
+            if shared is not None:
+                futures = {
+                    key: pool.submit(_subprocess_job_shared,
+                                     design.to_dict())
+                    for key, (design, _) in pending.items()}
+            else:
+                futures = {
+                    key: pool.submit(_subprocess_job, design.to_dict(),
+                                     resolved)
+                    for key, (design, resolved) in pending.items()}
             for key, future in futures.items():
                 pid, result = future.result()
                 worker_ids.add(pid)
@@ -318,6 +360,24 @@ def _subprocess_job(payload: Dict[str, Any],
     design = Design.from_dict(payload)
     result = Simulator(cache=False)._execute(design, options, None)
     return os.getpid(), result
+
+
+#: Batch-shared options installed once per worker process (see
+#: :meth:`Simulator._run_unique_in_processes`).
+_WORKER_OPTIONS: Optional[SimOptions] = None
+
+
+def _set_worker_options(options: SimOptions) -> None:
+    """Pool initializer: install the batch's shared options in the worker."""
+    global _WORKER_OPTIONS
+    _WORKER_OPTIONS = options
+
+
+def _subprocess_job_shared(payload: Dict[str, Any]) -> Tuple[int, SimResult]:
+    """Worker body for uniform-options batches: options come from the
+    pool initializer, so each task pickles only the design payload."""
+    assert _WORKER_OPTIONS is not None, "pool initializer did not run"
+    return _subprocess_job(payload, _WORKER_OPTIONS)
 
 
 def run_design(design: Design,

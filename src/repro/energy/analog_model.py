@@ -41,7 +41,9 @@ class ArrayUsage:
 
 
 def analog_usage(graph: StageGraph, system: SensorSystem,
-                 mapping: Mapping) -> List[ArrayUsage]:
+                 mapping: Mapping, *,
+                 resolved: Optional[Dict[str, object]] = None
+                 ) -> List[ArrayUsage]:
     """Operation counts of every participating analog array.
 
     ``ops`` counts component-level accesses: a stage's primitive-op count
@@ -50,7 +52,10 @@ def analog_usage(graph: StageGraph, system: SensorSystem,
     binning pixel performs four reads per access, a 9-tap switched-cap MAC
     performs nine MACs per access).
     """
-    resolved = mapping.resolve(graph, system)
+    if resolved is None:
+        # Only validation is needed here; the engine passes a ``resolved``
+        # it already validated, direct callers validate on entry.
+        mapping.validate(graph, system)
     usages: Dict[str, ArrayUsage] = {}
 
     # Pass 1: arrays with mapped stages.
@@ -106,10 +111,12 @@ def analog_usage(graph: StageGraph, system: SensorSystem,
 
 
 def analog_energy(graph: StageGraph, system: SensorSystem, mapping: Mapping,
-                  analog_stage_delay: float) -> List[EnergyEntry]:
+                  analog_stage_delay: float, *,
+                  resolved: Optional[Dict[str, object]] = None
+                  ) -> List[EnergyEntry]:
     """Per-component analog energy entries for one frame (Eq. 2)."""
     entries: List[EnergyEntry] = []
-    for usage in analog_usage(graph, system, mapping):
+    for usage in analog_usage(graph, system, mapping, resolved=resolved):
         array = usage.array
         if usage.ops <= 0:
             continue

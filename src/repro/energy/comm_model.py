@@ -11,7 +11,7 @@ the host over MIPI.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.sim
@@ -25,9 +25,16 @@ from repro.sw.dag import StageGraph
 
 
 def communication_energy(graph: StageGraph, system: SensorSystem,
-                         mapping: Mapping) -> List[EnergyEntry]:
-    """MIPI and uTSV energy entries for one frame (Eq. 17)."""
-    resolved = mapping.resolve(graph, system)
+                         mapping: Mapping, *,
+                         resolved: Optional[Dict[str, object]] = None
+                         ) -> List[EnergyEntry]:
+    """MIPI and uTSV energy entries for one frame (Eq. 17).
+
+    ``resolved`` accepts a pre-computed ``mapping.resolve`` result so the
+    engine resolves the mapping exactly once per run.
+    """
+    if resolved is None:
+        resolved = mapping.resolve(graph, system)
     entries: List[EnergyEntry] = []
 
     for producer, consumer in graph.edges():

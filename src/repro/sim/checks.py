@@ -15,7 +15,7 @@ message tells the designer what to fix — the feedback loop of Fig. 4.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.exceptions import CheckError, DomainMismatchError, StallError
 from repro.hw.analog.array import AnalogArray
@@ -29,9 +29,16 @@ from repro.sw.stage import ProcessStage
 
 
 def run_pre_simulation_checks(graph: StageGraph, system: SensorSystem,
-                              mapping: Mapping) -> None:
-    """Run every design check; raises on the first failure."""
-    resolved = mapping.resolve(graph, system)
+                              mapping: Mapping, *,
+                              resolved: Optional[Dict[str, object]] = None
+                              ) -> None:
+    """Run every design check; raises on the first failure.
+
+    ``resolved`` accepts a pre-computed ``mapping.resolve`` result so the
+    engine resolves the mapping exactly once per run.
+    """
+    if resolved is None:
+        resolved = mapping.resolve(graph, system)
     check_analog_domains(graph, resolved)
     check_analog_chain_wiring(graph, resolved)
     check_adc_boundary(graph, resolved)

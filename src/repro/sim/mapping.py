@@ -75,9 +75,16 @@ class Mapping:
                     f"stage {stage_name!r} must map to an analog array or "
                     f"compute unit, got {type(unit).__name__} {unit_name!r}")
 
-    def resolve(self, graph: StageGraph, system: SensorSystem
-                ) -> Dict[str, object]:
-        """Stage name to hardware unit object, post-validation."""
-        self.validate(graph, system)
+    def resolve(self, graph: StageGraph, system: SensorSystem,
+                validate: bool = True) -> Dict[str, object]:
+        """Stage name to hardware unit object, post-validation.
+
+        Callers that already validated this mapping against the same
+        ``(graph, system)`` pair (e.g. :class:`repro.api.Design` at
+        construction time) pass ``validate=False`` to skip the redundant
+        re-walk on every simulation run.
+        """
+        if validate:
+            self.validate(graph, system)
         return {stage_name: system.find_unit(unit_name)
                 for stage_name, unit_name in self.assignments.items()}

@@ -15,7 +15,7 @@ of the same engine.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.energy.analog_model import analog_energy, analog_usage
 from repro.energy.comm_model import communication_energy
@@ -35,23 +35,32 @@ def _simulate_graph(graph: StageGraph, system: SensorSystem,
                     exposure_slots: int = 1,
                     cycle_accurate: bool = False,
                     skip_checks: bool = False,
-                    mapping_validated: bool = False) -> EnergyReport:
+                    mapping_validated: bool = False,
+                    resolved: Optional[Dict[str, object]] = None
+                    ) -> EnergyReport:
     """The simulation engine over already-normalized design objects.
 
     ``mapping_validated`` lets callers that validated at construction
-    time (:class:`repro.api.Design`) skip re-validating per run.
+    time (:class:`repro.api.Design`) skip re-validating per run, and
+    ``resolved`` lets them hand in a cached ``mapping.resolve`` result.
+    The mapping is resolved exactly once here and threaded through every
+    phase — checks, the digital timeline, the cycle-accurate validator,
+    and the three energy models.
     """
     if not mapping_validated:
         mapping.validate(graph, system)
+    if resolved is None:
+        resolved = mapping.resolve(graph, system, validate=False)
     if not skip_checks:
-        run_pre_simulation_checks(graph, system, mapping)
+        run_pre_simulation_checks(graph, system, mapping, resolved=resolved)
 
-    timeline = simulate_digital(graph, system, mapping)
+    timeline = simulate_digital(graph, system, mapping, resolved=resolved)
     digital_latency = timeline.total_latency
     if cycle_accurate:
-        digital_latency = cycle_accurate_latency(graph, system, mapping)
+        digital_latency = cycle_accurate_latency(graph, system, mapping,
+                                                 resolved=resolved)
 
-    participating = analog_usage(graph, system, mapping)
+    participating = analog_usage(graph, system, mapping, resolved=resolved)
     timing = estimate_frame_timing(
         frame_rate=frame_rate,
         digital_latency=digital_latency,
@@ -65,9 +74,11 @@ def _simulate_graph(graph: StageGraph, system: SensorSystem,
         digital_latency=digital_latency,
         analog_stage_delay=timing.analog_stage_delay)
     report.extend(analog_energy(graph, system, mapping,
-                                timing.analog_stage_delay))
+                                timing.analog_stage_delay,
+                                resolved=resolved))
     report.extend(digital_energy(system, timeline, timing.frame_time))
-    report.extend(communication_energy(graph, system, mapping))
+    report.extend(communication_energy(graph, system, mapping,
+                                       resolved=resolved))
     return report
 
 

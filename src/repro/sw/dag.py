@@ -8,7 +8,7 @@ the simulator.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple, Optional
 
 from repro.exceptions import DAGError
 from repro.sw.stage import (
@@ -32,7 +32,15 @@ class StageGraph:
                 raise DAGError(f"duplicate stage name {stage.name!r}")
             self._by_name[stage.name] = stage
         self._check_membership()
-        self._order = self._topological_order()
+        self._order: Tuple[Stage, ...] = tuple(self._topological_order())
+        # Stages are wired at construction and the graph is validated
+        # immediately after ordering, so traversals are cached: the
+        # simulator engine walks order and edges on every run.
+        self._edges: Tuple[Tuple[Stage, Stage], ...] = tuple(
+            (producer, consumer)
+            for consumer in self._order
+            for producer in consumer.input_stages)
+        self._sinks_cache: Optional[Tuple[Stage, ...]] = None
         self._check_shapes()
         self._check_sources()
 
@@ -54,9 +62,9 @@ class StageGraph:
         return self._by_name[name]
 
     @property
-    def topological_order(self) -> List[Stage]:
-        """Stages ordered so producers precede consumers."""
-        return list(self._order)
+    def topological_order(self) -> Sequence[Stage]:
+        """Stages ordered so producers precede consumers (cached tuple)."""
+        return self._order
 
     @property
     def sources(self) -> List[Stage]:
@@ -64,22 +72,23 @@ class StageGraph:
         return [s for s in self._order if not s.input_stages]
 
     @property
-    def sinks(self) -> List[Stage]:
+    def sinks(self) -> Sequence[Stage]:
         """Stages nothing consumes — their output leaves the pipeline."""
-        consumed = set()
-        for stage in self.stages:
-            consumed.update(id(p) for p in stage.input_stages)
-        return [s for s in self._order if id(s) not in consumed]
+        if self._sinks_cache is None:
+            consumed = set()
+            for stage in self.stages:
+                consumed.update(id(p) for p in stage.input_stages)
+            self._sinks_cache = tuple(
+                s for s in self._order if id(s) not in consumed)
+        return self._sinks_cache
 
     def consumers(self, stage: Stage) -> List[Stage]:
         """Stages that read ``stage``'s output."""
         return [s for s in self._order if stage in s.input_stages]
 
     def edges(self) -> Iterable[Tuple[Stage, Stage]]:
-        """All ``(producer, consumer)`` pairs in topological order."""
-        for consumer in self._order:
-            for producer in consumer.input_stages:
-                yield producer, consumer
+        """All ``(producer, consumer)`` pairs in topological order (cached)."""
+        return self._edges
 
     # --- validation -----------------------------------------------------------
 
