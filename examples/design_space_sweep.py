@@ -1,16 +1,17 @@
 """Iterative design refinement: the Fig. 4 feedback loop in action.
 
-Builds a custom always-on classifier sensor, then demonstrates the three
-kinds of feedback CamJ gives a designer:
+Builds a custom always-on classifier sensor, then demonstrates the
+feedback CamJ gives a designer, now phrased as design-space exploration:
 
-1. a frame-rate sweep showing where the digital pipeline stops fitting the
-   frame budget (a typed TimingError -> "re-design the accelerator");
+1. an ``options.frame_rate`` axis showing where the digital pipeline
+   stops fitting the frame budget (typed TimingError points, not
+   exceptions);
 2. a stall diagnosis when a line buffer is sized below the kernel window;
-3. a generic parameter sweep quantifying what a newer digital node buys.
-
-The sweeps run through the session API (Simulator.run_many), so the
-points are simulated in parallel and infeasibility comes back as data —
-no hand-rolled try/except.
+3. a two-axis product space (process node x PE clock) with a filtered
+   subspace, explored against energy and latency with Pareto frontier
+   extraction and bottleneck annotation;
+4. the legacy 1-D ``sweep_parameter`` shim sweeping a *non-numeric*
+   parameter (the line-buffer technology flavor).
 
 Run:  python examples/design_space_sweep.py
 """
@@ -30,11 +31,13 @@ from repro import (
     Simulator,
     units,
 )
-from repro.analysis import sweep_frame_rate, sweep_parameter
+from repro.analysis import sweep_parameter
+from repro.explore import choice, explore, linspace, product
 from repro.tech import mac_energy
 
 
-def build(node_nm=65, line_rows=3, clock_hz=50 * units.MHz):
+def build(node_nm=65, line_rows=3, clock_hz=50 * units.MHz,
+          buffer_energy_pj=0.4):
     source = PixelInput((128, 128, 1), name="Input")
     conv = Conv2DStage("Classifier", input_size=(128, 128, 1),
                        num_kernels=8, kernel_size=(3, 3),
@@ -49,8 +52,10 @@ def build(node_nm=65, line_rows=3, clock_hz=50 * units.MHz):
     adcs.add_component(ColumnADC(bits=8), (1, 128))
     pixels.set_output(adcs)
     line_buffer = LineBuffer("Lines", size=(line_rows, 128),
-                             write_energy_per_word=0.4 * units.pJ,
-                             read_energy_per_word=0.4 * units.pJ)
+                             write_energy_per_word=buffer_energy_pj
+                             * units.pJ,
+                             read_energy_per_word=buffer_energy_pj
+                             * units.pJ)
     adcs.set_output(line_buffer)
     pe = ComputeUnit("ConvPE",
                      input_pixels_per_cycle=(3, 1),
@@ -66,33 +71,61 @@ def build(node_nm=65, line_rows=3, clock_hz=50 * units.MHz):
     system.add_compute_unit(pe)
     system.set_pixel_array_geometry(128, 128)
     mapping = {"Input": "Pixels", "Classifier": "ConvPE"}
-    return [source, conv], system, mapping
+    return Design([source, conv], system, mapping)
+
+
+#: Technology flavors for the non-numeric sweep: per-word access energy.
+BUFFER_FLAVORS = {"hp-sram": 0.6, "lp-sram": 0.4, "near-vt": 0.25}
 
 
 def main():
-    print("=== 1. frame-rate sweep: where does the design stop fitting? ===")
-    for point in sweep_frame_rate(build, [30, 120, 480, 2000, 10000, 50000]):
+    print("=== 1. frame-rate axis: where does the design stop fitting? ===")
+    fps = explore(choice("options.frame_rate",
+                         [30, 120, 480, 2000, 10000, 50000]),
+                  lambda **_: build(),
+                  objectives=("energy_per_frame", "power"),
+                  annotate=False)
+    for point in fps.points:
+        rate = point.params["options.frame_rate"]
         if point.feasible:
-            report = point.report
-            print(f"  {point.parameter:6g} FPS: "
-                  f"{units.format_energy(report.total_energy)}"
-                  f"/frame, {units.format_power(report.total_power)}")
+            print(f"  {rate:6g} FPS: "
+                  f"{units.format_energy(point.metrics['energy_per_frame'])}"
+                  f"/frame, {units.format_power(point.metrics['power'])}")
         else:
-            print(f"  {point.parameter:6g} FPS: REJECTED — {point.failure}")
+            print(f"  {rate:6g} FPS: REJECTED — {point.failure}")
 
     print("\n=== 2. stall feedback: a 2-row buffer under a 3x3 kernel ===")
-    result = Simulator().run(Design(*build(line_rows=2)))
+    result = Simulator().run(build(line_rows=2))
     print(f"  {result.error_type}: {result.failure}")
 
-    print("\n=== 3. node sweep at 30 FPS (generic sweep_parameter) ===")
-    points = sweep_parameter(lambda node: build(node_nm=int(node)),
-                             [130, 110, 90, 65, 45, 28])
+    print("\n=== 3. node x clock product space, filtered, 2 objectives ===")
+    space = product(choice("node_nm", [130, 90, 65, 28]),
+                    linspace("clock_mhz", 25.0, 100.0, 4))
+    # A filtered subspace: old nodes cannot close timing at high clocks.
+    space = space.filter(
+        lambda p: not (p["node_nm"] >= 90 and p["clock_mhz"] > 75))
+    grid = explore(space,
+                   lambda node_nm, clock_mhz: build(
+                       node_nm=node_nm,
+                       clock_hz=clock_mhz * units.MHz),
+                   objectives=("energy_per_frame", "latency"))
+    print(f"  {len(grid.points)} points after filtering, "
+          f"{len(grid.frontier())} on the frontier:")
+    for point in grid.frontier():
+        print(f"    {point.label():<34} "
+              f"{units.format_energy(point.metrics['energy_per_frame'])}"
+              f"/frame  latency "
+              f"{units.format_time(point.metrics['latency'])}"
+              + (f"  [{point.bottleneck.name}]" if point.bottleneck
+                 else ""))
+
+    print("\n=== 4. non-numeric sweep: line-buffer technology flavor ===")
+    points = sweep_parameter(
+        lambda flavor: build(buffer_energy_pj=BUFFER_FLAVORS[flavor]),
+        list(BUFFER_FLAVORS))
     for point in points:
-        report = point.report
-        print(f"  {point.parameter:4g} nm: "
-              f"{units.format_energy(report.total_energy)}"
-              f"/frame  (digital "
-              f"{units.format_energy(report.digital_energy)})")
+        print(f"  {point.parameter:>8}: "
+              f"{units.format_energy(point.report.total_energy)}/frame")
 
 
 if __name__ == "__main__":

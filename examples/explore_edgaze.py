@@ -1,82 +1,72 @@
 """Ed-Gaze architectural exploration (Sec. 6.1-6.3 of the paper).
 
-Sweeps the gaze-tracking workload across 2D-In / 2D-Off / 3D-In /
-3D-In-STT / 2D-In-Mixed at both CIS nodes and prints the Fig. 9b / Fig. 11
-comparisons plus the Table 3 power densities.
+Runs the whole gaze-tracking design space — 2D-In / 2D-Off / 3D-In /
+3D-In-STT at both CIS nodes — through the exploration engine in one
+cached, parallel batch: three objectives (energy per frame, power
+density, digital latency), the N-objective Pareto frontier with
+per-point bottleneck annotations, then the paper's Finding 1/2 checks,
+the Fig. 11 mixed-signal comparison, and the Table 3 power densities
+read straight off the ``power_density`` metric.
 
 Run:  python examples/explore_edgaze.py
 """
 
 from repro import units
-from repro.area import power_density
+from repro.analysis import compare_reports
 from repro.area.model import format_density
-from repro.energy.report import Category
-from repro.usecases import (
-    UseCaseConfig,
-    build_edgaze,
-    edgaze_configs,
-    run_edgaze,
-    run_edgaze_mixed,
-)
-
-_CATEGORIES = (Category.SEN, Category.MEM_D, Category.COMP_D,
-               Category.MEM_A, Category.COMP_A, Category.MIPI,
-               Category.UTSV)
-
-
-def _print_report(label, report):
-    cells = []
-    for category in _CATEGORIES:
-        energy = report.category_energy(category)
-        if energy:
-            cells.append(f"{category.value} {energy / units.uJ:7.2f}")
-    print(f"  {label:20s} total {report.total_energy / units.uJ:7.1f} uJ   "
-          + "  ".join(cells))
+from repro.explore import choice, explore
+from repro.usecases import edgaze_space
 
 
 def main():
-    print("=== Fig. 9b: computing in vs off sensor, 2D vs 3D ===")
-    reports = {}
-    for config in edgaze_configs():
-        report = run_edgaze(config)
-        reports[config.label] = report
-        _print_report(config.label, report)
+    print("=== Fig. 9b grid through the exploration engine ===")
+    result = explore(edgaze_space(), "edgaze",
+                     objectives=("energy_per_frame", "power_density",
+                                 "latency"))
+    print(result.to_table())
+
+    by_config = {(point.params["placement"], point.params["cis_node"]):
+                 point for point in result.points}
+
+    def energy(placement, node):
+        return by_config[(placement, node)].metrics["energy_per_frame"]
 
     print("\nFinding 1 checks:")
     for node in (130, 65):
-        inside = reports[f"2D-In ({node}nm)"].total_energy
-        off = reports[f"2D-Off ({node}nm)"].total_energy
-        print(f"  {node} nm: 2D-In / 2D-Off = {inside / off:.2f}x "
+        ratio = energy("2D-In", node) / energy("2D-Off", node)
+        print(f"  {node} nm: 2D-In / 2D-Off = {ratio:.2f}x "
               f"(compute-dominant workloads lose in-sensor)")
     print(f"  65 nm 2D-In / 130 nm 2D-In = "
-          f"{reports['2D-In (65nm)'].total_energy / reports['2D-In (130nm)'].total_energy:.2f}x"
+          f"{energy('2D-In', 65) / energy('2D-In', 130):.2f}x"
           f" (the 65 nm leakage anomaly)")
 
     print("\nFinding 2 checks:")
     for node in (130, 65):
-        base = reports[f"2D-In ({node}nm)"].total_energy
-        stacked = reports[f"3D-In ({node}nm)"].total_energy
-        stt = reports[f"3D-In-STT ({node}nm)"].total_energy
+        base, stacked = energy("2D-In", node), energy("3D-In", node)
+        stt = energy("3D-In-STT", node)
         print(f"  {node} nm: 3D-In saves {100 * (1 - stacked / base):.1f}% "
               f"over 2D-In; STT-RAM saves another "
               f"{100 * (1 - stt / stacked):.1f}%")
 
     print("\n=== Fig. 11: mixed-signal vs fully-digital in-sensor ===")
-    for node in (130, 65):
-        mixed = run_edgaze_mixed(node)
-        _print_report(f"2D-In-Mixed ({node}nm)", mixed)
-        base = reports[f"2D-In ({node}nm)"].total_energy
-        print(f"    -> saves {100 * (1 - mixed.total_energy / base):.1f}% "
-              f"over fully-digital 2D-In (paper: 38.8% / 77.1%)")
+    # A second one-axis exploration over the mixed-signal builder; the
+    # in-memory reports let compare_reports attribute the savings.
+    mixed = explore(choice("cis_node", [130, 65]), "edgaze_mixed",
+                    objectives=("energy_per_frame",), annotate=False)
+    for point in mixed.points:
+        node = point.params["cis_node"]
+        baseline = by_config[("2D-In", node)].report
+        delta = compare_reports(baseline, point.report)
+        print(f"  2D-In-Mixed ({node}nm)  total "
+              f"{point.metrics['energy_per_frame'] / units.uJ:7.1f} uJ  "
+              f"-> saves {100 * delta.savings_fraction:.1f}% over "
+              f"fully-digital 2D-In (paper: 38.8% / 77.1%)")
 
-    print("\n=== Table 3: power density ===")
+    print("\n=== Table 3: power density (the power_density metric) ===")
     for node in (130, 65):
-        row = []
-        for placement in ("2D-Off", "2D-In", "3D-In"):
-            config = UseCaseConfig(placement, node)
-            _, system, _ = build_edgaze(config)
-            density = power_density(system, run_edgaze(config))
-            row.append(f"{placement} {format_density(density)}")
+        row = [f"{placement} "
+               f"{format_density(by_config[(placement, node)].metrics['power_density'])}"
+               for placement in ("2D-Off", "2D-In", "3D-In")]
         print(f"  {node}/22 nm:  " + "   ".join(row))
 
 

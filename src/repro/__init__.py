@@ -90,6 +90,16 @@ from repro.api import (
     run_design,
 )
 from repro.area import estimate_area, power_density
+# The design-space exploration layer (spaces, metrics, Pareto engine)
+# lives in `repro.explore`; only the result/metric values are re-exported
+# here so the `repro.explore` submodule name stays importable unshadowed.
+from repro.explore import (
+    ExplorationPoint,
+    ExplorationResult,
+    Metric,
+    available_metrics,
+    register_metric,
+)
 
 __version__ = "1.0.0"
 
@@ -123,4 +133,7 @@ __all__ = [
     "Design", "SimOptions", "SimResult", "Simulator", "run_design",
     "build_usecase", "register_usecase", "design_from_spec",
     "load_scenario",
+    # design-space exploration (see repro.explore for the full surface)
+    "ExplorationPoint", "ExplorationResult", "Metric", "register_metric",
+    "available_metrics",
 ]

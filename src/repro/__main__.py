@@ -16,6 +16,7 @@ Plus the serialized-scenario workflow of the session API:
     python -m repro run spec.json            # execute a scenario spec
     python -m repro sweep spec.json --param frame_rate \\
         --values 15,30,60,120                # sweep an option over a spec
+    python -m repro explore space.json       # multi-axis Pareto exploration
     python -m repro usecases                 # names `run` specs can reference
 
 Every command accepts ``--json`` (before or after the subcommand) to
@@ -76,27 +77,42 @@ def _cmd_fig5(args) -> int:
     return 0
 
 
-def _run_config_grid(args, configs, run_one) -> int:
-    """Shared body of the rhythmic/edgaze exploration commands."""
-    reports = [(config, run_one(config)) for config in configs]
+def _run_config_grid(args, space, usecase) -> int:
+    """Shared body of the rhythmic/edgaze exploration commands.
+
+    The grid runs through the exploration engine — one cached, parallel
+    ``run_many`` batch — instead of a sequential loop per configuration.
+    """
+    from repro.explore import explore
+    result = explore(space, usecase, objectives=("energy_per_frame",),
+                     annotate=False)
+    labeled = [(f"{point.params['placement']} "
+                f"({point.params['cis_node']}nm)", point)
+               for point in result.points]
     if _wants_json(args):
-        return _emit_json([{"label": config.label, **report.to_dict()}
-                           for config, report in reports])
-    for config, report in reports:
-        print(f"{config.label:18s} "
+        return _emit_json([
+            {"label": label, **point.report.to_dict()} if point.feasible
+            else {"label": label, "failure": point.failure}
+            for label, point in labeled])
+    for label, point in labeled:
+        if not point.feasible:
+            print(f"{label:18s} infeasible: {point.failure}")
+            continue
+        report = point.report
+        print(f"{label:18s} "
               f"{units.format_energy(report.total_energy)}/frame "
               f"({units.format_power(report.total_power)})")
     return 0
 
 
 def _cmd_rhythmic(args) -> int:
-    from repro.usecases import rhythmic_configs, run_rhythmic
-    return _run_config_grid(args, rhythmic_configs(), run_rhythmic)
+    from repro.usecases import rhythmic_space
+    return _run_config_grid(args, rhythmic_space(), "rhythmic")
 
 
 def _cmd_edgaze(args) -> int:
-    from repro.usecases import edgaze_configs, run_edgaze
-    return _run_config_grid(args, edgaze_configs(), run_edgaze)
+    from repro.usecases import edgaze_space
+    return _run_config_grid(args, edgaze_space(), "edgaze")
 
 
 def _cmd_mixed(args) -> int:
@@ -284,6 +300,30 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    """Run a design-space exploration spec through the engine."""
+    from repro.exceptions import CamJError
+    from repro.explore import load_exploration_spec
+    try:
+        spec = load_exploration_spec(args.spec)
+    except (OSError, CamJError) as error:
+        print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
+        return 1
+    try:
+        result = spec.run()
+    except CamJError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.output:
+        result.save(args.output)
+    if _wants_json(args):
+        _emit_json(result.to_dict())
+    else:
+        print(result.to_table())
+    # A spec whose every point is infeasible signals failure, like `run`.
+    return 0 if result.feasible_points else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     # SUPPRESS keeps a subcommand's unset flag from clobbering a --json
@@ -329,6 +369,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="which SimOptions field to sweep")
     sweep.add_argument("--values", required=True,
                        help="comma-separated values, e.g. 15,30,60,120")
+    explore = sub.add_parser(
+        "explore",
+        help="run a multi-axis Pareto exploration spec (repro.explore)",
+        parents=[common])
+    explore.add_argument("spec", help="path to an exploration spec JSON "
+                                      "file (repro.explore-spec/1)")
+    explore.add_argument("-o", "--output", default=None,
+                         help="also write the full repro.explore/1 result "
+                              "JSON to this path")
     return parser
 
 
@@ -344,6 +393,7 @@ _COMMANDS = {
     "usecases": _cmd_usecases,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "explore": _cmd_explore,
 }
 
 

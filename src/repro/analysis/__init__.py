@@ -5,6 +5,12 @@ estimate, *identify energy bottlenecks*, re-design the offending
 component, re-estimate.  This subpackage provides that loop's analysis
 half: bottleneck ranking, report-to-report comparison, and parameter
 sweeps.
+
+Sweeps, Pareto analysis, and bottleneck ranking are compatibility shims
+over :mod:`repro.explore` — the unified design-space exploration engine
+with composable multi-axis spaces, a named-metric registry, N-objective
+frontiers, and JSON round-tripping.  New code should prefer
+:func:`repro.explore.explore` directly.
 """
 
 from repro.analysis.bottleneck import (

@@ -1,88 +1,15 @@
-"""Energy-bottleneck identification (the Fig. 4 feedback arrow).
+"""Compatibility shim: bottleneck analysis lives in ``repro.explore``.
 
-Given an :class:`~repro.energy.report.EnergyReport`, rank components by
-their energy share and point the designer at what to re-design first.
+The implementation moved to :mod:`repro.explore.annotate`, where the
+exploration engine uses it to annotate Pareto-frontier points.  This
+module keeps the historical import path working.
 """
 
-from __future__ import annotations
+from repro.explore.annotate import (  # noqa: F401
+    _HINTS,
+    Bottleneck,
+    dominant_category,
+    identify_bottlenecks,
+)
 
-from dataclasses import dataclass
-from typing import List, Optional
-
-from repro import units
-from repro.energy.report import Category, EnergyReport
-from repro.exceptions import ConfigurationError
-
-#: Re-design hints per roll-up category.
-_HINTS = {
-    Category.SEN: ("consider lower-resolution readout, binning in the "
-                   "pixel array, or a lower-energy ADC design point"),
-    Category.COMP_A: ("revisit analog PE sizing: capacitor sizes follow "
-                      "the kT/C limit of the target precision (Eq. 6)"),
-    Category.MEM_A: ("shorten analog hold times or drop stored precision "
-                     "to shrink hold-amp bias energy"),
-    Category.COMP_D: ("move the unit to a newer process node (3D stack) "
-                      "or reduce per-cycle energy via synthesis"),
-    Category.MEM_D: ("power-gate the macro (duty_alpha), move it to a "
-                     "low-leakage node, or switch to STT-RAM"),
-    Category.MIPI: ("move more of the pipeline into the sensor to shrink "
-                    "the transmitted data volume"),
-    Category.UTSV: ("batch inter-layer transfers; uTSV energy is rarely "
-                    "the real bottleneck"),
-}
-
-
-@dataclass(frozen=True)
-class Bottleneck:
-    """One ranked energy consumer."""
-
-    name: str
-    category: Category
-    energy: float
-    share: float
-    hint: str
-
-    def describe(self) -> str:
-        return (f"{self.name:<40} {self.category.value:<7} "
-                f"{units.format_energy(self.energy):>10} "
-                f"({100 * self.share:5.1f}%)  -> {self.hint}")
-
-
-def identify_bottlenecks(report: EnergyReport, top: int = 5,
-                         min_share: float = 0.02) -> List[Bottleneck]:
-    """The ``top`` components by energy share, with re-design hints.
-
-    Components below ``min_share`` of the total are omitted — they are not
-    worth a re-design iteration.
-    """
-    if top < 1:
-        raise ConfigurationError(f"top must be >= 1, got {top}")
-    if not 0.0 <= min_share < 1.0:
-        raise ConfigurationError(
-            f"min_share must be in [0, 1), got {min_share}")
-    total = report.total_energy
-    if total <= 0:
-        return []
-    by_component = {}
-    for entry in report.entries:
-        key = (entry.name, entry.category)
-        by_component[key] = by_component.get(key, 0.0) + entry.energy
-    ranked = sorted(by_component.items(), key=lambda kv: kv[1],
-                    reverse=True)
-    bottlenecks = []
-    for (name, category), energy in ranked[:top]:
-        share = energy / total
-        if share < min_share:
-            continue
-        bottlenecks.append(Bottleneck(name=name, category=category,
-                                      energy=energy, share=share,
-                                      hint=_HINTS[category]))
-    return bottlenecks
-
-
-def dominant_category(report: EnergyReport) -> Optional[Category]:
-    """The category holding the largest energy share (None if empty)."""
-    rollup = report.by_category()
-    if not rollup:
-        return None
-    return max(rollup, key=rollup.get)
+__all__ = ["Bottleneck", "identify_bottlenecks", "dominant_category"]

@@ -1,9 +1,12 @@
-"""Pareto analysis over design candidates.
+"""Pareto analysis over design candidates (two-objective shim).
 
 The Sec. 6 explorations trade *energy per frame* against *power density*
 (Table 3 shows they conflict: 3D stacking cuts energy but concentrates
-power).  A Pareto front over candidate designs makes that tension
-explicit and tells the designer which candidates are strictly dominated.
+power).  :class:`DesignPoint` keeps that fixed two-objective view for
+existing call sites; dominance and frontier extraction delegate to the
+N-objective machinery in :mod:`repro.explore.engine`, which is what new
+code should use directly (any number of objectives, named metrics,
+infeasible-point bookkeeping, JSON round-tripping).
 """
 
 from __future__ import annotations
@@ -15,7 +18,12 @@ from repro import units
 from repro.area.model import power_density
 from repro.energy.report import EnergyReport
 from repro.exceptions import ConfigurationError
+from repro.explore.engine import dominates as _dominates
+from repro.explore.engine import pareto_indices as _pareto_indices
 from repro.hw.chip import SensorSystem
+
+#: Both legacy objectives minimize.
+_GOALS = ("min", "min")
 
 
 @dataclass(frozen=True)
@@ -26,13 +34,17 @@ class DesignPoint:
     energy_per_frame: float
     power_density: float
 
+    def _vector(self) -> tuple:
+        return (self.energy_per_frame, self.power_density)
+
     def dominates(self, other: "DesignPoint") -> bool:
-        """Strict Pareto dominance: no worse on both, better on one."""
-        no_worse = (self.energy_per_frame <= other.energy_per_frame
-                    and self.power_density <= other.power_density)
-        better = (self.energy_per_frame < other.energy_per_frame
-                  or self.power_density < other.power_density)
-        return no_worse and better
+        """Strict Pareto dominance: no worse on both, better on one.
+
+        Ties (equal on both objectives) dominate in neither direction,
+        and NaN-valued points are incomparable — shared semantics with
+        :func:`repro.explore.engine.dominates`.
+        """
+        return _dominates(self._vector(), other._vector(), _GOALS)
 
     def describe(self) -> str:
         density = self.power_density / (units.mW / units.mm2)
@@ -50,15 +62,28 @@ def design_point(label: str, system: SensorSystem,
 
 
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
-    """The non-dominated subset, sorted by energy."""
+    """The non-dominated subset, in deterministic order.
+
+    Sorted by energy, then power density, then label, so the returned
+    frontier is stable across runs and input permutations (ties included:
+    value-identical candidates are all non-dominated and all kept).
+    """
     if not points:
         raise ConfigurationError("pareto front needs at least one point")
-    front = [p for p in points
-             if not any(q.dominates(p) for q in points)]
-    return sorted(front, key=lambda p: p.energy_per_frame)
+    front = [points[index] for index in
+             _pareto_indices([p._vector() for p in points], _GOALS)]
+    return sorted(front, key=lambda p: (p.energy_per_frame,
+                                        p.power_density, p.label))
 
 
 def dominated_points(points: Sequence[DesignPoint]) -> List[DesignPoint]:
-    """The candidates a designer can discard outright."""
-    front = set(id(p) for p in pareto_front(points))
-    return [p for p in points if id(p) not in front]
+    """The candidates a designer can discard outright.
+
+    A point is discardable only when some other candidate strictly
+    dominates it; NaN-valued points are incomparable, so they appear
+    neither here nor on the frontier.
+    """
+    if not points:
+        raise ConfigurationError("pareto front needs at least one point")
+    return [point for point in points
+            if any(other.dominates(point) for other in points)]

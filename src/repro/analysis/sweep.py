@@ -1,37 +1,50 @@
-"""Parameter sweeps over rebuildable designs, batched through the session API.
+"""Parameter sweeps: the 1-D compatibility layer over ``repro.explore``.
 
-A sweep drives a *builder* — any callable returning a
-:class:`repro.api.Design` or the legacy ``(stages, system, mapping)``
-triple — across a parameter range and records the resulting reports,
-marking points where the design stops being feasible (TimingError /
-StallError) instead of aborting: infeasibility boundaries are exactly
-what a designer sweeps to find.
-
-All sweeps execute through :meth:`repro.api.Simulator.run_many`, so the
-points are simulated in parallel and identical designs (by content hash)
-are only evaluated once.
+A sweep is a one-axis exploration: the generic machinery lives in
+:func:`repro.explore.engine.explore`, which enumerates a parameter
+space, batches every point through
+:meth:`repro.api.Simulator.run_many` (parallel, content-hash
+deduplicated), and keeps infeasible points — builder rejections and
+simulation-time failures alike — as typed data instead of aborting.
+These wrappers keep the historical ``sweep_*`` signatures and the
+:class:`SweepPoint` shape for existing call sites; new code wanting
+more than one axis or named objectives should use the engine directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 from repro.api.design import Design
-from repro.api.result import SimOptions, SimResult
+from repro.api.result import SimOptions
 from repro.api.simulator import Simulator
 from repro.energy.report import EnergyReport
-from repro.exceptions import CamJError, ConfigurationError
+from repro.exceptions import ConfigurationError
+from repro.explore.engine import ExplorationResult, explore
+from repro.explore.space import OPTIONS_PREFIX, choice
 
 #: What a sweep builder may return.
 BuilderResult = Union[Design, tuple]
 
+#: Axis name the 1-D shims bind the swept value under.
+_VALUE = "value"
+
+#: The sweeps only need the reports; this never-failing objective keeps
+#: the engine from rejecting points over an unrelated metric.
+_SWEEP_OBJECTIVES = ("energy_per_frame",)
+
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated point of a sweep."""
+    """One evaluated point of a sweep.
 
-    parameter: float
+    ``parameter`` carries whatever value the sweep bound — a frame rate,
+    a process node, a memory technology name — so non-numeric sweeps are
+    first-class rather than squeezed through ``float``.
+    """
+
+    parameter: Any
     report: Optional[EnergyReport]
     failure: Optional[str]
 
@@ -40,68 +53,32 @@ class SweepPoint:
         return self.report is not None
 
 
-def _as_design(built: BuilderResult) -> Design:
-    if isinstance(built, Design):
-        return built
-    stages, system, mapping = built
-    return Design(stages, system, mapping)
+def _to_sweep_points(values: Sequence[Any],
+                     result: ExplorationResult) -> List[SweepPoint]:
+    return [SweepPoint(parameter=value, report=point.report,
+                       failure=point.failure)
+            for value, point in zip(values, result.points)]
 
 
-def _to_points(parameters: Sequence[float],
-               results: Sequence[SimResult]) -> List[SweepPoint]:
-    return [SweepPoint(parameter=parameter, report=result.report,
-                       failure=result.failure)
-            for parameter, result in zip(parameters, results)]
-
-
-def _build_points(values: Sequence[float],
-                  build_one: Callable[[float], BuilderResult]
-                  ) -> Tuple[List[Tuple[float, Design]], List[SweepPoint]]:
-    """Build one design per value; a failing builder marks the point.
-
-    A value the builder itself rejects (bad node, inconsistent mapping —
-    any :class:`CamJError`) is an infeasibility boundary just like a
-    simulation-time failure, so it becomes a failed point instead of
-    aborting the sweep.
-    """
-    buildable: List[Tuple[float, Design]] = []
-    failed: List[SweepPoint] = []
-    for value in values:
-        try:
-            buildable.append((value, _as_design(build_one(value))))
-        except CamJError as error:
-            failed.append(SweepPoint(parameter=value, report=None,
-                                     failure=str(error)))
-    return buildable, failed
-
-
-def _merge_points(values: Sequence[float], simulated: List[SweepPoint],
-                  failed: List[SweepPoint]) -> List[SweepPoint]:
-    by_parameter = {point.parameter: point
-                    for point in [*simulated, *failed]}
-    return [by_parameter[value] for value in values]
-
-
-def sweep_parameter(builder_for_value: Callable[[float], BuilderResult],
-                    values: Sequence[float],
+def sweep_parameter(builder_for_value: Callable[[Any], BuilderResult],
+                    values: Sequence[Any],
                     options: Optional[SimOptions] = None,
                     simulator: Optional[Simulator] = None
                     ) -> List[SweepPoint]:
     """Evaluate ``builder_for_value(value)`` across ``values``.
 
     The generic sweep: the parameter may change anything — a process
-    node, a buffer size, a kernel width — as long as the builder returns
-    a complete design for each value.  Points are simulated in parallel
-    and come back in input order.
+    node, a buffer size, a memory technology name — as long as the
+    builder returns a complete design for each value.  Points are
+    simulated in parallel and come back in input order.
     """
     if not values:
         raise ConfigurationError("sweep needs at least one value")
-    simulator = simulator if simulator is not None else Simulator(options)
-    buildable, failed = _build_points(values, builder_for_value)
-    results = simulator.run_many([design for _, design in buildable],
-                                 options=options)
-    simulated = _to_points([value for value, _ in buildable], results)
-    return _merge_points(values, simulated, failed)
+    result = explore(choice(_VALUE, list(values)),
+                     lambda **params: builder_for_value(params[_VALUE]),
+                     objectives=_SWEEP_OBJECTIVES, options=options,
+                     simulator=simulator, annotate=False)
+    return _to_sweep_points(values, result)
 
 
 def sweep_frame_rate(builder: Callable[[], BuilderResult],
@@ -112,25 +89,20 @@ def sweep_frame_rate(builder: Callable[[], BuilderResult],
 
     Analog energy generally rises with FPS (faster settling, higher ADC
     rates) while leakage-per-frame falls; the sweep exposes the trade-off
-    and the FPS where the digital pipeline stops fitting.
+    and the FPS where the digital pipeline stops fitting.  The frame
+    rate is an ``options.``-axis, so the design is built (and checked)
+    exactly once and the session's other defaults apply at every point.
     """
     if not frame_rates:
         raise ConfigurationError("sweep needs at least one frame rate")
-    simulator = simulator if simulator is not None else Simulator()
-    # The design is the same at every point; build it exactly once — its
-    # pre-simulation checks then run once for the whole sweep, since the
-    # session memoizes them per design.
-    try:
-        design = _as_design(builder())
-    except CamJError as error:
-        return [SweepPoint(parameter=fps, report=None, failure=str(error))
-                for fps in frame_rates]
-    # Vary only the FPS: session defaults (cycle_accurate, exposure
-    # slots, ...) apply at every point instead of being silently reset.
-    base = simulator.options
-    items = [(design, base.replace(frame_rate=fps)) for fps in frame_rates]
-    results = simulator.run_many(items)
-    return _to_points(frame_rates, results)
+    result = explore(choice(OPTIONS_PREFIX + "frame_rate",
+                            list(frame_rates)),
+                     lambda **_: builder(),
+                     objectives=_SWEEP_OBJECTIVES,
+                     simulator=simulator if simulator is not None
+                     else Simulator(),
+                     annotate=False)
+    return _to_sweep_points(frame_rates, result)
 
 
 def sweep_nodes(builder_for_node: Callable[[float], Callable],

@@ -1,0 +1,110 @@
+"""Energy-bottleneck identification (the Fig. 4 feedback arrow).
+
+Given an :class:`~repro.energy.report.EnergyReport`, rank components by
+their energy share and point the designer at what to re-design first.
+The exploration engine uses this to annotate every feasible point — in
+particular the Pareto frontier — with its dominant energy consumer, so a
+frontier is not just "these designs win" but "and here is what to attack
+next on each of them".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro import units
+from repro.energy.report import Category, EnergyReport
+from repro.exceptions import ConfigurationError
+
+#: Re-design hints per roll-up category.
+_HINTS = {
+    Category.SEN: ("consider lower-resolution readout, binning in the "
+                   "pixel array, or a lower-energy ADC design point"),
+    Category.COMP_A: ("revisit analog PE sizing: capacitor sizes follow "
+                      "the kT/C limit of the target precision (Eq. 6)"),
+    Category.MEM_A: ("shorten analog hold times or drop stored precision "
+                     "to shrink hold-amp bias energy"),
+    Category.COMP_D: ("move the unit to a newer process node (3D stack) "
+                      "or reduce per-cycle energy via synthesis"),
+    Category.MEM_D: ("power-gate the macro (duty_alpha), move it to a "
+                     "low-leakage node, or switch to STT-RAM"),
+    Category.MIPI: ("move more of the pipeline into the sensor to shrink "
+                    "the transmitted data volume"),
+    Category.UTSV: ("batch inter-layer transfers; uTSV energy is rarely "
+                    "the real bottleneck"),
+}
+
+
+@dataclass(frozen=True)
+class Bottleneck:
+    """One ranked energy consumer."""
+
+    name: str
+    category: Category
+    energy: float
+    share: float
+    hint: str
+
+    def describe(self) -> str:
+        return (f"{self.name:<40} {self.category.value:<7} "
+                f"{units.format_energy(self.energy):>10} "
+                f"({100 * self.share:5.1f}%)  -> {self.hint}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form used by exploration-point annotations."""
+        return {"name": self.name, "category": self.category.value,
+                "energy": self.energy, "share": self.share,
+                "hint": self.hint}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Bottleneck":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(name=payload["name"],
+                       category=Category(payload["category"]),
+                       energy=payload["energy"], share=payload["share"],
+                       hint=payload["hint"])
+        except (KeyError, ValueError) as error:
+            raise ConfigurationError(
+                f"malformed bottleneck payload: {error}") from error
+
+
+def identify_bottlenecks(report: EnergyReport, top: int = 5,
+                         min_share: float = 0.02) -> List[Bottleneck]:
+    """The ``top`` components by energy share, with re-design hints.
+
+    Components below ``min_share`` of the total are omitted — they are not
+    worth a re-design iteration.
+    """
+    if top < 1:
+        raise ConfigurationError(f"top must be >= 1, got {top}")
+    if not 0.0 <= min_share < 1.0:
+        raise ConfigurationError(
+            f"min_share must be in [0, 1), got {min_share}")
+    total = report.total_energy
+    if total <= 0:
+        return []
+    by_component: Dict[tuple, float] = {}
+    for entry in report.entries:
+        key = (entry.name, entry.category)
+        by_component[key] = by_component.get(key, 0.0) + entry.energy
+    ranked = sorted(by_component.items(), key=lambda kv: kv[1],
+                    reverse=True)
+    bottlenecks = []
+    for (name, category), energy in ranked[:top]:
+        share = energy / total
+        if share < min_share:
+            continue
+        bottlenecks.append(Bottleneck(name=name, category=category,
+                                      energy=energy, share=share,
+                                      hint=_HINTS[category]))
+    return bottlenecks
+
+
+def dominant_category(report: EnergyReport) -> Optional[Category]:
+    """The category holding the largest energy share (None if empty)."""
+    rollup = report.by_category()
+    if not rollup:
+        return None
+    return max(rollup, key=rollup.get)

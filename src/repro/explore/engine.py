@@ -1,0 +1,554 @@
+"""The exploration engine: spaces in, Pareto-analyzed results out.
+
+:func:`explore` enumerates a :class:`~repro.explore.space.ParameterSpace`,
+binds each point into a design builder (a callable or a registered
+use-case name), runs the whole batch through
+:meth:`repro.api.Simulator.run_many` — cached, deduplicated, parallel —
+and evaluates the requested objective :class:`~repro.explore.metrics.Metric`
+on every feasible point.  Points whose builder, simulation, or metric
+extraction fails with a framework error stay in the result as typed
+infeasible points: infeasibility boundaries are data, not crashes.
+
+The :class:`ExplorationResult` exposes N-objective Pareto frontier
+extraction, dominance ranking (iterated non-dominated sorting), and a
+per-point energy-bottleneck annotation, and round-trips through JSON
+under the ``repro.explore/1`` schema.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from repro.api.design import Design
+from repro.api.registry import build_usecase
+from repro.api.result import SimOptions, SimResult
+from repro.api.simulator import Simulator
+from repro.energy.report import EnergyReport
+from repro.exceptions import CamJError, ConfigurationError, SerializationError
+from repro.explore.annotate import Bottleneck, identify_bottlenecks
+from repro.explore.metrics import Metric, metric as _lookup_metric, \
+    resolve_metrics
+from repro.explore.space import OPTIONS_PREFIX, ParameterSpace
+
+#: Schema tag of a serialized exploration result.
+EXPLORATION_SCHEMA = "repro.explore/1"
+
+#: Objectives used when the caller names none: the Sec. 6 trade-off
+#: (energy vs. power density) plus the latency the frame budget gates.
+DEFAULT_OBJECTIVES = ("energy_per_frame", "power_density", "latency")
+
+#: What a builder may produce: a Design or the legacy triple.
+BuilderResult = Union[Design, tuple]
+Builder = Union[str, Callable[..., BuilderResult]]
+
+
+# --- N-objective dominance -------------------------------------------------
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              goals: Sequence[str]) -> bool:
+    """Strict Pareto dominance of vector ``a`` over ``b``.
+
+    ``a`` dominates ``b`` when it is no worse on every objective and
+    strictly better on at least one, where "better" follows each
+    objective's goal (``"min"`` or ``"max"``).  Ties — equal on every
+    objective — dominate in neither direction.  Vectors containing NaN
+    are incomparable: they never dominate and are never dominated.
+    """
+    if len(a) != len(b) or len(a) != len(goals):
+        raise ConfigurationError(
+            f"objective vectors must match the goal list: "
+            f"{len(a)}/{len(b)} values vs {len(goals)} goals")
+    bad_goals = [goal for goal in goals if goal not in ("min", "max")]
+    if bad_goals:
+        raise ConfigurationError(
+            f"goals must be 'min' or 'max', got {sorted(set(bad_goals))}")
+    if any(math.isnan(value) for value in a) \
+            or any(math.isnan(value) for value in b):
+        return False
+    better = False
+    for ours, theirs, goal in zip(a, b, goals):
+        if goal == "max":
+            ours, theirs = -ours, -theirs
+        if ours > theirs:
+            return False
+        if ours < theirs:
+            better = True
+    return better
+
+
+def _sort_key(vector: Sequence[float], goals: Sequence[str]
+              ) -> Tuple[float, ...]:
+    """Goal-adjusted vector: ascending sort puts better points first."""
+    return tuple(-value if goal == "max" else value
+                 for value, goal in zip(vector, goals))
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]],
+                   goals: Sequence[str]) -> List[int]:
+    """Indices of the non-dominated vectors, deterministically ordered.
+
+    The order is by goal-adjusted objective vector (first objective
+    first), index as the final tie-break — stable across runs and input
+    permutations of equal multisets.  NaN-containing vectors are never
+    part of the frontier.
+    """
+    front = [index for index, vector in enumerate(vectors)
+             if not any(math.isnan(value) for value in vector)
+             and not any(dominates(other, vector, goals)
+                         for other in vectors)]
+    return sorted(front,
+                  key=lambda index: (_sort_key(vectors[index], goals), index))
+
+
+def dominance_ranks(vectors: Sequence[Sequence[float]],
+                    goals: Sequence[str]) -> List[Optional[int]]:
+    """Non-dominated sorting rank per vector (0 = Pareto frontier).
+
+    Rank ``k`` is the frontier of what remains after peeling ranks
+    ``0..k-1`` away.  NaN-containing vectors get rank ``None``.
+    """
+    ranks: List[Optional[int]] = [None] * len(vectors)
+    remaining = [index for index, vector in enumerate(vectors)
+                 if not any(math.isnan(value) for value in vector)]
+    rank = 0
+    while remaining:
+        layer = [index for index in remaining
+                 if not any(dominates(vectors[other], vectors[index], goals)
+                            for other in remaining)]
+        if not layer:  # pragma: no cover - dominance is a strict order
+            break
+        for index in layer:
+            ranks[index] = rank
+        layer_set = set(layer)
+        remaining = [index for index in remaining
+                     if index not in layer_set]
+        rank += 1
+    return ranks
+
+
+# --- result model ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExplorationPoint:
+    """One evaluated point of an exploration.
+
+    ``params`` are the space coordinates that produced the point;
+    ``metrics`` maps objective names to values (empty when infeasible).
+    The in-memory :class:`EnergyReport` is attached for downstream
+    analysis but is deliberately not part of the serialized form — the
+    metrics are the durable record.
+    """
+
+    params: Dict[str, Any]
+    metrics: Dict[str, float] = field(default_factory=dict)
+    design_name: Optional[str] = None
+    design_hash: Optional[str] = None
+    failure_type: Optional[str] = None
+    failure: Optional[str] = None
+    bottleneck: Optional[Bottleneck] = None
+    report: Optional[EnergyReport] = field(default=None, repr=False,
+                                           compare=False)
+
+    @property
+    def feasible(self) -> bool:
+        return self.failure is None
+
+    def objective_vector(self, objectives: Sequence[Metric]
+                         ) -> Tuple[float, ...]:
+        """The point's values for ``objectives``, in order."""
+        return tuple(self.metrics[objective.name]
+                     for objective in objectives)
+
+    def label(self) -> str:
+        """Compact ``name=value`` rendering of the coordinates."""
+        return " ".join(f"{name}={value}"
+                        for name, value in self.params.items())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "params": dict(self.params),
+            "design": self.design_name,
+            "design_hash": self.design_hash,
+            "feasible": self.feasible,
+            "metrics": dict(self.metrics),
+            "failure": ({"type": self.failure_type, "message": self.failure}
+                        if self.failure is not None else None),
+            "bottleneck": (self.bottleneck.to_dict()
+                           if self.bottleneck is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExplorationPoint":
+        try:
+            failure = payload.get("failure")
+            bottleneck = payload.get("bottleneck")
+            return cls(
+                params=dict(payload["params"]),
+                metrics=dict(payload["metrics"]),
+                design_name=payload.get("design"),
+                design_hash=payload.get("design_hash"),
+                failure_type=(failure or {}).get("type"),
+                failure=(failure or {}).get("message"),
+                bottleneck=(Bottleneck.from_dict(bottleneck)
+                            if bottleneck is not None else None))
+        except (KeyError, TypeError) as error:
+            raise SerializationError(
+                f"malformed exploration point: {error}") from error
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration produced, Pareto analysis included."""
+
+    name: str
+    objectives: List[Metric]
+    options: SimOptions
+    points: List[ExplorationPoint]
+
+    @property
+    def goals(self) -> Tuple[str, ...]:
+        return tuple(objective.goal for objective in self.objectives)
+
+    @property
+    def feasible_points(self) -> List[ExplorationPoint]:
+        return [point for point in self.points if point.feasible]
+
+    @property
+    def infeasible_points(self) -> List[ExplorationPoint]:
+        return [point for point in self.points if not point.feasible]
+
+    # --- Pareto analysis --------------------------------------------------
+
+    def frontier_indices(self) -> List[int]:
+        """Indices (into ``points``) of the Pareto frontier, in
+        deterministic objective order."""
+        feasible = [(index, point.objective_vector(self.objectives))
+                    for index, point in enumerate(self.points)
+                    if point.feasible]
+        if not feasible:
+            return []
+        local = pareto_indices([vector for _, vector in feasible],
+                               self.goals)
+        return [feasible[position][0] for position in local]
+
+    def frontier(self) -> List[ExplorationPoint]:
+        """The non-dominated feasible points, deterministically ordered."""
+        return [self.points[index] for index in self.frontier_indices()]
+
+    def dominance_ranks(self) -> List[Optional[int]]:
+        """Per-point non-dominated-sorting rank (None for infeasible)."""
+        feasible = [(index, point.objective_vector(self.objectives))
+                    for index, point in enumerate(self.points)
+                    if point.feasible]
+        ranks: List[Optional[int]] = [None] * len(self.points)
+        if feasible:
+            local = dominance_ranks([vector for _, vector in feasible],
+                                    self.goals)
+            for (index, _), rank in zip(feasible, local):
+                ranks[index] = rank
+        return ranks
+
+    # --- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned JSON-compatible payload (schema ``repro.explore/1``).
+
+        The frontier indices and dominance ranks are derived from the
+        points deterministically, so a round-tripped result re-emits the
+        identical document.
+        """
+        return {
+            "schema": EXPLORATION_SCHEMA,
+            "name": self.name,
+            "objectives": [{"name": objective.name, "goal": objective.goal,
+                            "unit": objective.unit}
+                           for objective in self.objectives],
+            "options": self.options.to_dict(),
+            "points": [point.to_dict() for point in self.points],
+            "frontier": self.frontier_indices(),
+            "ranks": self.dominance_ranks(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExplorationResult":
+        """Inverse of :meth:`to_dict` (frontier/ranks are recomputed)."""
+        if not isinstance(payload, dict):
+            raise SerializationError(
+                f"exploration payload must be an object, "
+                f"got {type(payload).__name__}")
+        if payload.get("schema") != EXPLORATION_SCHEMA:
+            raise SerializationError(
+                f"expected schema {EXPLORATION_SCHEMA!r}, "
+                f"got {payload.get('schema')!r}")
+        try:
+            objectives = [_metric_from_payload(raw)
+                          for raw in payload["objectives"]]
+            options = SimOptions.from_dict(payload["options"])
+            points = [ExplorationPoint.from_dict(raw)
+                      for raw in payload["points"]]
+            name = payload["name"]
+        except KeyError as error:
+            raise SerializationError(
+                f"exploration payload missing {error}") from error
+        return cls(name=name, objectives=objectives, options=options,
+                   points=points)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The result as a canonical JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ExplorationResult":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise SerializationError(
+                f"exploration document is not valid JSON: {error}") \
+                from error
+        return cls.from_dict(payload)
+
+    def save(self, path) -> None:
+        """Write the result to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ExplorationResult":
+        """Read a result written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # --- rendering --------------------------------------------------------
+
+    def to_table(self) -> str:
+        """Human-readable summary: all points, frontier starred."""
+        frontier = set(self.frontier_indices())
+        ranks = self.dominance_ranks()
+        lines = [f"Exploration — {self.name}: {len(self.points)} points, "
+                 f"{len(self.feasible_points)} feasible, "
+                 f"{len(self.infeasible_points)} infeasible, "
+                 f"frontier {len(frontier)}",
+                 "objectives: " + ", ".join(
+                     f"{objective.name} [{objective.unit}, {objective.goal}]"
+                     for objective in self.objectives)]
+        for index, point in enumerate(self.points):
+            if not point.feasible:
+                lines.append(f"    {point.label():<36} infeasible: "
+                             f"{point.failure_type}: {point.failure}")
+                continue
+            marker = "*" if index in frontier else " "
+            values = "  ".join(
+                f"{objective.name}={point.metrics[objective.name]:.6g}"
+                for objective in self.objectives)
+            lines.append(f"  {marker} {point.label():<36} {values}  "
+                         f"[rank {ranks[index]}]")
+        annotated = [self.points[index] for index in
+                     sorted(frontier)
+                     if self.points[index].bottleneck is not None]
+        if annotated:
+            lines.append("frontier bottlenecks:")
+            for point in annotated:
+                bottleneck = point.bottleneck
+                lines.append(
+                    f"    {point.label():<36} {bottleneck.name} "
+                    f"({bottleneck.category.value}, "
+                    f"{100 * bottleneck.share:.1f}%) -> {bottleneck.hint}")
+        return "\n".join(lines)
+
+
+def _metric_from_payload(raw: Dict[str, Any]) -> Metric:
+    """A Metric from its serialized (name, goal, unit) triple.
+
+    The extractor is re-attached from the registry when the name is
+    still registered; otherwise the metric deserializes as data-only and
+    raises if re-evaluated.
+    """
+    if not isinstance(raw, dict) or "name" not in raw:
+        raise SerializationError(
+            f"objective spec must be an object with a 'name', got {raw!r}")
+    name = raw["name"]
+    try:
+        registered = _lookup_metric(name)
+        extract = registered.extract
+    except ConfigurationError:
+        def extract(design, report, _name=name):
+            raise ConfigurationError(
+                f"metric {_name!r} was deserialized without an extractor; "
+                f"register it before re-evaluating")
+    return Metric(name=name, unit=raw.get("unit", ""), extract=extract,
+                  goal=raw.get("goal", "min"))
+
+
+# --- the engine -----------------------------------------------------------
+
+def _as_design(built: BuilderResult) -> Design:
+    if isinstance(built, Design):
+        return built
+    stages, system, mapping = built
+    return Design(stages, system, mapping)
+
+
+def _split_params(params: Dict[str, Any]
+                  ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Split a space point into builder params and SimOptions overrides."""
+    build_params = {}
+    option_overrides = {}
+    for name, value in params.items():
+        if name.startswith(OPTIONS_PREFIX):
+            option_overrides[name[len(OPTIONS_PREFIX):]] = value
+        else:
+            build_params[name] = value
+    return build_params, option_overrides
+
+
+def _freeze(params: Dict[str, Any]) -> Optional[tuple]:
+    """A hashable cache key for builder params (None when unhashable)."""
+    try:
+        key = tuple(sorted(params.items()))
+        hash(key)
+        return key
+    except TypeError:
+        return None
+
+
+def explore(space: ParameterSpace,
+            builder: Builder,
+            objectives: Sequence[Union[str, Metric]] = DEFAULT_OBJECTIVES,
+            options: Optional[SimOptions] = None,
+            simulator: Optional[Simulator] = None,
+            name: Optional[str] = None,
+            annotate: bool = True) -> ExplorationResult:
+    """Run ``builder`` across ``space`` and analyze the objectives.
+
+    Parameters
+    ----------
+    space:
+        The parameter space to enumerate.  Names prefixed ``options.``
+        override :class:`SimOptions` fields per point; all other names
+        are keyword arguments of the builder.
+    builder:
+        ``builder(**params) -> Design`` (or the legacy triple), or the
+        name of a registered use case.
+    objectives:
+        Metric names (or :class:`Metric` values) to evaluate per point.
+    options:
+        Base simulation options; defaults to the simulator session's.
+    simulator:
+        An existing session to run (and cache) through.
+    annotate:
+        Attach the top energy bottleneck to every feasible point.
+
+    Builder failures, simulation failures (timing, stalls), and metric
+    extraction failures are all :class:`CamJError`-typed infeasible
+    points in the result, never exceptions — infeasibility boundaries
+    are exactly what an exploration maps out.
+    """
+    resolved_objectives = resolve_metrics(objectives)
+    simulator = simulator if simulator is not None else Simulator(options)
+    base_options = options if options is not None else simulator.options
+    if isinstance(builder, str):
+        usecase = builder
+        build = lambda **params: build_usecase(usecase, **params)  # noqa: E731
+        result_name = name if name is not None else usecase
+    else:
+        build = builder
+        result_name = name if name is not None else \
+            getattr(builder, "__name__", "exploration")
+        if result_name == "<lambda>":
+            result_name = "exploration"
+
+    option_fields = set(SimOptions().to_dict())
+    bad_axes = [axis for axis in space.names
+                if axis.startswith(OPTIONS_PREFIX)
+                and axis[len(OPTIONS_PREFIX):] not in option_fields]
+    if bad_axes:
+        raise ConfigurationError(
+            f"unknown SimOptions axes {sorted(bad_axes)}; "
+            f"supported: {sorted(OPTIONS_PREFIX + f for f in option_fields)}")
+
+    # Phase 1: enumerate and build.  Identical builder params build the
+    # design once (option-only sweeps build exactly one design); failures
+    # of either the builder or the per-point options become typed
+    # infeasible points.
+    slots: List[Tuple[Dict[str, Any], Optional[Design],
+                      Optional[SimOptions], Optional[CamJError]]] = []
+    built_cache: Dict[tuple, Union[Design, CamJError]] = {}
+    for params in space:
+        build_params, overrides = _split_params(params)
+        try:
+            point_options = base_options.replace(**overrides) if overrides \
+                else base_options
+        except CamJError as error:
+            slots.append((params, None, None, error))
+            continue
+        key = _freeze(build_params)
+        cached = built_cache.get(key) if key is not None else None
+        if cached is None:
+            try:
+                cached = _as_design(build(**build_params))
+            except CamJError as error:
+                cached = error
+            if key is not None:
+                built_cache[key] = cached
+        if isinstance(cached, CamJError):
+            slots.append((params, None, None, cached))
+        else:
+            slots.append((params, cached, point_options, None))
+
+    # Phase 2: one parallel, deduplicated batch over the buildable points.
+    jobs = [(design, point_options)
+            for _, design, point_options, error in slots if error is None]
+    results = simulator.run_many(jobs) if jobs else []
+
+    # Phase 3: evaluate objectives and annotate.
+    points: List[ExplorationPoint] = []
+    cursor = iter(results)
+    for params, design, _, error in slots:
+        if error is not None:
+            points.append(ExplorationPoint(
+                params=params, failure_type=type(error).__name__,
+                failure=str(error)))
+            continue
+        points.append(_evaluate_point(params, design, next(cursor),
+                                      resolved_objectives, annotate))
+
+    return ExplorationResult(name=result_name,
+                             objectives=resolved_objectives,
+                             options=base_options, points=points)
+
+
+def _evaluate_point(params: Dict[str, Any], design: Design,
+                    result: SimResult, objectives: Sequence[Metric],
+                    annotate: bool) -> ExplorationPoint:
+    if not result.ok:
+        return ExplorationPoint(
+            params=params, design_name=design.name,
+            design_hash=result.design_hash,
+            failure_type=result.error_type, failure=result.failure)
+    values: Dict[str, float] = {}
+    for objective in objectives:
+        try:
+            values[objective.name] = objective.value(design, result.report)
+        except CamJError as error:
+            # A metric that cannot be computed on this design (e.g. a
+            # power density without any on-chip area) makes the point
+            # infeasible for this exploration, with the metric named.
+            return ExplorationPoint(
+                params=params, design_name=design.name,
+                design_hash=result.design_hash,
+                failure_type=type(error).__name__,
+                failure=f"metric {objective.name!r}: {error}",
+                report=result.report)
+    bottleneck = None
+    if annotate:
+        top = identify_bottlenecks(result.report, top=1, min_share=0.0)
+        bottleneck = top[0] if top else None
+    return ExplorationPoint(params=params, metrics=values,
+                            design_name=design.name,
+                            design_hash=result.design_hash,
+                            bottleneck=bottleneck, report=result.report)

@@ -5,11 +5,13 @@ from repro.usecases.rhythmic import (
     build_rhythmic,
     run_rhythmic,
     rhythmic_configs,
+    rhythmic_space,
 )
 from repro.usecases.edgaze import (
     build_edgaze,
     run_edgaze,
     edgaze_configs,
+    edgaze_space,
 )
 from repro.usecases.edgaze_mixed import (
     build_edgaze_mixed,
@@ -31,9 +33,11 @@ __all__ = [
     "build_rhythmic",
     "run_rhythmic",
     "rhythmic_configs",
+    "rhythmic_space",
     "build_edgaze",
     "run_edgaze",
     "edgaze_configs",
+    "edgaze_space",
     "build_edgaze_mixed",
     "run_edgaze_mixed",
     "build_fig5_design",

@@ -181,3 +181,16 @@ def edgaze_configs() -> List[UseCaseConfig]:
     return [UseCaseConfig(placement, node)
             for node in (130, 65)
             for placement in ("2D-In", "2D-Off", "3D-In", "3D-In-STT")]
+
+
+def edgaze_space():
+    """The Fig. 9b grid as a parameter space for the exploration engine.
+
+    Enumerates the same points, in the same order, as
+    :func:`edgaze_configs`; the axis names match the registered
+    ``"edgaze"`` use-case builder's parameters.
+    """
+    from repro.explore.space import choice, product
+    return product(choice("cis_node", [130, 65]),
+                   choice("placement",
+                          ["2D-In", "2D-Off", "3D-In", "3D-In-STT"]))

@@ -1,0 +1,555 @@
+"""Tests for the unified design-space exploration engine."""
+
+import json
+
+import pytest
+
+from repro.api import SimOptions, Simulator
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.explore import (
+    ExplorationResult,
+    Metric,
+    available_metrics,
+    choice,
+    dominance_ranks,
+    dominates,
+    explore,
+    exploration_spec_from_dict,
+    grid,
+    linspace,
+    metric,
+    pareto_indices,
+    product,
+    register_metric,
+    resolve_metrics,
+    space_from_dict,
+    zipped,
+)
+from repro.usecases.fig5 import build_fig5_design
+
+
+class TestSpaces:
+    def test_choice_axis(self):
+        axis = choice("node", [130, 65, 28])
+        assert len(axis) == 3
+        assert axis.names == ("node",)
+        assert list(axis) == [{"node": 130}, {"node": 65}, {"node": 28}]
+
+    def test_choice_allows_non_numeric_values(self):
+        axis = choice("memory", ["sram", "stt-ram"])
+        assert [p["memory"] for p in axis] == ["sram", "stt-ram"]
+
+    def test_linspace_hits_endpoints(self):
+        axis = linspace("fps", 15.0, 120.0, 4)
+        values = [p["fps"] for p in axis]
+        assert values[0] == 15.0 and values[-1] == 120.0
+        assert len(values) == 4
+        assert values == sorted(values)
+
+    def test_linspace_single_point(self):
+        assert [p["fps"] for p in linspace("fps", 30, 60, 1)] == [30.0]
+
+    def test_product_order_last_axis_fastest(self):
+        space = product(choice("a", [1, 2]), choice("b", ["x", "y"]))
+        assert len(space) == 4
+        assert list(space) == [{"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+                               {"a": 2, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_grid_shorthand(self):
+        space = grid(a=[1, 2], b=[3, 4, 5])
+        assert len(space) == 6
+        assert space.names == ("a", "b")
+
+    def test_mul_operator_is_product(self):
+        space = choice("a", [1, 2]) * choice("b", [3])
+        assert list(space) == [{"a": 1, "b": 3}, {"a": 2, "b": 3}]
+
+    def test_zip_lockstep(self):
+        space = zipped(choice("a", [1, 2]), choice("b", ["x", "y"]))
+        assert len(space) == 2
+        assert list(space) == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_zip_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipped(choice("a", [1, 2]), choice("b", [1, 2, 3]))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            product(choice("a", [1]), choice("a", [2]))
+
+    def test_filter_subspace(self):
+        space = grid(a=[1, 2, 3], b=[1, 2, 3]).filter(
+            lambda p: p["a"] + p["b"] <= 3)
+        assert len(space) == 3
+        assert all(p["a"] + p["b"] <= 3 for p in space)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            choice("a", [])
+
+    def test_lazy_enumeration(self):
+        """Spaces enumerate lazily: a huge product costs nothing to make."""
+        space = grid(a=list(range(1000)), b=list(range(1000)))
+        assert len(space) == 1_000_000
+        first = next(iter(space))
+        assert first == {"a": 0, "b": 0}
+
+
+class TestSpaceSerialization:
+    def test_round_trip_product(self):
+        space = product(choice("placement", ["2D-In", "3D-In"]),
+                        linspace("fps", 15, 120, 4))
+        payload = space.to_dict()
+        again = space_from_dict(payload)
+        assert list(again) == list(space)
+        assert again.to_dict() == payload
+
+    def test_round_trip_zip(self):
+        space = zipped(choice("a", [1, 2]), choice("b", [3, 4]))
+        assert list(space_from_dict(space.to_dict())) == list(space)
+
+    def test_bare_list_is_product(self):
+        space = space_from_dict([{"name": "a", "values": [1, 2]},
+                                 {"name": "b", "values": [3]}])
+        assert list(space) == [{"a": 1, "b": 3}, {"a": 2, "b": 3}]
+
+    def test_filtered_space_has_no_json_form(self):
+        space = choice("a", [1, 2]).filter(lambda p: True)
+        with pytest.raises(SerializationError):
+            space.to_dict()
+
+    def test_malformed_specs_rejected(self):
+        for payload in ("nope", {"axes": []}, {"product": []},
+                        {"name": "a"}, {"name": "a", "values": 3},
+                        {"name": "a", "values": [1], "weird": True},
+                        {"name": "a", "linspace": {"start": 1}}):
+            with pytest.raises(SerializationError):
+                space_from_dict(payload)
+
+
+class TestMetrics:
+    def test_builtins_registered(self):
+        names = available_metrics()
+        for expected in ("energy_per_frame", "power_density", "latency",
+                         "area", "energy:MEM-D", "share:SEN"):
+            assert expected in names
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            metric("definitely_not_registered")
+
+    def test_duplicate_objectives_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_metrics(["latency", "latency"])
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_metrics([])
+
+    def test_bad_goal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Metric("m", unit="x", extract=lambda d, r: 0.0, goal="upward")
+
+    def test_custom_metric_usable_as_objective(self):
+        register_metric(Metric(
+            "test_total_nj", unit="nJ",
+            extract=lambda design, report: report.total_energy * 1e9))
+        result = explore(choice("options.frame_rate", [30.0]),
+                         build_fig5_design,
+                         objectives=("test_total_nj",), annotate=False)
+        point = result.points[0]
+        assert point.metrics["test_total_nj"] == pytest.approx(
+            point.report.total_energy * 1e9)
+
+
+class TestDominance:
+    GOALS = ("min", "min")
+
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0), self.GOALS)
+        assert not dominates((2.0, 2.0), (1.0, 1.0), self.GOALS)
+
+    def test_tie_dominates_neither_way(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0), self.GOALS)
+
+    def test_partial_tie_dominates(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0), self.GOALS)
+
+    def test_trade_off_incomparable(self):
+        assert not dominates((1.0, 3.0), (3.0, 1.0), self.GOALS)
+        assert not dominates((3.0, 1.0), (1.0, 3.0), self.GOALS)
+
+    def test_max_goal_flips_direction(self):
+        assert dominates((1.0, 5.0), (1.0, 4.0), ("min", "max"))
+        assert not dominates((1.0, 4.0), (1.0, 5.0), ("min", "max"))
+
+    def test_nan_incomparable(self):
+        nan = float("nan")
+        assert not dominates((nan, 0.0), (1.0, 1.0), self.GOALS)
+        assert not dominates((1.0, 1.0), (nan, 0.0), self.GOALS)
+
+    def test_vector_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominates((1.0,), (1.0, 2.0), self.GOALS)
+
+    def test_unknown_goal_rejected(self):
+        for goals in (("MAX", "min"), ("maximize", "min"), ("", "min")):
+            with pytest.raises(ConfigurationError):
+                dominates((1.0, 1.0), (2.0, 2.0), goals)
+
+    def test_single_point_is_the_frontier(self):
+        assert pareto_indices([(1.0, 1.0)], self.GOALS) == [0]
+        assert dominance_ranks([(1.0, 1.0)], self.GOALS) == [0]
+
+    def test_all_dominated_by_one(self):
+        vectors = [(5.0, 5.0), (1.0, 1.0), (3.0, 4.0)]
+        assert pareto_indices(vectors, self.GOALS) == [1]
+        assert dominance_ranks(vectors, self.GOALS) == [2, 0, 1]
+
+    def test_value_ties_all_kept_on_frontier(self):
+        vectors = [(1.0, 2.0), (1.0, 2.0), (2.0, 1.0)]
+        assert pareto_indices(vectors, self.GOALS) == [0, 1, 2]
+
+    def test_three_objective_frontier(self):
+        vectors = [(1, 2, 3), (2, 1, 3), (3, 2, 1), (3, 3, 3)]
+        front = pareto_indices(vectors, ("min", "min", "min"))
+        assert front == sorted(front, key=lambda i: (vectors[i], i))
+        assert set(front) == {0, 1, 2}
+
+    def test_frontier_order_stable_under_permutation(self):
+        vectors = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (4.0, 4.0)]
+        front_a = [vectors[i] for i in pareto_indices(vectors, self.GOALS)]
+        shuffled = [vectors[2], vectors[3], vectors[0], vectors[1]]
+        front_b = [shuffled[i] for i in pareto_indices(shuffled, self.GOALS)]
+        assert front_a == front_b
+
+    def test_nan_vector_never_on_frontier(self):
+        vectors = [(float("nan"), 0.0), (1.0, 1.0)]
+        assert pareto_indices(vectors, self.GOALS) == [1]
+        assert dominance_ranks(vectors, self.GOALS) == [None, 0]
+
+
+class TestEngine:
+    def test_options_axis_marks_infeasible_points(self):
+        """Absurd FPS targets come back as typed points, not exceptions."""
+        result = explore(choice("options.frame_rate", [30.0, 1e7]),
+                         build_fig5_design,
+                         objectives=("energy_per_frame",), annotate=False)
+        ok, bad = result.points
+        assert ok.feasible and not bad.feasible
+        assert bad.failure_type == "TimingError"
+        assert "re-design" in bad.failure
+        assert bad.metrics == {}
+        assert result.feasible_points == [ok]
+        assert result.infeasible_points == [bad]
+
+    def test_option_axis_builds_design_once(self):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return build_fig5_design()
+
+        explore(choice("options.frame_rate", [15.0, 30.0, 60.0]),
+                lambda **_: builder(), objectives=("energy_per_frame",),
+                annotate=False)
+        assert len(calls) == 1
+
+    def test_builder_failure_marks_the_point(self):
+        def builder(value):
+            if value == 2:
+                raise ConfigurationError("value 2 is unbuildable")
+            return build_fig5_design()
+
+        result = explore(choice("value", [1, 2, 3]),
+                         lambda value: builder(value),
+                         objectives=("energy_per_frame",), annotate=False)
+        assert [p.feasible for p in result.points] == [True, False, True]
+        failed = result.points[1]
+        assert failed.failure_type == "ConfigurationError"
+        assert "unbuildable" in failed.failure
+        assert failed.params == {"value": 2}
+
+    def test_metric_failure_marks_the_point(self):
+        register_metric(Metric(
+            "test_always_fails", unit="x",
+            extract=lambda design, report: (_ for _ in ()).throw(
+                ConfigurationError("cannot compute"))))
+        result = explore(choice("options.frame_rate", [30.0]),
+                         build_fig5_design,
+                         objectives=("test_always_fails",), annotate=False)
+        point = result.points[0]
+        assert not point.feasible
+        assert "test_always_fails" in point.failure
+        # The report survives for debugging even though the point failed.
+        assert point.report is not None
+
+    def test_unknown_options_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            explore(choice("options.warp_factor", [9]),
+                    build_fig5_design, objectives=("energy_per_frame",))
+
+    def test_legacy_triple_builders_accepted(self):
+        from repro.usecases.fig5 import (FIG5_MAPPING, build_fig5_stages,
+                                         build_fig5_system)
+
+        result = explore(
+            choice("options.frame_rate", [30.0]),
+            lambda **_: (build_fig5_stages(), build_fig5_system(),
+                         dict(FIG5_MAPPING)),
+            objectives=("energy_per_frame",), annotate=False)
+        assert result.points[0].feasible
+
+    def test_usecase_name_as_builder(self):
+        result = explore(grid(placement=["2D-In"], cis_node=[65]),
+                         "edgaze", objectives=("energy_per_frame",),
+                         annotate=False)
+        assert result.name == "edgaze"
+        assert result.points[0].feasible
+
+    def test_shared_session_dedups_across_explorations(self):
+        simulator = Simulator()
+        explore(choice("options.frame_rate", [30.0, 60.0]),
+                build_fig5_design, objectives=("energy_per_frame",),
+                simulator=simulator, annotate=False)
+        explore(choice("options.frame_rate", [30.0, 60.0]),
+                build_fig5_design, objectives=("energy_per_frame",),
+                simulator=simulator, annotate=False)
+        assert simulator.cache_info().hits >= 2
+
+    def test_annotation_attaches_bottleneck(self):
+        result = explore(choice("options.frame_rate", [30.0]),
+                         build_fig5_design,
+                         objectives=("energy_per_frame",))
+        bottleneck = result.points[0].bottleneck
+        assert bottleneck is not None
+        assert bottleneck.share > 0
+        assert bottleneck.hint
+
+    def test_three_objective_edgaze_frontier(self):
+        """Acceptance: >=2 axes, >=3 objectives, frontier extracted."""
+        from repro.usecases import edgaze_space
+
+        result = explore(edgaze_space(), "edgaze",
+                         objectives=("energy_per_frame", "power_density",
+                                     "latency"))
+        assert len(result.points) == 8
+        assert len(result.objectives) == 3
+        frontier = result.frontier()
+        assert 1 <= len(frontier) < len(result.points)
+        labels = {(p.params["placement"], p.params["cis_node"])
+                  for p in frontier}
+        # 3D stacking trades energy against density, so STT lands on the
+        # frontier while plain 2D-In at 65 nm is strictly dominated.
+        assert ("3D-In-STT", 65) in labels
+        assert ("2D-In", 65) not in labels
+        ranks = result.dominance_ranks()
+        assert all(rank is not None for rank in ranks)
+        assert sorted(set(ranks))[0] == 0
+
+
+class TestResultSerialization:
+    @staticmethod
+    def _result():
+        return explore(
+            choice("options.frame_rate", [30.0, 1e7]),
+            build_fig5_design,
+            objectives=("energy_per_frame", "power_density", "latency"))
+
+    def test_json_round_trip_bit_identical(self):
+        """Acceptance: the full result re-serializes bit-identically."""
+        result = self._result()
+        document = result.to_json()
+        again = ExplorationResult.from_json(document)
+        assert again.to_json() == document
+
+    def test_round_trip_preserves_analysis(self):
+        result = self._result()
+        again = ExplorationResult.from_json(result.to_json())
+        assert again.frontier_indices() == result.frontier_indices()
+        assert again.dominance_ranks() == result.dominance_ranks()
+        assert [p.feasible for p in again.points] \
+            == [p.feasible for p in result.points]
+        assert again.points[1].failure_type == "TimingError"
+
+    def test_schema_tag_present_and_checked(self):
+        payload = self._result().to_dict()
+        assert payload["schema"] == "repro.explore/1"
+        payload["schema"] = "repro.explore/999"
+        with pytest.raises(SerializationError):
+            ExplorationResult.from_dict(payload)
+
+    def test_save_load(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "exploration.json"
+        result.save(path)
+        assert ExplorationResult.load(path).to_json() == result.to_json()
+
+    def test_deserialized_metrics_reattach_extractors(self):
+        again = ExplorationResult.from_json(self._result().to_json())
+        design = build_fig5_design()
+        report = Simulator().run(design).report
+        value = again.objectives[0].value(design, report)
+        assert value == pytest.approx(report.total_energy)
+
+    def test_infeasible_round_trip_keeps_failure(self):
+        again = ExplorationResult.from_json(self._result().to_json())
+        bad = again.points[1]
+        assert not bad.feasible
+        assert bad.metrics == {}
+        assert "re-design" in bad.failure
+
+    def test_to_table_marks_frontier_and_infeasible(self):
+        table = self._result().to_table()
+        assert "infeasible" in table
+        assert "*" in table
+        assert "rank" in table
+
+
+class TestSpec:
+    SPEC = {
+        "schema": "repro.explore-spec/1",
+        "usecase": "edgaze",
+        "space": {"product": [
+            {"name": "placement", "values": ["2D-In", "2D-Off"]},
+            {"name": "cis_node", "values": [130, 65]},
+        ]},
+        "objectives": ["energy_per_frame", "power_density", "latency"],
+        "options": {"frame_rate": 30.0},
+    }
+
+    def test_spec_runs(self):
+        spec = exploration_spec_from_dict(self.SPEC)
+        result = spec.run()
+        assert len(result.points) == 4
+        assert all(point.feasible for point in result.points)
+        assert result.to_dict()["schema"] == "repro.explore/1"
+
+    def test_spec_round_trip(self):
+        spec = exploration_spec_from_dict(self.SPEC)
+        assert exploration_spec_from_dict(spec.to_dict()).to_dict() \
+            == spec.to_dict()
+
+    def test_missing_pieces_rejected(self):
+        for broken in ({"usecase": "edgaze"},
+                       {"space": self.SPEC["space"]},
+                       {**self.SPEC, "schema": "bogus/1"},
+                       {**self.SPEC, "objectives": []},
+                       {**self.SPEC, "objectives": "energy_per_frame"},
+                       {**self.SPEC, "surprise": 1}):
+            with pytest.raises(SerializationError):
+                exploration_spec_from_dict(broken)
+
+
+class TestCliExplore:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "explore.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_explore_command(self, tmp_path, capsys):
+        """Acceptance: repro explore runs a 2-axis, 3-objective space."""
+        from repro.__main__ import main
+
+        spec = self._write(tmp_path, TestSpec.SPEC)
+        assert main(["explore", spec]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out and "objectives:" in out
+
+    def test_explore_command_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec = self._write(tmp_path, TestSpec.SPEC)
+        assert main(["explore", spec, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.explore/1"
+        assert len(payload["points"]) == 4
+        assert len(payload["objectives"]) == 3
+        assert payload["frontier"]
+
+    def test_explore_writes_result_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec = self._write(tmp_path, TestSpec.SPEC)
+        out_path = tmp_path / "result.json"
+        assert main(["explore", spec, "-o", str(out_path)]) == 0
+        saved = ExplorationResult.load(out_path)
+        assert len(saved.points) == 4
+
+    def test_explore_all_infeasible_exits_nonzero(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec = self._write(tmp_path, {
+            "usecase": "fig5",
+            "space": [{"name": "options.frame_rate", "values": [1e7]}],
+            "objectives": ["energy_per_frame"],
+        })
+        assert main(["explore", spec]) == 1
+        assert "TimingError" in capsys.readouterr().out
+
+    def test_explore_missing_spec_fails_cleanly(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["explore", str(tmp_path / "absent.json")]) == 1
+        assert "cannot load spec" in capsys.readouterr().err
+
+
+class TestShims:
+    def test_sweep_parameter_non_numeric_values(self):
+        """Satellite: generic sweeps accept non-numeric parameters."""
+        from repro.analysis import sweep_parameter
+        from repro.usecases import UseCaseConfig, build_edgaze
+
+        points = sweep_parameter(
+            lambda placement: build_edgaze(UseCaseConfig(placement, 65)),
+            ["2D-In", "3D-In", "3D-In-STT"])
+        assert [p.parameter for p in points] \
+            == ["2D-In", "3D-In", "3D-In-STT"]
+        assert all(p.feasible for p in points)
+
+    def test_design_point_tie_semantics(self):
+        from repro.analysis.pareto import DesignPoint
+
+        a = DesignPoint("a", 1.0, 1.0)
+        twin = DesignPoint("twin", 1.0, 1.0)
+        assert not a.dominates(twin) and not twin.dominates(a)
+        nan = DesignPoint("n", float("nan"), 1.0)
+        assert not nan.dominates(a) and not a.dominates(nan)
+
+    def test_pareto_front_deterministic_with_duplicates(self):
+        from repro.analysis.pareto import (DesignPoint, dominated_points,
+                                           pareto_front)
+
+        points = [DesignPoint("b", 1.0, 2.0), DesignPoint("a", 1.0, 2.0),
+                  DesignPoint("c", 2.0, 1.0), DesignPoint("d", 3.0, 3.0)]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["a", "b", "c"]
+        assert [p.label for p in pareto_front(points[::-1])] \
+            == ["a", "b", "c"]
+        assert [p.label for p in dominated_points(points)] == ["d"]
+
+    def test_nan_design_points_neither_front_nor_dominated(self):
+        from repro.analysis.pareto import (DesignPoint, dominated_points,
+                                           pareto_front)
+
+        points = [DesignPoint("a", 1.0, 2.0),
+                  DesignPoint("n", float("nan"), 1.0)]
+        assert [p.label for p in pareto_front(points)] == ["a"]
+        assert dominated_points(points) == []
+
+    def test_usecase_spaces_match_config_grids(self):
+        from repro.usecases import (edgaze_configs, edgaze_space,
+                                    rhythmic_configs, rhythmic_space)
+
+        assert [(c.placement, c.cis_node) for c in edgaze_configs()] \
+            == [(p["placement"], p["cis_node"]) for p in edgaze_space()]
+        assert [(c.placement, c.cis_node) for c in rhythmic_configs()] \
+            == [(p["placement"], p["cis_node"]) for p in rhythmic_space()]
+
+    def test_bottleneck_shim_path(self):
+        from repro.analysis.bottleneck import (Bottleneck,
+                                               identify_bottlenecks)
+        from repro.explore.annotate import Bottleneck as Moved
+
+        assert Bottleneck is Moved
+        assert callable(identify_bottlenecks)
