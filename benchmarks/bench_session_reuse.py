@@ -1,0 +1,220 @@
+"""Session-reuse benchmark: disk-tier cache warmth and pool reuse.
+
+Two claims of the session performance subsystem, measured end to end:
+
+1. **Disk cache** — a 100-point exploration whose evaluations are
+   genuinely expensive (cycle-exact validation of designs with
+   fractional memory capacities, which the event-driven simulator
+   correctly routes to the reference per-cycle loop) is re-served from
+   a ``cache_dir`` by a *fresh* session at >= 5x the cold wall time.
+2. **Pool reuse** — repeated ``run_many`` batches through one session
+   (persistent executor, workers warm) beat creating a session per
+   batch by >= 1.5x in process mode, where pool startup is forked
+   processes rather than threads.
+
+Emits ``benchmarks/results/BENCH_session_reuse.json``.  Under
+``REPRO_BENCH_SMOKE=1`` the workloads shrink and the wall-clock
+assertions are skipped; the structural assertions (identical results,
+all-hits warm batches, no pool touched when warm) always run.
+"""
+
+import time
+
+from repro import units
+from repro.api import Design, SimOptions, Simulator
+from repro.explore import explore
+from repro.explore.space import choice, product
+from repro.hw.analog.array import AnalogArray
+from repro.hw.analog.components import ActivePixelSensor, ColumnADC
+from repro.hw.chip import SensorSystem
+from repro.hw.digital.compute import ComputeUnit
+from repro.hw.digital.memory import DigitalMemory, FIFO
+from repro.hw.layer import Layer, SENSOR_LAYER
+from repro.usecases import UseCaseConfig, build_rhythmic
+from repro.usecases.fig5 import build_fig5_design
+
+#: Acceptance bars (full mode only; smoke skips wall-clock asserts).
+_MIN_DISK_SPEEDUP = 5.0
+_MIN_POOL_SPEEDUP = 1.5
+
+#: Full workload: 13 distinct designs x 8 frame rates = 104 points.
+_FULL_SIZES = list(range(32, 45))
+_FULL_RATES = [10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0]
+#: Smoke workload: tiny frames, 4 points, no timing claims.
+_SMOKE_SIZES = [12, 16]
+_SMOKE_RATES = [10.0, 20.0]
+
+_FULL_POOL_ROUNDS = 5
+_SMOKE_POOL_ROUNDS = 2
+
+
+def _build_validation_design(size: int) -> Design:
+    """A streaming pipeline whose cycle-exact validation is expensive.
+
+    The mid buffer models 10-bit pixels packed into a byte-addressed
+    SRAM, so its pixel capacity is fractional — one of the non-integral
+    occupancy configurations the event-driven simulator hands to the
+    reference per-cycle loop (O(cycles x stages x depth)).  Exactly the
+    regime where caching evaluations across sessions pays.
+    """
+    source_name, denoise_name, sharpen_name = "Input", "Denoise", "Sharpen"
+    from repro.sw.stage import PixelInput, ProcessStage
+
+    source = PixelInput((size, size, 1), name=source_name)
+    denoise = ProcessStage(denoise_name, input_size=(size, size, 1),
+                           kernel=(1, 1, 1), stride=(1, 1, 1))
+    sharpen = ProcessStage(sharpen_name, input_size=(size, size, 1),
+                           kernel=(1, 1, 1), stride=(1, 1, 1))
+    denoise.set_input_stage(source)
+    sharpen.set_input_stage(denoise)
+
+    system = SensorSystem(f"Validate-{size}",
+                          layers=[Layer(SENSOR_LAYER, 65)])
+    pixels = AnalogArray("Pixels")
+    pixels.add_component(ActivePixelSensor(), (size, size))
+    adcs = AnalogArray("ADCs")
+    adcs.add_component(ColumnADC(), (1, size))
+    pixels.set_output(adcs)
+    in_fifo = FIFO("InFifo", size=(1, 4 * size), write_energy_per_word=0,
+                   read_energy_per_word=0, num_read_ports=4,
+                   num_write_ports=4)
+    adcs.set_output(in_fifo)
+    mid = DigitalMemory("Mid", capacity_pixels=2 * size * 8 / 10 + 0.4,
+                        write_energy_per_word=0.2 * units.pJ,
+                        read_energy_per_word=0.2 * units.pJ,
+                        num_read_ports=4, num_write_ports=4)
+    first = ComputeUnit("DenoisePE", input_pixels_per_cycle=(1, 1),
+                        output_pixels_per_cycle=(1, 1),
+                        energy_per_cycle=1 * units.pJ, num_stages=3)
+    second = ComputeUnit("SharpenPE", input_pixels_per_cycle=(1, 1),
+                         output_pixels_per_cycle=(1, 1),
+                         energy_per_cycle=1 * units.pJ, num_stages=2)
+    first.set_input(in_fifo).set_output(mid)
+    second.set_input(mid)
+    second.set_sink()
+    system.add_analog_array(pixels)
+    system.add_analog_array(adcs)
+    system.add_memory(in_fifo)
+    system.add_memory(mid)
+    system.add_compute_unit(first)
+    system.add_compute_unit(second)
+    system.set_pixel_array_geometry(size, size)
+    return Design([source, denoise, sharpen], system,
+                  {source_name: "Pixels", denoise_name: "DenoisePE",
+                   sharpen_name: "SharpenPE"}, name=f"Validate-{size}")
+
+
+def _explore_once(space, cache_dir):
+    """One exploration through a fresh session over ``cache_dir``."""
+    with Simulator(SimOptions(cycle_accurate=True),
+                   cache_dir=cache_dir) as session:
+        started = time.perf_counter()
+        result = explore(space, _build_validation_design,
+                         objectives=("energy_per_frame",),
+                         simulator=session, annotate=False)
+        elapsed = time.perf_counter() - started
+        return result, elapsed, session.cache_info()
+
+
+def _point_energies(result):
+    return [(tuple(sorted(point.params.items())),
+             point.metrics.get("energy_per_frame"))
+            for point in result.points]
+
+
+def _pool_rounds(items, rounds, reuse: bool):
+    """Wall time of ``rounds`` uncached process-mode batches."""
+    started = time.perf_counter()
+    if reuse:
+        with Simulator(cache=False, executor="process",
+                       max_workers=2) as session:
+            for _ in range(rounds):
+                results = session.run_many(items)
+                assert all(result.ok for result in results)
+    else:
+        for _ in range(rounds):
+            with Simulator(cache=False, executor="process",
+                           max_workers=2) as session:
+                results = session.run_many(items)
+                assert all(result.ok for result in results)
+    return time.perf_counter() - started
+
+
+def test_session_reuse_speedups(tmp_path, benchmark, write_result,
+                                write_bench_json, bench_smoke):
+    sizes = _SMOKE_SIZES if bench_smoke else _FULL_SIZES
+    rates = _SMOKE_RATES if bench_smoke else _FULL_RATES
+    space = product(choice("size", sizes),
+                    choice("options.frame_rate", rates))
+
+    # --- part 1: cold vs warm-from-disk exploration -----------------------
+    cache_dir = tmp_path / "result-cache"
+    cold_result, cold_s, cold_info = _explore_once(space, cache_dir)
+    warm_result, warm_s, warm_info = _explore_once(space, cache_dir)
+
+    assert len(cold_result.points) == len(sizes) * len(rates)
+    assert cold_result.infeasible_points == []
+    # The warm session recomputed nothing and produced identical points.
+    assert _point_energies(warm_result) == _point_energies(cold_result)
+    assert warm_info.disk_hits == len(warm_result.points)
+    assert warm_info.disk_entries == len(warm_result.points)
+
+    disk_speedup = cold_s / warm_s if warm_s else float("inf")
+
+    # The benchmarked quantity: a warm-from-disk exploration.
+    benchmark.pedantic(_explore_once, args=(space, cache_dir),
+                       rounds=3 if bench_smoke else 2, iterations=1)
+
+    # --- part 2: pool reuse across repeated batches -----------------------
+    rounds = _SMOKE_POOL_ROUNDS if bench_smoke else _FULL_POOL_ROUNDS
+    designs = [build_fig5_design(), build_rhythmic(UseCaseConfig("2D-In",
+                                                                 65))]
+    items = [(design, SimOptions(frame_rate=rate))
+             for design in designs for rate in (20.0, 30.0, 40.0)]
+    fresh_s = _pool_rounds(items, rounds, reuse=False)
+    reused_s = _pool_rounds(items, rounds, reuse=True)
+    pool_speedup = fresh_s / reused_s if reused_s else float("inf")
+
+    lines = ["Session reuse — persistent pools + two-tier result cache",
+             "",
+             f"{'explore points':<30} {len(cold_result.points)}"
+             f"  ({len(sizes)} designs x {len(rates)} rates, cycle-exact)",
+             f"{'cold explore wall-clock':<30} {cold_s * 1e3:9.1f} ms",
+             f"{'warm-from-disk wall-clock':<30} {warm_s * 1e3:9.1f} ms"
+             f"  ({disk_speedup:.1f}x)",
+             f"{'disk entries':<30} {warm_info.disk_entries}",
+             "",
+             f"{'process batches':<30} {rounds} rounds x "
+             f"{len(items)} jobs",
+             f"{'fresh session per batch':<30} {fresh_s * 1e3:9.1f} ms",
+             f"{'one session, pool reused':<30} {reused_s * 1e3:9.1f} ms"
+             f"  ({pool_speedup:.2f}x)"]
+    write_result("session_reuse", "\n".join(lines))
+
+    benchmark.extra_info["disk_speedup"] = round(disk_speedup, 2)
+    benchmark.extra_info["pool_speedup"] = round(pool_speedup, 2)
+
+    write_bench_json("session_reuse", {
+        "explore_points": len(cold_result.points),
+        "distinct_designs": len(sizes),
+        "cold_explore_wall_s": cold_s,
+        "warm_disk_explore_wall_s": warm_s,
+        "disk_speedup": disk_speedup,
+        "disk_entries": warm_info.disk_entries,
+        "disk_hits_warm": warm_info.disk_hits,
+        "cold_cache_misses": cold_info.misses,
+        "pool_rounds": rounds,
+        "pool_batch_jobs": len(items),
+        "pool_fresh_wall_s": fresh_s,
+        "pool_reused_wall_s": reused_s,
+        "pool_speedup": pool_speedup,
+        "min_disk_speedup": _MIN_DISK_SPEEDUP,
+        "min_pool_speedup": _MIN_POOL_SPEEDUP,
+    })
+
+    # Wall-clock acceptance bars (smoke jobs never fail on timing noise).
+    if not bench_smoke:
+        assert disk_speedup >= _MIN_DISK_SPEEDUP, \
+            f"warm-from-disk explore only {disk_speedup:.2f}x faster"
+        assert pool_speedup >= _MIN_POOL_SPEEDUP, \
+            f"pool reuse only {pool_speedup:.2f}x faster"

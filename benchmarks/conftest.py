@@ -56,6 +56,14 @@ def _is_smoke() -> bool:
     return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_disk_cache(monkeypatch):
+    """Benches measure the tiers they configure, never an operator's
+    ``REPRO_CACHE_DIR`` — a populated personal cache would fake warm
+    paths and break cold-side assertions."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
 @pytest.fixture
 def write_result():
     """The text-result writer, injected so benches need no conftest import."""

@@ -18,6 +18,12 @@ Plus the serialized-scenario workflow of the session API:
         --values 15,30,60,120                # sweep an option over a spec
     python -m repro explore space.json       # multi-axis Pareto exploration
     python -m repro usecases                 # names `run` specs can reference
+    python -m repro cache info               # inspect the persistent cache
+    python -m repro cache clear              # wipe the persistent cache
+
+Setting ``REPRO_CACHE_DIR`` makes every command above read and write a
+persistent result cache, so repeated invocations over the same specs
+start warm.
 
 Every command accepts ``--json`` (before or after the subcommand) to
 emit machine-readable output instead of tables.
@@ -280,7 +286,8 @@ def _cmd_sweep(args) -> int:
     except ConfigurationError as error:
         print(str(error), file=sys.stderr)
         return 1
-    results = Simulator().run_many(items)
+    with Simulator() as simulator:
+        results = simulator.run_many(items)
     if _wants_json(args):
         return _emit_json({
             "design": design.name,
@@ -322,6 +329,51 @@ def _cmd_explore(args) -> int:
         print(result.to_table())
     # A spec whose every point is infeasible signals failure, like `run`.
     return 0 if result.feasible_points else 1
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or clear the persistent (disk-tier) result cache."""
+    import os
+
+    from repro.api.diskcache import CACHE_DIR_ENV, DiskResultCache
+
+    directory = args.dir if args.dir else os.environ.get(CACHE_DIR_ENV)
+    if not directory:
+        print(f"no cache directory: pass --dir or set {CACHE_DIR_ENV}",
+              file=sys.stderr)
+        return 1
+    if not os.path.isdir(directory):
+        # Inspection must not create directories as a side effect (a
+        # typo'd --dir would otherwise litter the filesystem).
+        print(f"cache directory {directory} does not exist",
+              file=sys.stderr)
+        return 1
+    try:
+        cache = DiskResultCache(directory)
+    except OSError as error:
+        print(f"cannot open cache directory {directory}: {error}",
+              file=sys.stderr)
+        return 1
+    if args.action == "clear":
+        removed = cache.clear()
+        if _wants_json(args):
+            return _emit_json({"directory": str(cache.directory),
+                               "removed": removed})
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    info = cache.info()
+    if _wants_json(args):
+        return _emit_json({
+            "directory": info.directory,
+            "entries": info.entries,
+            "total_bytes": info.total_bytes,
+            "max_bytes": info.max_bytes,
+        })
+    print(f"cache directory  {info.directory}")
+    print(f"entries          {info.entries}")
+    print(f"size             {info.total_bytes} bytes "
+          f"(bound {info.max_bytes})")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -378,6 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("-o", "--output", default=None,
                          help="also write the full repro.explore/1 result "
                               "JSON to this path")
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache",
+        parents=[common])
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="what to do with the cache directory")
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR)")
     return parser
 
 
@@ -394,6 +453,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,
+    "cache": _cmd_cache,
 }
 
 

@@ -14,6 +14,7 @@ This package turns the paper's three-part interface into values:
 """
 
 from repro.api.design import Design
+from repro.api.diskcache import DiskCacheInfo, DiskResultCache
 from repro.api.registry import (
     available_usecases,
     build_usecase,
@@ -31,6 +32,8 @@ __all__ = [
     "Simulator",
     "BatchStats",
     "CacheInfo",
+    "DiskCacheInfo",
+    "DiskResultCache",
     "run_design",
     "DESIGN_SCHEMA",
     "design_from_spec",

@@ -45,7 +45,8 @@ class Design:
     """
 
     __slots__ = ("_stages", "_graph", "_system", "_mapping", "_name",
-                 "_hash_cache", "_resolved_cache", "_checks_cache")
+                 "_hash_cache", "_resolved_cache", "_checks_cache",
+                 "_pass_memo")
 
     def __init__(self, stages: Union[StageGraph, Sequence[Stage]],
                  system: SensorSystem,
@@ -68,6 +69,7 @@ class Design:
         object.__setattr__(self, "_hash_cache", None)
         object.__setattr__(self, "_resolved_cache", None)
         object.__setattr__(self, "_checks_cache", None)
+        object.__setattr__(self, "_pass_memo", None)
 
     # --- frozen-ness ------------------------------------------------------
 
@@ -119,6 +121,26 @@ class Design:
             cached = self._mapping.resolve(self._graph, self._system,
                                            validate=False)
             object.__setattr__(self, "_resolved_cache", cached)
+        return cached
+
+    @property
+    def pass_memo(self):
+        """This design's memo of design-only simulation pass outputs.
+
+        The engine's passes (:data:`repro.sim.simulator.SIM_PASSES`)
+        that read nothing but the design — the digital timeline, the
+        analog usage walk, the cycle-accurate latency, the
+        communication energy — memoize here, so sweeping options over
+        one design object re-runs only the option-dependent passes.
+        :class:`~repro.api.Simulator` sessions additionally share one
+        memo per content hash across independently built twins.
+        """
+        from repro.sim.simulator import PassMemo
+
+        cached = self._pass_memo
+        if cached is None:
+            cached = PassMemo()
+            object.__setattr__(self, "_pass_memo", cached)
         return cached
 
     def ensure_checked(self) -> None:

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from repro.energy.report import EnergyReport
-from repro.exceptions import CamJError, ConfigurationError
+from repro.exceptions import CamJError, ConfigurationError, \
+    SerializationError
 
 
 @dataclass(frozen=True)
@@ -142,3 +143,50 @@ class SimResult:
             "elapsed_s": self.elapsed_s,
             "cached": self.cached,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimResult":
+        """Inverse of :meth:`to_dict` (the disk-cache load path).
+
+        A captured failure is rebuilt as the same
+        :mod:`repro.exceptions` class when its type name still exists
+        there (plain :class:`CamJError` otherwise), so :meth:`unwrap`
+        re-raises persisted failures just like fresh ones.
+        """
+        if not isinstance(payload, dict):
+            raise SerializationError(
+                f"result payload must be an object, "
+                f"got {type(payload).__name__}")
+        try:
+            options = SimOptions.from_dict(payload["options"])
+            raw_report = payload["report"]
+            raw_error = payload["error"]
+            design_name = payload["design"]
+        except KeyError as error:
+            raise SerializationError(
+                f"result payload missing {error}") from error
+        report = (EnergyReport.from_dict(raw_report)
+                  if raw_report is not None else None)
+        error = (_rebuild_error(raw_error) if raw_error is not None
+                 else None)
+        if (report is None) == (error is None):
+            raise SerializationError(
+                "result payload must carry exactly one of report/error")
+        return cls(design_name=design_name, options=options,
+                   design_hash=payload.get("design_hash"),
+                   report=report, error=error,
+                   elapsed_s=payload.get("elapsed_s", 0.0))
+
+
+def _rebuild_error(raw: Any) -> CamJError:
+    """A CamJError instance from its serialized ``{type, message}`` pair."""
+    if not isinstance(raw, dict):
+        raise SerializationError(
+            f"serialized error must be an object, got {type(raw).__name__}")
+    from repro import exceptions as exceptions_module
+
+    error_cls = getattr(exceptions_module, str(raw.get("type")), None)
+    if not (isinstance(error_cls, type)
+            and issubclass(error_cls, CamJError)):
+        error_cls = CamJError
+    return error_cls(str(raw.get("message", "")))

@@ -3,9 +3,17 @@
 A :class:`Simulator` carries a default :class:`~repro.api.result.SimOptions`
 and turns :class:`~repro.api.design.Design` values into structured
 :class:`~repro.api.result.SimResult` outcomes.  :meth:`Simulator.run_many`
-fans a batch out across a thread pool and deduplicates identical
-``(design, options)`` jobs through a content-hash-keyed result cache, so
-sweeps and exploration grids pay for each distinct scenario exactly once.
+fans a batch out across a persistent worker pool and deduplicates
+identical ``(design, options)`` jobs through a two-tier result cache:
+an in-memory dict always, plus an opt-in disk tier
+(``Simulator(cache_dir=...)`` or the ``REPRO_CACHE_DIR`` environment
+variable) that keeps results warm across processes and CLI invocations.
+
+Worker pools are created lazily on the first batch that needs one and
+reused for every batch after it — ``explore()`` over many batches pays
+pool startup once.  ``Simulator.close()`` (or using the session as a
+context manager) releases the workers; a closed session stays usable
+and simply recreates its pools on demand.
 """
 
 from __future__ import annotations
@@ -13,14 +21,19 @@ from __future__ import annotations
 import os
 import threading
 import time
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, replace
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.design import Design
+from repro.api.diskcache import (CACHE_DIR_ENV, DiskResultCache,
+                                 default_cache_dir)
 from repro.api.result import SimOptions, SimResult
 from repro.exceptions import CamJError, ConfigurationError, SerializationError
-from repro.sim.simulator import _simulate_graph
+from repro.sim.simulator import PassCounters, PassMemo, _simulate_graph
 
 #: One batch item: a bare design (session options apply) or an explicit
 #: ``(design, options)`` pair.
@@ -30,15 +43,27 @@ BatchItem = Union[Design, Tuple[Design, SimOptions]]
 #: such jobs still fan out to workers but bypass dedup and the cache.
 _UNCACHED = object()
 
+#: Sentinel for "no cache_dir argument given": fall back to
+#: ``REPRO_CACHE_DIR``.
+_UNSET = object()
+
+#: How many designs' pass memos one session keeps (LRU).  A memo holds
+#: the design-only pass outputs — timeline, analog usage, communication
+#: entries — which is what makes option sweeps incremental.
+_PASS_MEMO_LIMIT = 256
+
 
 @dataclass(frozen=True)
 class BatchStats:
     """What the last :meth:`Simulator.run_many` call actually did.
 
-    ``workers_used`` counts the distinct pool workers that executed at
-    least one job, plus the calling thread when it ran unserializable
-    jobs inline; a batch served entirely from the result cache reports
-    exactly 0 because no pool is spun up for it.
+    ``cache_hits`` counts this batch's own warm lookups (one per unique
+    key served from either cache tier), never hits that concurrent
+    ``run()`` callers score against the shared session counters while
+    the batch is in flight.  ``workers_used`` counts the distinct pool
+    workers that executed at least one job, plus the calling thread when
+    it ran unserializable jobs inline; a batch served entirely from the
+    result cache reports exactly 0 because no pool is touched for it.
     """
 
     total: int
@@ -51,11 +76,21 @@ class BatchStats:
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Result-cache counters of one simulator session."""
+    """Result-cache counters of one simulator session.
+
+    ``hits``/``misses``/``size`` describe the session (memory tier plus
+    any disk-tier hits it absorbed); the ``disk_*`` fields describe the
+    persistent tier and stay zero when no ``cache_dir`` is configured.
+    """
 
     hits: int
     misses: int
     size: int
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_evictions: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
 
 
 class Simulator:
@@ -66,9 +101,10 @@ class Simulator:
     options:
         Session-default options; ``None`` means ``SimOptions()``.
     max_workers:
-        Thread-pool width for :meth:`run_many`.  Defaults to
+        Worker-pool width for :meth:`run_many`.  Defaults to
         ``min(len(batch), max(2, os.cpu_count()))`` so batches always
-        exercise multiple workers.
+        exercise multiple workers; the persistent pool grows to the
+        widest batch seen.
     cache:
         Enable per-design result caching keyed by
         ``(design.content_hash, options)``.  Designs containing custom,
@@ -77,11 +113,22 @@ class Simulator:
         ``"thread"`` (default) fans batches across a thread pool;
         ``"process"`` ships each design's serialized payload to a
         :class:`~concurrent.futures.ProcessPoolExecutor` worker, which
-        sidesteps the GIL for CPU-bound batches on multi-core machines
-        at the cost of per-worker startup.
+        sidesteps the GIL for CPU-bound batches on multi-core machines.
+        Either pool is created once and reused across batches; process
+        workers keep their initializer state (warmed imports) for the
+        lifetime of the session.
+    cache_dir:
+        Directory of the persistent result-cache tier.  Unset: honor
+        the ``REPRO_CACHE_DIR`` environment variable.  ``None``: disk
+        tier off even when the variable is set.
+    cache_max_bytes:
+        Size bound of the disk tier (LRU-evicted); ``None`` means the
+        :data:`repro.api.diskcache.DEFAULT_MAX_BYTES` default.
 
     The session is thread-safe: ``run`` may be called concurrently,
-    which is exactly what ``run_many`` does.
+    which is exactly what ``run_many`` does.  Sessions are context
+    managers — ``with Simulator() as sim: ...`` shuts the worker pools
+    down on exit.
     """
 
     _EXECUTORS = ("thread", "process")
@@ -89,7 +136,9 @@ class Simulator:
     def __init__(self, options: Optional[SimOptions] = None, *,
                  max_workers: Optional[int] = None,
                  cache: bool = True,
-                 executor: str = "thread"):
+                 executor: str = "thread",
+                 cache_dir: Any = _UNSET,
+                 cache_max_bytes: Optional[int] = None):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}")
@@ -104,11 +153,78 @@ class Simulator:
         self._cache: Dict[Tuple[str, SimOptions], SimResult] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        env_derived = cache_dir is _UNSET
+        if env_derived:
+            cache_dir = default_cache_dir()
+        self._disk_cache = None
+        if cache and cache_dir:
+            try:
+                self._disk_cache = DiskResultCache(
+                    cache_dir, max_bytes=cache_max_bytes)
+            except OSError as error:
+                if not env_derived:
+                    raise ConfigurationError(
+                        f"cannot use cache_dir {cache_dir!s}: "
+                        f"{error}") from error
+                # An ambient REPRO_CACHE_DIR must not break sessions
+                # that never asked for a disk tier: degrade to
+                # memory-only and say so.
+                warnings.warn(
+                    f"disk result cache disabled — {CACHE_DIR_ENV}="
+                    f"{cache_dir!s} is unusable: {error}",
+                    RuntimeWarning, stacklevel=2)
         #: Content hashes whose pre-simulation checks already passed in
         #: this session: identical designs skip the check walk entirely.
         self._checked_hashes: set = set()
+        #: Design-only pass outputs shared across every design with the
+        #: same content hash (see repro.sim.simulator.SIM_PASSES).
+        self._pass_memos: "OrderedDict[str, PassMemo]" = OrderedDict()
+        self._pass_counters = PassCounters()
         self._lock = threading.Lock()
+        #: Guards pool creation/growth and submission, so a batch never
+        #: submits into a pool another thread just retired by growing it.
+        self._pools_lock = threading.Lock()
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._thread_pool_width = 0
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_pool_width = 0
         self.last_batch_stats: Optional[BatchStats] = None
+
+    # --- session lifecycle ------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the session's persistent worker pools (idempotent).
+
+        Cached results, pass memos, and counters survive; the session
+        stays usable — the next ``run_many`` simply recreates its pool.
+        """
+        with self._pools_lock:
+            for pool in (self._thread_pool, self._process_pool):
+                if pool is not None:
+                    pool.shutdown(wait=True)
+            self._thread_pool = None
+            self._thread_pool_width = 0
+            self._process_pool = None
+            self._process_pool_width = 0
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):
+        # Sessions dropped without close() must not strand idle pool
+        # workers until interpreter exit; no waiting here — GC must not
+        # block on in-flight work.
+        try:
+            for pool in (getattr(self, "_thread_pool", None),
+                         getattr(self, "_process_pool", None)):
+                if pool is not None:
+                    pool.shutdown(wait=False)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     # --- single runs ------------------------------------------------------
 
@@ -126,18 +242,25 @@ class Simulator:
                 f"{type(design).__name__}; wrap the legacy triple via "
                 f"Design(stages, system, mapping)")
         resolved = options if options is not None else self.options
-        key = self._job_key(design, resolved)
+        return self._run_resolved(design, resolved, probe_disk=True)
+
+    def _run_resolved(self, design: Design, options: SimOptions,
+                      probe_disk: bool) -> SimResult:
+        """One job through the cache and the engine.
+
+        ``probe_disk=False`` is the batch-worker path: ``run_many``
+        already probed the disk tier for this key, so the worker checks
+        only the memory tier (still needed to dedup against concurrent
+        batches) instead of re-reading the same file.
+        """
+        key = self._job_key(design, options)
         if key is not None and self._cache_enabled:
-            with self._lock:
-                hit = self._cache.get(key)
-                if hit is not None:
-                    self._cache_hits += 1
-                    return replace(hit, cached=True)
-                self._cache_misses += 1
-        result = self._execute(design, resolved, key)
+            hit = self._probe_cache(key, probe_disk=probe_disk)
+            if hit is not None:
+                return replace(hit, cached=True)
+        result = self._execute(design, options, key)
         if key is not None and self._cache_enabled:
-            with self._lock:
-                self._cache.setdefault(key, result)
+            self._store(key, result)
         return result
 
     def _execute(self, design: Design, options: SimOptions,
@@ -162,7 +285,9 @@ class Simulator:
                 cycle_accurate=options.cycle_accurate,
                 skip_checks=True,  # handled above, at most once per design
                 mapping_validated=True,  # Design validated at construction
-                resolved=design.resolved_units)
+                resolved=design.resolved_units,
+                memo=self._pass_memo_for(design, design_hash),
+                counters=self._pass_counters)
             return SimResult(design_name=design.name, options=options,
                              design_hash=design_hash, report=report,
                              elapsed_s=time.perf_counter() - started)
@@ -179,6 +304,64 @@ class Simulator:
         except SerializationError:
             return None
 
+    # --- the two-tier cache -----------------------------------------------
+
+    def _probe_cache(self, key: Tuple[str, SimOptions],
+                     count_miss: bool = True,
+                     probe_disk: bool = True) -> Optional[SimResult]:
+        """Memory tier first, then (optionally) disk; ``None`` on miss.
+
+        The memory probe is a plain (GIL-atomic) dict read — the
+        session lock guards only counter updates, so concurrent warm
+        ``run()`` calls never serialize on each other's probes.  A disk
+        hit is promoted into the memory tier.
+        """
+        hit = self._cache.get(key)
+        if hit is not None:
+            with self._lock:
+                self._cache_hits += 1
+            return hit
+        if probe_disk and self._disk_cache is not None:
+            persisted = self._disk_cache.get(key[0], key[1])
+            if persisted is not None:
+                with self._lock:
+                    self._cache_hits += 1
+                    self._cache.setdefault(key, persisted)
+                return persisted
+        if count_miss:
+            with self._lock:
+                self._cache_misses += 1
+        return None
+
+    def _store(self, key: Tuple[str, SimOptions],
+               result: SimResult) -> None:
+        """Publish one executed result to both cache tiers."""
+        with self._lock:
+            self._cache.setdefault(key, result)
+        if self._disk_cache is not None:
+            self._disk_cache.put(key[0], key[1], result)
+
+    def _pass_memo_for(self, design: Design,
+                       design_hash: Optional[str]) -> PassMemo:
+        """The design-only pass memo this run should reuse.
+
+        Keyed by content hash (LRU-bounded) so independently built but
+        identical designs share one memo; unserializable designs fall
+        back to their per-object memo.
+        """
+        if design_hash is None:
+            return design.pass_memo
+        with self._lock:
+            memo = self._pass_memos.get(design_hash)
+            if memo is None:
+                memo = design.pass_memo
+                self._pass_memos[design_hash] = memo
+                while len(self._pass_memos) > _PASS_MEMO_LIMIT:
+                    self._pass_memos.popitem(last=False)
+            else:
+                self._pass_memos.move_to_end(design_hash)
+            return memo
+
     # --- batch runs -------------------------------------------------------
 
     def run_many(self, items: Iterable[BatchItem],
@@ -188,7 +371,9 @@ class Simulator:
         ``items`` mixes bare designs and ``(design, options)`` pairs;
         bare designs use ``options`` (or the session default).  Identical
         ``(design, options)`` jobs — by content hash — are executed once
-        and fanned back out to every requesting slot.
+        and fanned back out to every requesting slot.  The worker pool
+        is created on the first batch that misses the cache and reused
+        by every later batch.
         """
         jobs = [self._normalize_item(item, options) for item in items]
         if not jobs:
@@ -215,19 +400,21 @@ class Simulator:
                 unique[key] = (design, resolved)
             slots.append((key, design, resolved))
 
-        hits_before = self._cache_hits
         started = time.perf_counter()
 
         # Serve cache hits up front: a warm batch never touches a pool.
+        # Hits are counted batch-locally so concurrent run() callers
+        # racing on the shared session counters can't skew the stats.
+        batch_hits = 0
         outcomes: Dict[Any, SimResult] = {}
         pending: Dict[Any, Tuple[Design, SimOptions]] = {}
         for key, job in unique.items():
             if self._cache_enabled and key[0] is not _UNCACHED:
-                with self._lock:
-                    hit = self._cache.get(key)
+                # Misses are not counted here: pending jobs re-probe (and
+                # count) inside run() on their worker.
+                hit = self._probe_cache(key, count_miss=False)
                 if hit is not None:
-                    with self._lock:
-                        self._cache_hits += 1
+                    batch_hits += 1
                     outcomes[key] = replace(hit, cached=True)
                     continue
             pending[key] = job
@@ -240,9 +427,13 @@ class Simulator:
 
         if pending:
             if self._executor_kind == "process":
+                max_workers = max(max_workers,
+                                  self._process_pool_width or 0)
                 outcomes.update(self._run_unique_in_processes(
                     pending, max_workers, worker_ids))
             else:
+                max_workers = max(max_workers,
+                                  self._thread_pool_width or 0)
                 outcomes.update(self._run_unique_in_threads(
                     pending, max_workers, worker_ids))
 
@@ -257,51 +448,68 @@ class Simulator:
 
         self.last_batch_stats = BatchStats(
             total=len(jobs), unique=len(jobs) - deduplicated,
-            cache_hits=self._cache_hits - hits_before,
+            cache_hits=batch_hits,
             max_workers=max_workers,
             workers_used=len(worker_ids) + (1 if ran_inline else 0),
             elapsed_s=time.perf_counter() - started)
         return results
 
+    def _acquire_pool(self, kind: str, width: int):
+        """Get the persistent pool of ``kind``, growing it on demand.
+
+        Must be called under ``_pools_lock``.  Growth replaces the pool;
+        the retired one drains its in-flight work and exits without
+        blocking the caller.  Pools never shrink — idle workers are
+        cheap next to re-paying startup on the next wide batch.
+        """
+        if kind == "process":
+            pool, current = self._process_pool, self._process_pool_width
+        else:
+            pool, current = self._thread_pool, self._thread_pool_width
+        if pool is not None and current >= width:
+            return pool
+        if pool is not None:
+            pool.shutdown(wait=False)
+        if kind == "process":
+            pool = ProcessPoolExecutor(max_workers=width,
+                                       initializer=_init_worker)
+            self._process_pool, self._process_pool_width = pool, width
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=width,
+                thread_name_prefix="repro-simulator")
+            self._thread_pool, self._thread_pool_width = pool, width
+        return pool
+
     def _run_unique_in_threads(self, pending, max_workers, worker_ids
                                ) -> Dict[Any, SimResult]:
         def job(design: Design, resolved: SimOptions) -> SimResult:
             worker_ids.add(threading.get_ident())
-            return self.run(design, resolved)
+            # The batch already disk-probed this key; see _run_resolved.
+            return self._run_resolved(design, resolved, probe_disk=False)
 
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        with self._pools_lock:
+            pool = self._acquire_pool("thread", max_workers)
             futures = {key: pool.submit(job, design, resolved)
                        for key, (design, resolved) in pending.items()}
-            return {key: future.result()
-                    for key, future in futures.items()}
+        return {key: future.result() for key, future in futures.items()}
 
     def _run_unique_in_processes(self, pending, max_workers, worker_ids
                                  ) -> Dict[Any, SimResult]:
         """Fan cache-missing jobs out as serialized payloads.
 
-        Batches where every job shares one :class:`SimOptions` — the
-        common case for ``run_many(designs, options=...)`` — ship the
-        options to each worker process exactly once, through the pool
-        initializer, instead of serializing them into every task.
+        Workers live as long as the session: the pool initializer runs
+        once per worker process (not per batch), and every batch after
+        the first reuses the already-warm workers.
         """
         outcomes: Dict[Any, SimResult] = {}
         if self._cache_enabled:
             with self._lock:
                 self._cache_misses += len(pending)
-        distinct_options = {options for _, options in pending.values()}
-        shared = (next(iter(distinct_options))
-                  if len(distinct_options) == 1 else None)
-        pool_kwargs: Dict[str, Any] = {"max_workers": max_workers}
-        if shared is not None:
-            pool_kwargs.update(initializer=_set_worker_options,
-                               initargs=(shared,))
-        with ProcessPoolExecutor(**pool_kwargs) as pool:
-            if shared is not None:
-                futures = {
-                    key: pool.submit(_subprocess_job_shared,
-                                     design.to_dict())
-                    for key, (design, _) in pending.items()}
-            else:
+        pool = None
+        try:
+            with self._pools_lock:
+                pool = self._acquire_pool("process", max_workers)
                 futures = {
                     key: pool.submit(_subprocess_job, design.to_dict(),
                                      resolved)
@@ -311,10 +519,28 @@ class Simulator:
                 worker_ids.add(pid)
                 result = replace(result, design_hash=key[0])
                 if self._cache_enabled:
-                    with self._lock:
-                        self._cache.setdefault(key, result)
+                    self._store(key, result)
                 outcomes[key] = result
+        except BrokenExecutor:
+            # A dead worker (OOM, signal) poisons the whole executor.
+            # Retire it so the *next* batch gets a fresh pool instead of
+            # inheriting this batch's corpse; the failure still
+            # propagates to this batch's caller.
+            if pool is not None:
+                self._retire_pool("process", pool)
+            raise
         return outcomes
+
+    def _retire_pool(self, kind: str, pool) -> None:
+        """Drop a broken executor so the next batch recreates one."""
+        with self._pools_lock:
+            if kind == "process" and self._process_pool is pool:
+                self._process_pool = None
+                self._process_pool_width = 0
+            elif kind == "thread" and self._thread_pool is pool:
+                self._thread_pool = None
+                self._thread_pool_width = 0
+        pool.shutdown(wait=False)
 
     def _normalize_item(self, item: BatchItem,
                         options: Optional[SimOptions]
@@ -338,16 +564,51 @@ class Simulator:
     # --- cache management -------------------------------------------------
 
     def cache_info(self) -> CacheInfo:
-        """Hit/miss/size counters of the session result cache."""
+        """Hit/miss/size counters of both result-cache tiers."""
         with self._lock:
-            return CacheInfo(hits=self._cache_hits,
-                             misses=self._cache_misses,
-                             size=len(self._cache))
+            hits, misses = self._cache_hits, self._cache_misses
+            size = len(self._cache)
+        if self._disk_cache is None:
+            return CacheInfo(hits=hits, misses=misses, size=size)
+        disk = self._disk_cache.info()
+        return CacheInfo(hits=hits, misses=misses, size=size,
+                         disk_hits=disk.hits, disk_misses=disk.misses,
+                         disk_evictions=disk.evictions,
+                         disk_entries=disk.entries,
+                         disk_bytes=disk.total_bytes)
 
-    def clear_cache(self) -> None:
-        """Drop cached results (counters are kept)."""
+    def clear_cache(self, disk: bool = False) -> None:
+        """Drop cached results (counters are kept).
+
+        The persistent tier survives by default — it exists to outlive
+        sessions; pass ``disk=True`` to wipe it too.
+        """
         with self._lock:
             self._cache.clear()
+        if disk and self._disk_cache is not None:
+            self._disk_cache.clear()
+
+    def pass_info(self) -> Dict[str, int]:
+        """How many times each engine pass actually executed.
+
+        Memoized design-only passes (see
+        :data:`repro.sim.simulator.SIM_PASSES`) count only real runs,
+        so an option sweep over one design shows e.g. ``timeline: 1``
+        next to ``timing: N``.
+        """
+        return self._pass_counters.snapshot()
+
+
+def _init_worker() -> None:
+    """Process-pool initializer: warm each worker exactly once.
+
+    Runs when a worker process starts — not per batch — and the state it
+    creates (imported engine modules, populated caches) persists for the
+    session's lifetime, which is what makes pool reuse pay off in
+    ``executor="process"`` mode.
+    """
+    import repro.api.design  # noqa: F401  (pulls in the whole engine)
+    import repro.sim.simulator  # noqa: F401
 
 
 def _subprocess_job(payload: Dict[str, Any],
@@ -360,24 +621,6 @@ def _subprocess_job(payload: Dict[str, Any],
     design = Design.from_dict(payload)
     result = Simulator(cache=False)._execute(design, options, None)
     return os.getpid(), result
-
-
-#: Batch-shared options installed once per worker process (see
-#: :meth:`Simulator._run_unique_in_processes`).
-_WORKER_OPTIONS: Optional[SimOptions] = None
-
-
-def _set_worker_options(options: SimOptions) -> None:
-    """Pool initializer: install the batch's shared options in the worker."""
-    global _WORKER_OPTIONS
-    _WORKER_OPTIONS = options
-
-
-def _subprocess_job_shared(payload: Dict[str, Any]) -> Tuple[int, SimResult]:
-    """Worker body for uniform-options batches: options come from the
-    pool initializer, so each task pickles only the design payload."""
-    assert _WORKER_OPTIONS is not None, "pool initializer did not run"
-    return _subprocess_job(payload, _WORKER_OPTIONS)
 
 
 def run_design(design: Design,

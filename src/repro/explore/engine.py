@@ -439,7 +439,10 @@ def explore(space: ParameterSpace,
     options:
         Base simulation options; defaults to the simulator session's.
     simulator:
-        An existing session to run (and cache) through.
+        An existing session to run (and cache) through.  Passing one
+        session across repeated explorations reuses its worker pool and
+        both result-cache tiers; a session created here is closed before
+        returning.
     annotate:
         Attach the top energy bottleneck to every feasible point.
 
@@ -449,6 +452,7 @@ def explore(space: ParameterSpace,
     are exactly what an exploration maps out.
     """
     resolved_objectives = resolve_metrics(objectives)
+    owns_session = simulator is None
     simulator = simulator if simulator is not None else Simulator(options)
     base_options = options if options is not None else simulator.options
     if isinstance(builder, str):
@@ -501,9 +505,16 @@ def explore(space: ParameterSpace,
             slots.append((params, cached, point_options, None))
 
     # Phase 2: one parallel, deduplicated batch over the buildable points.
+    # A session we created exists only for this batch: release its pool
+    # workers once the batch is done (caller-provided sessions keep
+    # theirs for the next exploration).
     jobs = [(design, point_options)
             for _, design, point_options, error in slots if error is None]
-    results = simulator.run_many(jobs) if jobs else []
+    try:
+        results = simulator.run_many(jobs) if jobs else []
+    finally:
+        if owns_session:
+            simulator.close()
 
     # Phase 3: evaluate objectives and annotate.
     points: List[ExplorationPoint] = []

@@ -29,6 +29,18 @@ class NoiseSource:
         """Return the noisy version of ``signal`` (electrons)."""
         raise NotImplementedError
 
+    def apply_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Apply the source to a ``(num_frames, *frame_shape)`` stack.
+
+        The default is a single vectorized :meth:`apply` over the whole
+        stack — statistically identical to per-frame application for
+        every i.i.d. per-element source (shot, dark, read,
+        quantization), and one RNG draw instead of ``num_frames``.
+        Sources with cross-frame structure (FPN) override this to keep
+        their per-frame statistics.
+        """
+        return self.apply(stack)
+
     def reseed(self, seed: int) -> None:
         """Reset the generator (reproducible experiment sweeps)."""
         self._rng = np.random.default_rng(seed)
@@ -136,6 +148,16 @@ class FixedPatternNoise(NoiseSource):
     def apply(self, signal: np.ndarray) -> np.ndarray:
         offsets, gains = self._pattern(signal.shape)
         return signal * gains + offsets
+
+    def apply_stack(self, stack: np.ndarray) -> np.ndarray:
+        """One *frame-shaped* pattern, broadcast over every frame.
+
+        FPN is static across frames by definition: a naive vectorized
+        draw over the stacked shape would fabricate a fresh pattern per
+        frame and masquerade as temporal noise.
+        """
+        offsets, gains = self._pattern(stack.shape[1:])
+        return stack * gains + offsets
 
 
 class QuantizationNoise(NoiseSource):

@@ -6,6 +6,17 @@ cycle-level digital simulation, frame-rate-driven delay inference, and
 the three energy models, producing a component-level
 :class:`repro.energy.report.EnergyReport`.
 
+The engine is organized as explicit *passes* (:data:`SIM_PASSES`), each
+declaring which inputs it reads.  Passes that read only the design —
+mapping resolution, the design checks, the digital timeline, the
+cycle-accurate latency, the analog usage walk, and the communication
+energy — are memoized in a :class:`PassMemo`, so re-running one design
+under different :class:`~repro.api.result.SimOptions` (a frame-rate or
+exposure-slot sweep) recomputes only the option-dependent passes.
+:class:`~repro.api.Simulator` shares one memo per design content hash
+across a whole session; :func:`_simulate_graph_monolithic` keeps the
+pre-split single-body engine as the equivalence-test reference.
+
 :func:`simulate` is the thin functional wrapper kept for backward
 compatibility; new code should prefer the session API
 (:class:`repro.api.Simulator` over :class:`repro.api.Design`), which
@@ -15,7 +26,9 @@ of the same engine.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.energy.analog_model import analog_energy, analog_usage
 from repro.energy.comm_model import communication_energy
@@ -30,22 +43,219 @@ from repro.sw.dag import StageGraph
 from repro.sw.stage import Stage
 
 
+@dataclass(frozen=True)
+class SimPass:
+    """One engine pass and the inputs it reads.
+
+    ``reads`` names the pass's inputs: ``"design"`` (the graph, system,
+    mapping, and everything derived from them) and/or individual
+    ``"options.<field>"`` entries.  A pass whose every input is the
+    design is safe to memoize per design and reuse across options.
+    """
+
+    name: str
+    reads: Tuple[str, ...]
+
+    @property
+    def design_only(self) -> bool:
+        """Whether the pass reads nothing but the design."""
+        return all(read == "design" or read.startswith("design.")
+                   for read in self.reads)
+
+
+#: The engine's passes, in execution order.  ``resolve`` through
+#: ``comm_energy`` with ``design``-only reads are memoized per design;
+#: the option-dependent passes run once per distinct options value.
+SIM_PASSES: Tuple[SimPass, ...] = (
+    SimPass("resolve", reads=("design",)),
+    SimPass("checks", reads=("design",)),
+    SimPass("timeline", reads=("design",)),
+    SimPass("cycle_sim", reads=("design",)),
+    SimPass("analog_usage", reads=("design",)),
+    SimPass("timing", reads=("design", "options.frame_rate",
+                             "options.exposure_slots",
+                             "options.cycle_accurate")),
+    SimPass("analog_energy", reads=("design", "options.frame_rate",
+                                    "options.exposure_slots",
+                                    "options.cycle_accurate")),
+    SimPass("digital_energy", reads=("design", "options.frame_rate",
+                                     "options.exposure_slots",
+                                     "options.cycle_accurate")),
+    SimPass("comm_energy", reads=("design",)),
+)
+
+_PASS_BY_NAME: Dict[str, SimPass] = {spec.name: spec for spec in SIM_PASSES}
+
+
+class PassCounters:
+    """Thread-safe per-pass execution counters of one session.
+
+    Memoized passes count only their *actual* runs — a frame-rate sweep
+    over one design notes ``timeline`` once and ``timing`` once per
+    rate, which is exactly the incremental-simulation claim tests
+    assert.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._runs: Dict[str, int] = {}
+
+    def note(self, name: str) -> None:
+        """Record one execution of pass ``name``."""
+        with self._lock:
+            self._runs[name] = self._runs.get(name, 0) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the per-pass run counts."""
+        with self._lock:
+            return dict(self._runs)
+
+
+class PassMemo:
+    """Memoized design-only pass outputs for one design.
+
+    One memo belongs to one design (identity or content hash — the
+    session API shares a single memo across every design with the same
+    content hash).  ``get_or_run`` is serialized per memo, so two
+    concurrent sweeps over the same design compute each design-only
+    pass exactly once and share the result; failures propagate without
+    being cached, matching the pre-split behavior.
+    """
+
+    __slots__ = ("_lock", "_values")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, Any] = {}
+
+    def get_or_run(self, name: str, compute: Callable[[], Any],
+                   counters: Optional[PassCounters]) -> Any:
+        value = self._values.get(name)
+        if value is not None:
+            return value
+        with self._lock:
+            value = self._values.get(name)
+            if value is None:
+                if counters is not None:
+                    counters.note(name)
+                value = compute()
+                self._values[name] = value
+        return value
+
+    def known_passes(self) -> Tuple[str, ...]:
+        """Names of the passes already memoized (for tests/inspection)."""
+        with self._lock:
+            return tuple(sorted(self._values))
+
+
+def _run_pass(name: str, memo: Optional[PassMemo],
+              counters: Optional[PassCounters],
+              compute: Callable[[], Any]) -> Any:
+    """Run one declared pass, memoizing it iff it reads only the design."""
+    spec = _PASS_BY_NAME[name]
+    if memo is not None and spec.design_only:
+        return memo.get_or_run(name, compute, counters)
+    if counters is not None:
+        counters.note(name)
+    return compute()
+
+
 def _simulate_graph(graph: StageGraph, system: SensorSystem,
                     mapping: Mapping, frame_rate: float,
                     exposure_slots: int = 1,
                     cycle_accurate: bool = False,
                     skip_checks: bool = False,
                     mapping_validated: bool = False,
-                    resolved: Optional[Dict[str, object]] = None
+                    resolved: Optional[Dict[str, object]] = None,
+                    memo: Optional[PassMemo] = None,
+                    counters: Optional[PassCounters] = None
                     ) -> EnergyReport:
     """The simulation engine over already-normalized design objects.
 
     ``mapping_validated`` lets callers that validated at construction
     time (:class:`repro.api.Design`) skip re-validating per run, and
     ``resolved`` lets them hand in a cached ``mapping.resolve`` result.
-    The mapping is resolved exactly once here and threaded through every
-    phase — checks, the digital timeline, the cycle-accurate validator,
-    and the three energy models.
+    ``memo`` carries the design-only pass outputs (:data:`SIM_PASSES`)
+    between runs of the same design — a caller sweeping options over one
+    design passes the same memo each time and pays for the timeline,
+    the analog usage walk, the cycle-accurate latency, and the
+    communication energy exactly once.  ``counters`` (if given) records
+    which passes actually executed.  With neither, every call behaves
+    like the pre-split monolithic engine
+    (:func:`_simulate_graph_monolithic`), producing bit-identical
+    reports.
+    """
+    if not mapping_validated:
+        mapping.validate(graph, system)
+    memo = memo if memo is not None else PassMemo()
+    if resolved is None:
+        resolved = _run_pass(
+            "resolve", memo, counters,
+            lambda: mapping.resolve(graph, system, validate=False))
+    local_resolved = resolved
+    if not skip_checks:
+        def _checks() -> bool:
+            run_pre_simulation_checks(graph, system, mapping,
+                                      resolved=local_resolved)
+            return True
+        _run_pass("checks", memo, counters, _checks)
+
+    timeline = _run_pass(
+        "timeline", memo, counters,
+        lambda: simulate_digital(graph, system, mapping, resolved=resolved))
+    digital_latency = timeline.total_latency
+    if cycle_accurate:
+        digital_latency = _run_pass(
+            "cycle_sim", memo, counters,
+            lambda: cycle_accurate_latency(graph, system, mapping,
+                                           resolved=resolved))
+
+    participating = _run_pass(
+        "analog_usage", memo, counters,
+        lambda: analog_usage(graph, system, mapping, resolved=resolved))
+    timing = _run_pass(
+        "timing", memo, counters,
+        lambda: estimate_frame_timing(
+            frame_rate=frame_rate,
+            digital_latency=digital_latency,
+            num_analog_arrays=len(participating),
+            exposure_slots=exposure_slots))
+
+    report = EnergyReport(
+        system_name=system.name,
+        frame_rate=frame_rate,
+        frame_time=timing.frame_time,
+        digital_latency=digital_latency,
+        analog_stage_delay=timing.analog_stage_delay)
+    report.extend(_run_pass(
+        "analog_energy", memo, counters,
+        lambda: analog_energy(graph, system, mapping,
+                              timing.analog_stage_delay,
+                              resolved=resolved)))
+    report.extend(_run_pass(
+        "digital_energy", memo, counters,
+        lambda: digital_energy(system, timeline, timing.frame_time)))
+    report.extend(_run_pass(
+        "comm_energy", memo, counters,
+        lambda: communication_energy(graph, system, mapping,
+                                     resolved=resolved)))
+    return report
+
+
+def _simulate_graph_monolithic(graph: StageGraph, system: SensorSystem,
+                               mapping: Mapping, frame_rate: float,
+                               exposure_slots: int = 1,
+                               cycle_accurate: bool = False,
+                               skip_checks: bool = False,
+                               mapping_validated: bool = False,
+                               resolved: Optional[Dict[str, object]] = None
+                               ) -> EnergyReport:
+    """The pre-split single-body engine, kept as the equivalence oracle.
+
+    Ground truth for the pass-level engine: tests assert that
+    :func:`_simulate_graph` — memoized or not — produces bit-identical
+    :class:`EnergyReport` payloads to this body for every option
+    combination.  Not used on any production path.
     """
     if not mapping_validated:
         mapping.validate(graph, system)

@@ -13,6 +13,17 @@ from repro.usecases.fig5 import (
 __all__ = ["FIG5_MAPPING", "build_fig5_stages", "build_fig5_system"]
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_disk_cache(monkeypatch):
+    """Insulate every test from an operator's ``REPRO_CACHE_DIR``.
+
+    A populated personal cache directory would turn cold-path
+    assertions (miss counters, ``cached`` flags) into disk hits; tests
+    that exercise the env-var behavior set it explicitly.
+    """
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
 @pytest.fixture
 def fig5_stages():
     return build_fig5_stages()

@@ -357,6 +357,118 @@ class TestRunMany:
             Simulator(executor="rocket")
 
 
+class TestSessionPools:
+    def _grid(self):
+        return [build_rhythmic(UseCaseConfig(placement, node))
+                for node in (130, 65)
+                for placement in ("2D-In", "2D-Off", "3D-In")]
+
+    def test_thread_pool_reused_across_batches(self):
+        simulator = Simulator(cache=False)
+        simulator.run_many(self._grid())
+        first = simulator._thread_pool
+        assert first is not None
+        simulator.run_many(self._grid())
+        assert simulator._thread_pool is first
+        simulator.close()
+
+    def test_pool_grows_for_wider_batches_and_never_shrinks(self):
+        simulator = Simulator(cache=False)
+        simulator.run_many(self._grid()[:2])
+        narrow = simulator._thread_pool_width
+        simulator.run_many([(design, SimOptions(frame_rate=float(rate)))
+                            for design in self._grid()
+                            for rate in (20, 40, 60)])
+        grown = simulator._thread_pool_width
+        assert grown >= narrow
+        simulator.run_many(self._grid()[:2])
+        assert simulator._thread_pool_width == grown  # no shrink
+        assert simulator.last_batch_stats.max_workers == grown
+        simulator.close()
+
+    def test_close_is_idempotent_and_session_recovers(self):
+        simulator = Simulator(cache=False)
+        simulator.run_many(self._grid()[:3])
+        simulator.close()
+        assert simulator._thread_pool is None
+        simulator.close()  # second close is a no-op
+        # The session stays usable: pools are recreated lazily.
+        results = simulator.run_many(self._grid()[:3])
+        assert all(result.ok for result in results)
+        assert simulator._thread_pool is not None
+        simulator.close()
+
+    def test_context_manager_closes_the_pools(self):
+        with Simulator(cache=False) as simulator:
+            assert all(r.ok for r in simulator.run_many(self._grid()[:3]))
+            assert simulator._thread_pool is not None
+        assert simulator._thread_pool is None
+
+    def test_cached_batches_never_create_a_pool(self):
+        simulator = Simulator()
+        designs = self._grid()[:3]
+        simulator.run_many(designs)
+        simulator.close()
+        assert all(r.cached for r in simulator.run_many(designs))
+        assert simulator._thread_pool is None  # warm batch: no pool
+
+    def test_broken_process_pool_is_replaced_on_the_next_batch(self):
+        """A dead worker fails its batch but never poisons the session."""
+        import os as os_module
+
+        from concurrent.futures import BrokenExecutor
+
+        designs = [build_fig5_design()]
+        with Simulator(cache=False, executor="process",
+                       max_workers=1) as simulator:
+            assert all(r.ok for r in simulator.run_many(designs))
+            poisoned = simulator._process_pool
+            # Kill the worker out from under the executor.
+            with pytest.raises(BrokenExecutor):
+                poisoned.submit(os_module._exit, 1).result()
+            with pytest.raises(BrokenExecutor):
+                simulator.run_many(designs)  # this batch inherits the corpse
+            assert simulator._process_pool is None  # ...and retires it
+            results = simulator.run_many(designs)  # fresh pool, works
+            assert all(r.ok for r in results)
+            assert simulator._process_pool is not poisoned
+
+    def test_process_pool_reused_across_batches(self):
+        with Simulator(cache=False, executor="process",
+                       max_workers=2) as simulator:
+            designs = [build_fig5_design(),
+                       build_rhythmic(UseCaseConfig("2D-In", 65))]
+            assert all(r.ok for r in simulator.run_many(designs))
+            first = simulator._process_pool
+            assert first is not None
+            assert all(r.ok for r in simulator.run_many(designs))
+            assert simulator._process_pool is first
+        assert simulator._process_pool is None
+
+
+class TestBatchLocalHitCounts:
+    def test_run_many_hits_are_batch_local(self):
+        """Stats must not read deltas off the shared session counters."""
+        simulator = Simulator()
+        design = build_fig5_design()
+        simulator.run(design)
+        # A concurrent run() bumping session counters mid-batch must not
+        # leak into the batch stats; simulate the race directly.
+        simulator._cache_hits += 100
+        results = simulator.run_many([design, design, design])
+        assert all(result.cached for result in results)
+        # One unique warm key: one batch-local hit, dedup covers the rest.
+        assert simulator.last_batch_stats.cache_hits == 1
+
+    def test_warm_batch_counts_every_unique_key(self):
+        simulator = Simulator()
+        designs = [build_fig5_design(),
+                   build_rhythmic(UseCaseConfig("2D-In", 65))]
+        simulator.run_many(designs)
+        simulator.run_many(designs)
+        assert simulator.last_batch_stats.cache_hits == len(designs)
+
+
 class TestSpecs:
     def test_usecase_reference(self):
         design = design_from_spec({"usecase": "edgaze",

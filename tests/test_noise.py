@@ -159,6 +159,61 @@ class TestFunctionalPipeline:
             self._pipeline().capture(np.array([-1.0]))
 
 
+class TestVectorizedCaptureStack:
+    def _pipeline(self, **pixel_kwargs):
+        pixel = FunctionalPixel(**pixel_kwargs)
+        return FunctionalPipeline(pixel, exposure_time=1 / 30, seed=11)
+
+    def test_stack_shape_and_validation(self):
+        pipeline = self._pipeline()
+        stack = pipeline.capture_stack(np.full((16, 16), 500.0), 6)
+        assert stack.shape == (6, 16, 16)
+        with pytest.raises(ConfigurationError):
+            pipeline.capture_stack(np.full((4, 4), 10.0), 0)
+        with pytest.raises(ConfigurationError):
+            pipeline.capture_stack(np.array([-1.0]), 2)
+
+    def test_fpn_pattern_is_shared_across_stacked_frames(self):
+        """The stack draw must not fabricate a fresh pattern per frame."""
+        source = FixedPatternNoise(offset_sigma_electrons=5.0, seed=4)
+        stack = source.apply_stack(np.zeros((5, 32, 32)))
+        for frame in stack[1:]:
+            assert np.array_equal(frame, stack[0])
+        # ... and it is the same pattern single-frame capture applies.
+        assert np.array_equal(source.apply(np.zeros((32, 32))), stack[0])
+
+    def test_stack_statistics_match_frame_by_frame_loop(self):
+        """Vectorized draws preserve the seeded per-frame statistics.
+
+        The RNG streams are consumed in one block per source, so exact
+        values differ from a sequential loop of capture() calls; the
+        moments the SNR estimate is built from must agree within
+        sampling tolerance.
+        """
+        looped = self._pipeline()
+        scene = np.full((64, 64), 2000.0)
+        loop_stack = np.stack([looped.capture(scene) for _ in range(16)])
+        vector_stack = self._pipeline().capture_stack(scene, 16)
+        assert np.mean(vector_stack) \
+            == pytest.approx(np.mean(loop_stack), rel=0.01)
+        loop_sigma = np.mean(np.std(loop_stack, axis=0))
+        vector_sigma = np.mean(np.std(vector_stack, axis=0))
+        assert vector_sigma == pytest.approx(loop_sigma, rel=0.10)
+
+    def test_measure_snr_matches_loop_within_tolerance(self):
+        vectorized = self._pipeline().measure_snr(2000.0, num_frames=16)
+        looped = self._pipeline()
+        scene = np.full((64, 64), 2000.0)
+        stack = np.stack([looped.capture(scene) for _ in range(16)])
+        reference = snr_db(2000.0,
+                           float(np.mean(np.std(stack, axis=0))))
+        assert vectorized == pytest.approx(reference, abs=1.0)  # dB
+
+    def test_measure_snr_deterministic_for_a_seed(self):
+        assert self._pipeline().measure_snr(2000.0) \
+            == self._pipeline().measure_snr(2000.0)
+
+
 class TestSnrDb:
     def test_20db_per_decade(self):
         assert snr_db(1000, 10) == pytest.approx(40.0)
