@@ -1,0 +1,149 @@
+"""Serve-daemon benchmark: warm vs cold submits through the HTTP API.
+
+The daemon's pitch is that every client shares one session — the second
+submitter of an exploration pays cache-probe prices, not simulation
+prices.  This bench measures that end to end *through the daemon*: a
+:class:`repro.serve.BackgroundServer` is driven over real HTTP with
+:class:`repro.serve.ServeClient`, submitting the same cycle-exact
+exploration spec repeatedly.
+
+Measured quantities (emitted as ``BENCH_serve.json``):
+
+1. **Cold submit latency** — submit-to-done wall time of the first
+   exploration (every point simulated cycle-exactly).
+2. **Warm submit latency** — the identical resubmit, served entirely
+   from the shared result cache; asserted >= ``_MIN_WARM_SPEEDUP``
+   faster in full mode.
+3. **Warm throughput** — jobs/sec over a burst of identical explore
+   jobs, the daemon's steady-state serving rate for repeat queries.
+
+Under ``REPRO_BENCH_SMOKE=1`` the space shrinks and wall-clock
+assertions are skipped; the structural assertions (all-hits warm jobs,
+identical cold/warm metrics) always run.
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.api import register_usecase
+from repro.serve import BackgroundServer
+
+# The harness runs under --import-mode=importlib, so sibling bench
+# modules are not importable without the directory on sys.path.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from bench_session_reuse import _build_validation_design  # noqa: E402
+
+#: Acceptance bar (full mode only): warm submits through the daemon
+#: must beat cold ones by this factor.
+_MIN_WARM_SPEEDUP = 3.0
+
+#: Full workload: 4 cycle-exact designs x 3 frame rates = 12 points.
+_FULL_SIZES = [32, 33, 34, 35]
+_FULL_RATES = [10.0, 20.0, 30.0]
+_FULL_BURST = 16
+#: Smoke workload: 2 tiny points, no timing claims.
+_SMOKE_SIZES = [12]
+_SMOKE_RATES = [10.0, 20.0]
+_SMOKE_BURST = 4
+
+#: Fast polling so the warm-side floor is cache latency, not poll lag.
+_POLL_S = 0.01
+
+
+def _spec(sizes, rates):
+    return {
+        "schema": "repro.explore-spec/1",
+        "name": "serve-bench",
+        "usecase": "serve-bench-validate",
+        "space": {"product": [
+            {"name": "size", "values": list(sizes)},
+            {"name": "options.frame_rate", "values": list(rates)},
+        ]},
+        "objectives": ["energy_per_frame"],
+        "options": {"cycle_accurate": True},
+    }
+
+
+def _submit_and_wait(client, spec):
+    """Submit-to-done wall time of one exploration job over HTTP."""
+    started = time.perf_counter()
+    job = client.submit(spec)
+    done = client.wait(job["id"], timeout=600.0, poll_s=_POLL_S)
+    assert done["state"] == "done", done
+    return done, time.perf_counter() - started
+
+
+def test_serve_warm_submit_speedup(benchmark, write_result,
+                                   write_bench_json, bench_smoke):
+    register_usecase("serve-bench-validate", _build_validation_design)
+    sizes = _SMOKE_SIZES if bench_smoke else _FULL_SIZES
+    rates = _SMOKE_RATES if bench_smoke else _FULL_RATES
+    burst = _SMOKE_BURST if bench_smoke else _FULL_BURST
+    spec = _spec(sizes, rates)
+    total = len(sizes) * len(rates)
+
+    with BackgroundServer(workers=2, chunk_size=4) as server:
+        client = server.client(timeout=120.0)
+
+        cold, cold_s = _submit_and_wait(client, spec)
+        assert cold["progress"] == {"total": total, "completed": total,
+                                    "cache_hits": 0}
+        warm, warm_s = _submit_and_wait(client, spec)
+        # Every warm point came from the shared session cache.
+        assert warm["progress"]["cache_hits"] == total
+        cold_points = client.result(cold["id"])["result"]["points"]
+        warm_points = client.result(warm["id"])["result"]["points"]
+        assert [point["metrics"] for point in warm_points] \
+            == [point["metrics"] for point in cold_points]
+
+        # Steady-state serving rate: a burst of identical warm jobs.
+        started = time.perf_counter()
+        job_ids = [client.submit(spec)["id"] for _ in range(burst)]
+        for job_id in job_ids:
+            done = client.wait(job_id, timeout=600.0, poll_s=_POLL_S)
+            assert done["state"] == "done"
+            assert done["progress"]["cache_hits"] == total
+        burst_s = time.perf_counter() - started
+        jobs_per_s = burst / burst_s if burst_s else float("inf")
+
+        # The benchmarked quantity: one warm submit through the daemon.
+        benchmark.pedantic(_submit_and_wait, args=(client, spec),
+                           rounds=2 if bench_smoke else 3, iterations=1)
+
+        stats = client.stats()
+
+    warm_speedup = cold_s / warm_s if warm_s else float("inf")
+
+    lines = ["repro serve — shared-session daemon, measured over HTTP",
+             "",
+             f"{'explore points':<30} {total}"
+             f"  ({len(sizes)} designs x {len(rates)} rates, cycle-exact)",
+             f"{'cold submit-to-done':<30} {cold_s * 1e3:9.1f} ms",
+             f"{'warm submit-to-done':<30} {warm_s * 1e3:9.1f} ms"
+             f"  ({warm_speedup:.1f}x)",
+             f"{'warm burst':<30} {burst} jobs in "
+             f"{burst_s * 1e3:.1f} ms  ({jobs_per_s:.1f} jobs/s)",
+             f"{'session cache hits':<30} {stats['cache']['hits']}"]
+    write_result("serve", "\n".join(lines))
+
+    benchmark.extra_info["warm_speedup"] = round(warm_speedup, 2)
+    benchmark.extra_info["warm_jobs_per_s"] = round(jobs_per_s, 2)
+
+    write_bench_json("serve", {
+        "explore_points": total,
+        "distinct_designs": len(sizes),
+        "cold_submit_wall_s": cold_s,
+        "warm_submit_wall_s": warm_s,
+        "warm_speedup": warm_speedup,
+        "warm_burst_jobs": burst,
+        "warm_burst_wall_s": burst_s,
+        "warm_jobs_per_s": jobs_per_s,
+        "session_cache_hits": stats["cache"]["hits"],
+        "min_warm_speedup": _MIN_WARM_SPEEDUP,
+    })
+
+    # Wall-clock acceptance bar (smoke jobs never fail on timing noise).
+    if not bench_smoke:
+        assert warm_speedup >= _MIN_WARM_SPEEDUP, \
+            f"warm submits only {warm_speedup:.2f}x faster than cold"

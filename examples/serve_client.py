@@ -1,0 +1,119 @@
+"""Drive the ``repro serve`` daemon end to end with :class:`ServeClient`.
+
+Boots a real daemon as a subprocess on an ephemeral port (the
+``--ready-file`` rendezvous is how scripts and CI find the bound
+address), then walks the whole client workflow against it:
+
+1. health-check the daemon and submit ``explore_edgaze.json`` — the
+   Sec. 6 Ed-Gaze design space — as an exploration job;
+2. tail the job's JSONL stream, printing each design point the moment
+   its simulation lands;
+3. fetch the finished ``repro.explore/1`` document and show the best
+   design per objective;
+4. resubmit the identical spec to demonstrate the shared-session
+   payoff: every point now comes from the daemon's warm cache;
+5. shut the daemon down with SIGTERM and confirm it exits cleanly.
+
+Run:  python examples/serve_client.py
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.explore import ExplorationResult
+from repro.serve import ServeClient
+
+HERE = pathlib.Path(__file__).resolve().parent
+SPEC_PATH = HERE / "explore_edgaze.json"
+
+
+def boot_daemon(ready_file: pathlib.Path) -> subprocess.Popen:
+    """Start ``repro serve`` on an ephemeral port; wait for the address."""
+    env = dict(os.environ)
+    src = str(HERE.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", "0", "--workers", "2", "--chunk-size", "2",
+         "--ready-file", str(ready_file)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 60.0
+    while not ready_file.exists():
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early with code {process.returncode}")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("daemon never wrote its ready file")
+        time.sleep(0.05)
+    return process
+
+
+def main() -> None:
+    spec = json.loads(SPEC_PATH.read_text())
+    with tempfile.TemporaryDirectory() as scratch:
+        ready_file = pathlib.Path(scratch) / "serve-ready.json"
+        process = boot_daemon(ready_file)
+        try:
+            address = json.loads(ready_file.read_text())
+            client = ServeClient.from_url(address["url"], timeout=60.0)
+            print(f"daemon up at {address['url']} "
+                  f"(uptime {client.healthz()['uptime_s']:.2f}s)")
+
+            job = client.submit(spec)
+            print(f"submitted {job['kind']} job {job['id']} "
+                  f"({job['name']}): {job['state']}")
+
+            print("streaming points as they land:")
+            for event in client.stream(job["id"]):
+                if event["event"] == "point":
+                    point = event["point"]
+                    energy = point["metrics"]["energy_per_frame"]
+                    print(f"  {point['params']['placement']:>10} @ "
+                          f"{point['params']['cis_node']:>3}nm   "
+                          f"{energy * 1e3:8.3f} mJ/frame")
+                elif event["event"] == "done":
+                    final = event["job"]
+                    progress = final["progress"]
+                    print(f"job {final['state']}: "
+                          f"{progress['completed']}/{progress['total']} "
+                          f"points, {progress['cache_hits']} cache hits")
+
+            document = client.result(job["id"])["result"]
+            result = ExplorationResult.from_dict(document)
+            print(f"Pareto frontier of {result.name} "
+                  f"({', '.join(m.name for m in result.objectives)}):")
+            for point in result.frontier():
+                metrics = ", ".join(
+                    f"{metric.name}={point.metrics[metric.name]:.4g}"
+                    for metric in result.objectives)
+                print(f"  {point.params}: {metrics}")
+
+            # The identical spec again: the shared session serves every
+            # point from cache, which is the daemon's whole point.
+            repeat = client.submit(spec)
+            done = client.wait(repeat["id"], timeout=120.0)
+            progress = done["progress"]
+            print(f"warm resubmit {repeat['id']}: "
+                  f"{progress['cache_hits']}/{progress['total']} "
+                  f"points from the shared cache")
+
+            stats = client.stats()
+            print(f"daemon stats: {stats['jobs']['done']} jobs done, "
+                  f"{stats['cache']['hits']} session cache hits")
+        finally:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+                process.wait(timeout=60.0)
+        print(f"daemon exited with code {process.returncode}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ Plus the serialized-scenario workflow of the session API:
     python -m repro usecases                 # names `run` specs can reference
     python -m repro cache info               # inspect the persistent cache
     python -m repro cache clear              # wipe the persistent cache
+    python -m repro serve --port 8642        # long-lived simulation daemon
 
 Setting ``REPRO_CACHE_DIR`` makes every command above read and write a
 persistent result cache, so repeated invocations over the same specs
@@ -243,7 +244,10 @@ def _cmd_run(args) -> int:
     except (OSError, CamJError) as error:
         print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
         return 1
-    result = Simulator(options).run(design)
+    # Context-managed so an interrupt mid-run still reclaims any pool
+    # workers instead of stranding them.
+    with Simulator(options) as simulator:
+        result = simulator.run(design)
     if _wants_json(args):
         _emit_json(result.to_dict())
         return 0 if result.ok else 1
@@ -376,6 +380,16 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the long-lived simulation service daemon."""
+    from repro.serve import ServeApp
+    app = ServeApp(host=args.host, port=args.port, workers=args.workers,
+                   chunk_size=args.chunk_size, cache_dir=args.cache_dir,
+                   max_workers=args.max_workers)
+    app.run(ready_file=args.ready_file, announce=not _wants_json(args))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     # SUPPRESS keeps a subcommand's unset flag from clobbering a --json
@@ -437,6 +451,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="what to do with the cache directory")
     cache.add_argument("--dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR)")
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived simulation service daemon (HTTP/JSON)",
+        parents=[common])
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port; 0 picks an ephemeral one "
+                            "(default: 8642)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job slots (default: 2)")
+    serve.add_argument("--chunk-size", type=int, default=8,
+                       help="explore points per progress/cancellation "
+                            "chunk (default: 8)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent result-cache directory "
+                            "(default: $REPRO_CACHE_DIR)")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="width of the shared session's simulation "
+                            "pool (default: auto)")
+    serve.add_argument("--ready-file", default=None,
+                       help="write the bound address here as JSON once "
+                            "listening (ephemeral-port rendezvous)")
     return parser
 
 
@@ -454,13 +491,58 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
+
+
+class _sigterm_as_interrupt:
+    """Deliver SIGTERM as KeyboardInterrupt for the command's duration.
+
+    One-shot commands then unwind through their ``with Simulator()`` /
+    ``finally: close()`` blocks on termination, so pool worker
+    processes are reclaimed instead of lingering as zombies.  The
+    previous handler is restored on exit; no-op off the main thread
+    (or where signals are unavailable).  The ``serve`` daemon installs
+    its own loop-level handlers instead.
+    """
+
+    def __enter__(self):
+        import signal
+        import threading
+        self._previous = None
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        def _raise_interrupt(signum, frame):
+            raise KeyboardInterrupt
+
+        try:
+            self._previous = signal.signal(signal.SIGTERM, _raise_interrupt)
+        except (ValueError, OSError, AttributeError):
+            self._previous = None
+        return self
+
+    def __exit__(self, *exc_info):
+        import signal
+        if self._previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, self._previous)
+            except (ValueError, OSError):
+                pass
+        return False
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        if args.command == "serve":
+            return _COMMANDS[args.command](args)
+        with _sigterm_as_interrupt():
+            return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # Interrupted (Ctrl-C or SIGTERM): sessions were closed on the
+        # way out; report the conventional 128+SIGINT code.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0

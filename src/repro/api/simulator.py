@@ -184,6 +184,7 @@ class Simulator:
         #: Guards pool creation/growth and submission, so a batch never
         #: submits into a pool another thread just retired by growing it.
         self._pools_lock = threading.Lock()
+        self._terminal = False
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._thread_pool_width = 0
         self._process_pool: Optional[ProcessPoolExecutor] = None
@@ -192,20 +193,53 @@ class Simulator:
 
     # --- session lifecycle ------------------------------------------------
 
-    def close(self) -> None:
-        """Shut down the session's persistent worker pools (idempotent).
+    def close(self, wait: bool = True, *,
+              cancel_pending: bool = False,
+              terminal: bool = False) -> None:
+        """Shut down the session's persistent worker pools.
 
-        Cached results, pass memos, and counters survive; the session
-        stays usable — the next ``run_many`` simply recreates its pool.
+        Idempotent and safe to call from any thread, including
+        concurrently with in-flight ``run_many`` batches (their
+        already-submitted jobs drain before the pool dies).  Cached
+        results, pass memos, and counters survive; by default the
+        session stays usable — the next ``run_many`` simply recreates
+        its pool.
+
+        ``wait=False`` returns without joining the workers;
+        ``cancel_pending=True`` additionally cancels jobs still queued
+        inside the pools (interrupt paths use both so a dying process
+        never drains a long queue).  ``terminal=True`` closes the
+        session *permanently*: later batches raise instead of silently
+        resurrecting pools — what a daemon wants after its final
+        shutdown.  Cached single-design ``run()`` calls keep working
+        either way; they never touch a pool.
         """
         with self._pools_lock:
+            if terminal:
+                self._terminal = True
             for pool in (self._thread_pool, self._process_pool):
                 if pool is not None:
-                    pool.shutdown(wait=True)
+                    pool.shutdown(wait=wait, cancel_futures=cancel_pending)
             self._thread_pool = None
             self._thread_pool_width = 0
             self._process_pool = None
             self._process_pool_width = 0
+
+    @property
+    def closed(self) -> bool:
+        """Whether the session was terminally closed (see :meth:`close`)."""
+        return self._terminal
+
+    def pool_info(self) -> Dict[str, Any]:
+        """Live worker-pool state, for daemons and dashboards."""
+        with self._pools_lock:
+            return {
+                "executor": self._executor_kind,
+                "max_workers": self._max_workers,
+                "thread_pool_width": self._thread_pool_width,
+                "process_pool_width": self._process_pool_width,
+                "terminal": self._terminal,
+            }
 
     def __enter__(self) -> "Simulator":
         return self
@@ -462,6 +496,10 @@ class Simulator:
         blocking the caller.  Pools never shrink — idle workers are
         cheap next to re-paying startup on the next wide batch.
         """
+        if self._terminal:
+            raise ConfigurationError(
+                "session was terminally closed; create a new Simulator "
+                "to run further batches")
         if kind == "process":
             pool, current = self._process_pool, self._process_pool_width
         else:

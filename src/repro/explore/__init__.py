@@ -37,11 +37,13 @@ from repro.explore.annotate import (
 from repro.explore.engine import (
     DEFAULT_OBJECTIVES,
     EXPLORATION_SCHEMA,
+    ExplorationInterrupted,
     ExplorationPoint,
     ExplorationResult,
     dominance_ranks,
     dominates,
     explore,
+    explore_stream,
     pareto_indices,
 )
 from repro.explore.metrics import (
@@ -79,9 +81,9 @@ __all__ = [
     "Metric", "register_metric", "metric", "available_metrics",
     "resolve_metrics",
     # engine
-    "explore", "ExplorationPoint", "ExplorationResult", "dominates",
-    "pareto_indices", "dominance_ranks", "DEFAULT_OBJECTIVES",
-    "EXPLORATION_SCHEMA",
+    "explore", "explore_stream", "ExplorationPoint", "ExplorationResult",
+    "ExplorationInterrupted", "dominates", "pareto_indices",
+    "dominance_ranks", "DEFAULT_OBJECTIVES", "EXPLORATION_SCHEMA",
     # annotation
     "Bottleneck", "identify_bottlenecks", "dominant_category",
     # specs

@@ -386,6 +386,16 @@ def _metric_from_payload(raw: Dict[str, Any]) -> Metric:
 
 # --- the engine -----------------------------------------------------------
 
+class ExplorationInterrupted(Exception):
+    """An exploration stopped early because ``should_stop()`` said so.
+
+    Deliberately *not* a :class:`CamJError`: interruption is control
+    flow (a cancelled job, a shutting-down daemon), never an infeasible
+    point or a framework failure, so nothing that maps framework errors
+    onto typed results may swallow it.
+    """
+
+
 def _as_design(built: BuilderResult) -> Design:
     if isinstance(built, Design):
         return built
@@ -451,7 +461,45 @@ def explore(space: ParameterSpace,
     points in the result, never exceptions — infeasibility boundaries
     are exactly what an exploration maps out.
     """
+    return explore_stream(space, builder, objectives=objectives,
+                          options=options, simulator=simulator, name=name,
+                          annotate=annotate)
+
+
+def explore_stream(space: ParameterSpace,
+                   builder: Builder,
+                   objectives: Sequence[Union[str, Metric]]
+                   = DEFAULT_OBJECTIVES,
+                   options: Optional[SimOptions] = None,
+                   simulator: Optional[Simulator] = None,
+                   name: Optional[str] = None,
+                   annotate: bool = True,
+                   chunk_size: Optional[int] = None,
+                   on_progress: Optional[Callable[
+                       [List[ExplorationPoint], int, int, int], None]] = None,
+                   should_stop: Optional[Callable[[], bool]] = None
+                   ) -> ExplorationResult:
+    """:func:`explore`, incrementally: points surface as they complete.
+
+    The space is evaluated in chunks of ``chunk_size`` points
+    (``None``: one chunk, exactly :func:`explore`).  After each chunk,
+    ``on_progress(points, completed, total, cache_hits)`` receives the
+    chunk's finished :class:`ExplorationPoint` values (in space order),
+    the running completed count, the total point count, and how many of
+    the chunk's simulations were served from the result cache — the
+    hook streaming consumers (the ``repro serve`` daemon, JSONL
+    writers) build on.  Before every chunk ``should_stop()`` is
+    consulted; returning true aborts the exploration by raising
+    :class:`ExplorationInterrupted`, which is how daemon jobs cancel
+    mid-flight without losing the session.
+
+    Results, ordering, and infeasible-point semantics are identical to
+    :func:`explore`; chunking only changes *when* work becomes visible.
+    """
     resolved_objectives = resolve_metrics(objectives)
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be >= 1 or None, got {chunk_size}")
     owns_session = simulator is None
     simulator = simulator if simulator is not None else Simulator(options)
     base_options = options if options is not None else simulator.options
@@ -475,14 +523,60 @@ def explore(space: ParameterSpace,
             f"unknown SimOptions axes {sorted(bad_axes)}; "
             f"supported: {sorted(OPTIONS_PREFIX + f for f in option_fields)}")
 
-    # Phase 1: enumerate and build.  Identical builder params build the
-    # design once (option-only sweeps build exactly one design); failures
-    # of either the builder or the per-point options become typed
-    # infeasible points.
+    all_params = list(space)
+    total = len(all_params)
+    step = chunk_size if chunk_size is not None else max(total, 1)
+    built_cache: Dict[tuple, Union[Design, CamJError]] = {}
+    points: List[ExplorationPoint] = []
+    # A session we created exists only for this exploration: release its
+    # pool workers once done (caller-provided sessions keep theirs for
+    # the next exploration).
+    try:
+        for start in range(0, total, step):
+            if should_stop is not None and should_stop():
+                raise ExplorationInterrupted(
+                    f"exploration {result_name!r} stopped after "
+                    f"{len(points)}/{total} points")
+            chunk_points, chunk_hits = _run_chunk(
+                all_params[start:start + step], build, base_options,
+                built_cache, simulator, resolved_objectives, annotate)
+            points.extend(chunk_points)
+            if on_progress is not None:
+                on_progress(chunk_points, len(points), total, chunk_hits)
+    except (KeyboardInterrupt, SystemExit):
+        # Interrupted mid-exploration (Ctrl-C, SIGTERM): reclaim pool
+        # workers without draining the remaining queue, so no process
+        # workers linger behind a dying CLI.
+        simulator.close(cancel_pending=True)
+        raise
+    finally:
+        if owns_session:
+            simulator.close()
+
+    return ExplorationResult(name=result_name,
+                             objectives=resolved_objectives,
+                             options=base_options, points=points)
+
+
+def _run_chunk(chunk_params: List[Dict[str, Any]],
+               build: Callable[..., BuilderResult],
+               base_options: SimOptions,
+               built_cache: Dict[tuple, Union[Design, CamJError]],
+               simulator: Simulator,
+               objectives: Sequence[Metric],
+               annotate: bool) -> Tuple[List[ExplorationPoint], int]:
+    """Build, simulate, and evaluate one chunk of space points.
+
+    Identical builder params build the design once — ``built_cache``
+    persists across chunks, so option-only sweeps build exactly one
+    design no matter how finely the run is chunked.  Returns the
+    chunk's points (in input order) and its result-cache hit count.
+    """
+    # Phase 1: enumerate and build.  Failures of either the builder or
+    # the per-point options become typed infeasible points.
     slots: List[Tuple[Dict[str, Any], Optional[Design],
                       Optional[SimOptions], Optional[CamJError]]] = []
-    built_cache: Dict[tuple, Union[Design, CamJError]] = {}
-    for params in space:
+    for params in chunk_params:
         build_params, overrides = _split_params(params)
         try:
             point_options = base_options.replace(**overrides) if overrides \
@@ -505,16 +599,12 @@ def explore(space: ParameterSpace,
             slots.append((params, cached, point_options, None))
 
     # Phase 2: one parallel, deduplicated batch over the buildable points.
-    # A session we created exists only for this batch: release its pool
-    # workers once the batch is done (caller-provided sessions keep
-    # theirs for the next exploration).
     jobs = [(design, point_options)
             for _, design, point_options, error in slots if error is None]
-    try:
-        results = simulator.run_many(jobs) if jobs else []
-    finally:
-        if owns_session:
-            simulator.close()
+    results = simulator.run_many(jobs) if jobs else []
+    # Per-result ``cached`` flags are race-free under concurrent batches
+    # on a shared session, unlike the session-wide counters.
+    chunk_hits = sum(1 for result in results if result.cached)
 
     # Phase 3: evaluate objectives and annotate.
     points: List[ExplorationPoint] = []
@@ -526,11 +616,9 @@ def explore(space: ParameterSpace,
                 failure=str(error)))
             continue
         points.append(_evaluate_point(params, design, next(cursor),
-                                      resolved_objectives, annotate))
+                                      objectives, annotate))
 
-    return ExplorationResult(name=result_name,
-                             objectives=resolved_objectives,
-                             options=base_options, points=points)
+    return points, chunk_hits
 
 
 def _evaluate_point(params: Dict[str, Any], design: Design,

@@ -1,0 +1,59 @@
+"""``repro serve`` — the long-lived simulation service daemon.
+
+Everything the library can do one-shot — cached ``run_many`` batches,
+whole ``explore()`` studies — dies with the process; this package keeps
+it alive.  A daemon started with ``repro serve`` exposes an HTTP/JSON
+API (stdlib asyncio + http only) over a multi-tenant async job queue in
+which **every** job shares one :class:`repro.api.Simulator` session:
+its persistent worker pools, two-tier result cache, and pass memos warm
+up once and serve every client after that.
+
+* :class:`ServeApp` — the daemon itself (transport, signals, lifecycle);
+* :class:`JobQueue` / :class:`Job` / :class:`JobState` — the queue layer;
+* :class:`ServeClient` — a typed stdlib client (submit/poll/stream);
+* :class:`BackgroundServer` — the same app on a thread, for tests.
+
+Quick taste::
+
+    # terminal 1
+    $ repro serve --port 8642 --cache-dir /tmp/repro-cache
+
+    # terminal 2
+    >>> from repro.serve import ServeClient
+    >>> client = ServeClient(port=8642)
+    >>> job = client.submit({"usecase": "edgaze",
+    ...                      "space": {"name": "cis_node",
+    ...                                "values": [130, 65]}})
+    >>> client.wait(job["id"])["state"]
+    'done'
+"""
+
+from repro.serve.app import BackgroundServer, ServeApp
+from repro.serve.client import ServeClient, ServeError, ServeTimeout
+from repro.serve.jobs import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_WORKERS,
+    Job,
+    JobQueue,
+    JobState,
+    QueueClosed,
+    TERMINAL_STATES,
+)
+from repro.serve.progress import JobProgress, StreamBuffer
+
+__all__ = [
+    "ServeApp",
+    "BackgroundServer",
+    "ServeClient",
+    "ServeError",
+    "ServeTimeout",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "JobProgress",
+    "StreamBuffer",
+    "QueueClosed",
+    "TERMINAL_STATES",
+    "DEFAULT_WORKERS",
+    "DEFAULT_CHUNK_SIZE",
+]

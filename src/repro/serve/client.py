@@ -1,0 +1,172 @@
+"""A typed stdlib client for the ``repro serve`` daemon.
+
+:class:`ServeClient` speaks the daemon's HTTP/JSON API with nothing but
+``http.client``: submit specs, poll jobs, fetch results, cancel, tail
+JSONL streams.  It is what the tests, the shipped example, and future
+distributed workers use instead of hand-rolling requests::
+
+    client = ServeClient(port=8642)
+    job = client.submit(json.load(open("examples/explore_edgaze.json")))
+    done = client.wait(job["id"])
+    result = client.result(job["id"])["result"]
+
+Every request uses its own connection (the daemon is
+``Connection: close``), so one client is safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.serve.jobs import TERMINAL_STATES
+
+#: Job states the client treats as "no further change coming".
+TERMINAL_STATE_NAMES = frozenset(state.value for state in TERMINAL_STATES)
+
+
+class ServeError(Exception):
+    """A typed error response (or transport failure) from the daemon."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message} (HTTP {status})")
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+
+
+class ServeTimeout(ServeError):
+    """A :meth:`ServeClient.wait` deadline expired."""
+
+    def __init__(self, job_id: str, timeout: float, state: str) -> None:
+        Exception.__init__(
+            self, f"job {job_id} still {state} after {timeout:g}s")
+        self.status = 0
+        self.error_type = "Timeout"
+        self.message = str(self)
+
+
+class ServeClient:
+    """Programmatic surface over one daemon address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_url(cls, url: str, *, timeout: float = 30.0) -> "ServeClient":
+        """A client from a ``http://host:port`` base URL."""
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r}")
+        host = parsed.hostname or "127.0.0.1"
+        port = parsed.port or 8642
+        return cls(host=host, port=port, timeout=timeout)
+
+    # --- plumbing ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Any] = None) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            document = json.loads(raw) if raw else None
+            if response.status >= 400:
+                error = (document or {}).get("error", {})
+                raise ServeError(response.status,
+                                 error.get("type", "HTTPError"),
+                                 error.get("message", raw.decode(
+                                     "utf-8", "replace")))
+            return document
+        finally:
+            connection.close()
+
+    # --- service endpoints ------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    # --- job lifecycle ----------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any],
+               kind: Optional[str] = None) -> Dict[str, Any]:
+        """Submit a design (``repro.design/1`` scenario) or explore spec.
+
+        ``kind`` (``"run"``/``"explore"``) overrides the daemon's
+        schema-based inference.  Returns the job status document.
+        """
+        payload = {"kind": kind, "spec": spec} if kind is not None else spec
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """The job's current status document."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished result envelope; raises 409 until terminal."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; returns the (possibly updated) status."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["state"] in TERMINAL_STATE_NAMES:
+                return document
+            if time.monotonic() >= deadline:
+                raise ServeTimeout(job_id, timeout, document["state"])
+            time.sleep(poll_s)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Tail the job's JSONL stream; yields event dicts until done.
+
+        Explore jobs yield ``{"event": "point", ...}`` per finished
+        point (in space order) and finally ``{"event": "done", ...}``
+        carrying the terminal job document.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream?format=jsonl")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                error = {}
+                try:
+                    error = (json.loads(raw) or {}).get("error", {})
+                except json.JSONDecodeError:
+                    pass
+                raise ServeError(response.status,
+                                 error.get("type", "HTTPError"),
+                                 error.get("message", raw.decode(
+                                     "utf-8", "replace")))
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()

@@ -1,0 +1,314 @@
+"""Request routing and endpoint logic of the ``repro serve`` daemon.
+
+The transport (:mod:`repro.serve.app`) parses raw HTTP into a
+:class:`Request` and writes the :class:`Response` back; everything in
+between — routing, spec validation, error shaping, the streaming
+generators — lives here, transport-agnostic and directly testable.
+
+Endpoints::
+
+    GET    /healthz             liveness + uptime
+    GET    /stats               queue depth, job counts, cache/pass/pool state
+    POST   /jobs                submit a design or explore spec -> job id
+    GET    /jobs                all known jobs (status documents)
+    GET    /jobs/<id>           one job's status + progress
+    GET    /jobs/<id>/result    the finished result (409 until terminal)
+    GET    /jobs/<id>/stream    incremental results as JSONL (or SSE)
+    POST   /jobs/<id>/cancel    request cancellation
+    DELETE /jobs/<id>           alias for cancel
+
+Every error body is typed JSON: ``{"error": {"type", "message"}}``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Dict, Optional
+
+from repro.api.registry import available_usecases
+from repro.api.spec import scenario_from_spec
+from repro.exceptions import CamJError
+from repro.explore.spec import (EXPLORATION_SPEC_SCHEMA,
+                                exploration_spec_from_dict)
+from repro.serve.jobs import (TERMINAL_STATES, Job, JobQueue, JobState,
+                              QueueClosed)
+
+#: Largest request body the daemon accepts.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Schema tags of the daemon's own response documents.
+STATS_SCHEMA = "repro.serve-stats/1"
+JOB_SCHEMA = "repro.serve-job/1"
+
+#: Seconds between polls of a job's stream buffer while live-tailing.
+STREAM_POLL_S = 0.05
+
+
+class ApiError(Exception):
+    """A typed HTTP error the transport renders as a JSON body."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"error": {"type": self.error_type, "message": self.message}}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+@dataclass
+class Response:
+    """What a handler hands back to the transport.
+
+    Exactly one of ``payload`` (buffered JSON) or ``stream`` (an async
+    byte-chunk iterator, written incrementally) is set.
+    """
+
+    status: int = 200
+    payload: Optional[Any] = None
+    stream: Optional[AsyncIterator[bytes]] = None
+    content_type: str = "application/json"
+
+
+async def dispatch(app, request: Request) -> Response:
+    """Route one request; raises :class:`ApiError` for every failure."""
+    parts = [part for part in request.path.split("/") if part]
+    if parts == ["healthz"]:
+        _require_method(request, "GET")
+        return Response(payload=handle_healthz(app))
+    if parts == ["stats"]:
+        _require_method(request, "GET")
+        return Response(payload=handle_stats(app))
+    if parts == ["jobs"]:
+        if request.method == "POST":
+            return await handle_submit(app, request)
+        _require_method(request, "GET")
+        return Response(payload=handle_list_jobs(app))
+    if len(parts) >= 2 and parts[0] == "jobs":
+        job = _job_or_404(app.queue, parts[1])
+        if len(parts) == 2:
+            if request.method == "DELETE":
+                return Response(payload=handle_cancel(app, job))
+            _require_method(request, "GET")
+            return Response(payload=job_document(job))
+        if len(parts) == 3 and parts[2] == "result":
+            _require_method(request, "GET")
+            return Response(payload=handle_result(app, job))
+        if len(parts) == 3 and parts[2] == "cancel":
+            _require_method(request, "POST")
+            return Response(payload=handle_cancel(app, job))
+        if len(parts) == 3 and parts[2] == "stream":
+            _require_method(request, "GET")
+            return stream_response(job, _stream_format(request))
+    raise ApiError(404, "NotFound", f"no such endpoint: {request.path}")
+
+
+def _require_method(request: Request, method: str) -> None:
+    if request.method != method:
+        raise ApiError(405, "MethodNotAllowed",
+                       f"{request.path} supports {method}, "
+                       f"got {request.method}")
+
+
+def _job_or_404(queue: JobQueue, job_id: str) -> Job:
+    job = queue.get(job_id)
+    if job is None:
+        raise ApiError(404, "UnknownJob", f"no such job: {job_id}")
+    return job
+
+
+def _stream_format(request: Request) -> str:
+    explicit = request.query.get("format")
+    if explicit in ("jsonl", "sse"):
+        return explicit
+    if explicit is not None:
+        raise ApiError(400, "BadFormat",
+                       f"format must be 'jsonl' or 'sse', got {explicit!r}")
+    accept = request.headers.get("accept", "")
+    return "sse" if "text/event-stream" in accept else "jsonl"
+
+
+# --- endpoint bodies -------------------------------------------------------
+
+def handle_healthz(app) -> Dict[str, Any]:
+    return {"status": "ok", "uptime_s": app.uptime_s}
+
+
+def handle_stats(app) -> Dict[str, Any]:
+    """Everything a dashboard wants about the shared session and queue."""
+    simulator = app.queue.simulator
+    return {
+        "schema": STATS_SCHEMA,
+        "uptime_s": app.uptime_s,
+        "requests_served": app.requests_served,
+        "workers": app.queue.workers,
+        "chunk_size": app.queue.chunk_size,
+        "queue_depth": app.queue.depth,
+        "jobs": app.queue.counts(),
+        "cache": dataclasses.asdict(simulator.cache_info()),
+        "passes": simulator.pass_info(),
+        "pools": simulator.pool_info(),
+    }
+
+
+def job_document(job: Job) -> Dict[str, Any]:
+    """The status document of one job, schema-tagged and linked."""
+    payload = job.to_dict()
+    payload["schema"] = JOB_SCHEMA
+    payload["links"] = {
+        "self": f"/jobs/{job.id}",
+        "result": f"/jobs/{job.id}/result",
+        "stream": f"/jobs/{job.id}/stream",
+        "cancel": f"/jobs/{job.id}/cancel",
+    }
+    return payload
+
+
+async def handle_submit(app, request: Request) -> Response:
+    """Parse, validate, and enqueue one submitted spec.
+
+    The body is either a bare spec (design/scenario or explore) or an
+    envelope ``{"kind": "run"|"explore", "spec": {...}}``.  Without an
+    explicit kind, explore specs are recognized by their schema tag or
+    a ``space`` key.  Bad specs are typed 400s; building the design
+    happens off the event loop — structural payloads can be large.
+    """
+    import asyncio
+
+    if len(request.body) > MAX_BODY_BYTES:
+        raise ApiError(413, "PayloadTooLarge",
+                       f"request body exceeds {MAX_BODY_BYTES} bytes")
+    try:
+        payload = json.loads(request.body.decode("utf-8") or "null")
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ApiError(400, "InvalidJSON",
+                       f"request body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ApiError(400, "InvalidSpec",
+                       f"spec must be a JSON object, "
+                       f"got {type(payload).__name__}")
+    kind = None
+    spec = payload
+    if "spec" in payload:
+        spec = payload["spec"]
+        kind = payload.get("kind")
+        if not isinstance(spec, dict):
+            raise ApiError(400, "InvalidSpec",
+                           f"'spec' must be a JSON object, "
+                           f"got {type(spec).__name__}")
+        if kind is not None and kind not in ("run", "explore"):
+            raise ApiError(400, "InvalidSpec",
+                           f"kind must be 'run' or 'explore', got {kind!r}")
+    if kind is None:
+        kind = "explore" if (
+            spec.get("schema") == EXPLORATION_SPEC_SCHEMA
+            or "space" in spec) else "run"
+
+    parse = (_parse_explore_spec if kind == "explore"
+             else _parse_run_spec)
+    parsed = await asyncio.get_running_loop().run_in_executor(
+        None, parse, spec)
+    try:
+        if kind == "explore":
+            job = app.queue.submit_explore(parsed)
+        else:
+            design, options = parsed
+            job = app.queue.submit_run(design, options)
+    except QueueClosed as error:
+        raise ApiError(503, "ShuttingDown", str(error)) from error
+    return Response(status=202, payload=job_document(job))
+
+
+def _parse_explore_spec(spec: Dict[str, Any]):
+    try:
+        parsed = exploration_spec_from_dict(spec)
+    except CamJError as error:
+        raise ApiError(400, type(error).__name__, str(error)) from error
+    if parsed.usecase not in available_usecases():
+        raise ApiError(
+            400, "ConfigurationError",
+            f"unknown usecase {parsed.usecase!r}; "
+            f"available: {available_usecases()}")
+    return parsed
+
+
+def _parse_run_spec(spec: Dict[str, Any]):
+    try:
+        return scenario_from_spec(spec)
+    except CamJError as error:
+        raise ApiError(400, type(error).__name__, str(error)) from error
+
+
+def handle_list_jobs(app) -> Dict[str, Any]:
+    return {"jobs": [job_document(job) for job in app.queue.jobs()]}
+
+
+def handle_result(app, job: Job) -> Dict[str, Any]:
+    """The finished payload: a SimResult or ExplorationResult document."""
+    with job.lock:
+        state, result, error = job.state, job.result, job.error
+    if state not in TERMINAL_STATES:
+        raise ApiError(409, "JobNotFinished",
+                       f"job {job.id} is {state.value}; poll /jobs/{job.id}")
+    if state is not JobState.DONE:
+        detail = f": {error['type']}: {error['message']}" if error else ""
+        raise ApiError(409, "JobNotDone",
+                       f"job {job.id} finished {state.value}{detail}")
+    return {"id": job.id, "kind": job.kind, "result": result}
+
+
+def handle_cancel(app, job: Job) -> Dict[str, Any]:
+    app.queue.cancel(job.id)
+    return job_document(job)
+
+
+# --- streaming -------------------------------------------------------------
+
+def stream_response(job: Job, fmt: str) -> Response:
+    """Tail a job's event stream as JSONL or SSE until it seals."""
+    content_type = ("text/event-stream" if fmt == "sse"
+                    else "application/x-ndjson")
+    return Response(stream=_stream_events(job, fmt),
+                    content_type=content_type)
+
+
+def _encode_event(event: Dict[str, Any], fmt: str) -> bytes:
+    document = json.dumps(event, sort_keys=True)
+    if fmt == "sse":
+        return (f"event: {event.get('event', 'message')}\n"
+                f"data: {document}\n\n").encode("utf-8")
+    return (document + "\n").encode("utf-8")
+
+
+async def _stream_events(job: Job, fmt: str) -> AsyncIterator[bytes]:
+    """Replay the job's buffer from the start, then tail it live.
+
+    Subscribing after completion replays everything and returns at
+    once; a live subscriber polls the buffer — cheap reads under the
+    job lock — until the terminal ``done`` event seals it.
+    """
+    import asyncio
+
+    cursor = 0
+    while True:
+        events, cursor, closed = job.stream.read_from(cursor)
+        for event in events:
+            yield _encode_event(event, fmt)
+        if closed and not events:
+            return
+        if not events:
+            await asyncio.sleep(STREAM_POLL_S)

@@ -1,0 +1,83 @@
+"""Per-job progress bookkeeping and the streaming event buffer.
+
+Job execution happens on daemon worker threads while HTTP handlers read
+job state from the event loop, so both structures here are small,
+lock-protected values: :class:`JobProgress` is the points-completed /
+cache-hit counter block every status response embeds, and
+:class:`StreamBuffer` is the append-only event log that the JSONL/SSE
+endpoints replay — a late subscriber sees every event from the start,
+a live one tails new events as the worker appends them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class JobProgress:
+    """How far one job has come.
+
+    ``total`` is ``None`` until the job's work has been sized (an
+    explore job learns its point count when execution starts; a design
+    job is always 1).  ``cache_hits`` counts this job's simulations
+    served from the shared session cache — across concurrent clients,
+    these are what make the one-session daemon pay off.
+    """
+
+    total: Optional[int] = None
+    completed: int = 0
+    cache_hits: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+        }
+
+
+class StreamBuffer:
+    """Append-only, thread-safe event log with cursor-based reads.
+
+    Writers (worker threads) :meth:`append` event dicts and eventually
+    :meth:`close` the buffer; readers (streaming handlers) poll
+    :meth:`read_from` with their last cursor and stop once the buffer
+    is closed and drained.  Events are kept for the lifetime of the
+    job so any number of subscribers can replay the full stream.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def append(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("stream buffer is closed")
+            self._events.append(event)
+
+    def close(self) -> None:
+        """No further events will arrive (idempotent)."""
+        with self._lock:
+            self._closed = True
+
+    def read_from(self, cursor: int
+                  ) -> Tuple[List[Dict[str, Any]], int, bool]:
+        """Events after ``cursor``; returns ``(events, new_cursor, done)``.
+
+        ``done`` is true only when the buffer is closed *and* the
+        returned slice reaches its end — a reader seeing it can stop
+        polling without missing events.
+        """
+        with self._lock:
+            events = self._events[cursor:]
+            new_cursor = len(self._events)
+            return events, new_cursor, self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -521,3 +521,115 @@ class TestSpecs:
         with pytest.raises(ConfigurationError):
             scenario_from_spec({"design": {"usecase": "fig5"},
                                 "options": None})
+
+
+class TestSessionConcurrency:
+    """The shared-session guarantees the serve daemon builds on."""
+
+    def _grid(self):
+        return [build_rhythmic(UseCaseConfig(placement, node))
+                for node in (130, 65)
+                for placement in ("2D-In", "2D-Off", "3D-In")]
+
+    def test_concurrent_batches_share_one_pool(self, monkeypatch):
+        """Overlapping run_many calls must not race pool creation."""
+        import threading
+
+        import repro.api.simulator as simulator_module
+
+        created = []
+        real_pool = simulator_module.ThreadPoolExecutor
+
+        class CountingPool(real_pool):
+            def __init__(self, *args, **kwargs):
+                created.append(self)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(simulator_module, "ThreadPoolExecutor",
+                            CountingPool)
+        simulator = Simulator(cache=False)
+        designs = self._grid()
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def batch():
+            barrier.wait()
+            try:
+                results = simulator.run_many(designs)
+                assert all(result.ok for result in results)
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=batch) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not errors
+        # Same batch width from every thread: exactly one pool, reused.
+        assert len(created) == 1
+        simulator.close()
+
+    def test_concurrent_close_is_safe_and_idempotent(self):
+        import threading
+
+        simulator = Simulator(cache=False)
+        simulator.run_many(self._grid()[:3])
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def close():
+            barrier.wait()
+            try:
+                simulator.close()
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=close) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert simulator._thread_pool is None
+
+    def test_terminal_close_blocks_batches_but_not_run(self):
+        simulator = Simulator(cache=False)
+        designs = self._grid()[:2]
+        assert all(result.ok for result in simulator.run_many(designs))
+        simulator.close(terminal=True)
+        assert simulator.closed
+        with pytest.raises(ConfigurationError):
+            simulator.run_many(designs)  # pools must not resurrect
+        # run() never touches a pool; it keeps working either way.
+        assert simulator.run(build_fig5_design()).ok
+
+    def test_terminal_close_still_serves_cached_batches(self):
+        simulator = Simulator()
+        designs = self._grid()[:3]
+        simulator.run_many(designs)
+        simulator.close(terminal=True)
+        results = simulator.run_many(designs)  # warm: no pool needed
+        assert all(result.cached for result in results)
+
+    def test_non_terminal_close_keeps_session_usable(self):
+        simulator = Simulator(cache=False)
+        simulator.run_many(self._grid()[:2])
+        simulator.close(cancel_pending=True)
+        assert not simulator.closed
+        assert all(result.ok
+                   for result in simulator.run_many(self._grid()[:2]))
+        simulator.close()
+
+    def test_pool_info_tracks_lifecycle(self):
+        simulator = Simulator(cache=False, max_workers=3)
+        info = simulator.pool_info()
+        assert info == {"executor": "thread", "max_workers": 3,
+                        "thread_pool_width": 0, "process_pool_width": 0,
+                        "terminal": False}
+        simulator.run_many(self._grid()[:3])
+        assert simulator.pool_info()["thread_pool_width"] == 3
+        simulator.close(terminal=True)
+        info = simulator.pool_info()
+        assert info["thread_pool_width"] == 0
+        assert info["terminal"] is True
