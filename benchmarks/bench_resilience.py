@@ -1,0 +1,142 @@
+"""Resilience benchmark: exploration throughput under injected crashes.
+
+The fault-tolerant process runner's pitch is that worker deaths cost
+retries, not batches.  This bench prices that claim: the same
+multi-design exploration runs twice on a process-pool session — once
+fault-free, once with the deterministic fault injector killing workers
+on ``_KILL_RATE`` of first attempts (the ``REPRO_FAULTS`` harness the
+resilience tests and the chaos CI job share).
+
+Measured quantities (emitted as ``BENCH_resilience.json``):
+
+1. **Completion rate under faults** — the fraction of points that
+   still produce a feasible result; asserted >= ``_MIN_COMPLETION``
+   in both modes (the injection is deterministic, so this is a
+   structural claim, not a timing one).
+2. **Recovery overhead** — faulty wall time over fault-free wall
+   time: what pool healing, re-queues, and backoff actually cost.
+3. **Resilience counters** — pool rebuilds and retries the faulty run
+   absorbed, straight from the exploration's ``resilience`` tally.
+
+Under ``REPRO_BENCH_SMOKE=1`` the space shrinks and the
+injected-crash expectation is dropped (a tiny space may dodge every
+deterministic kill); the completion-rate assertion always runs.
+"""
+
+import json
+import os
+import time
+
+from repro.api import Design, Simulator
+from repro.explore import choice, explore
+from repro.resilience import FAULTS_ENV, reset_injector
+from repro.usecases.fig5 import build_fig5_design
+
+#: Deterministic fraction of first attempts that kill their worker.
+_KILL_RATE = 0.10
+#: Acceptance bar: points completing despite the injected crashes.
+_MIN_COMPLETION = 0.90
+#: Fault plan seed (fixed so runs replay bit-identically).
+_SEED = 1234
+
+_FULL_POINTS = 40
+_SMOKE_POINTS = 8
+_MAX_WORKERS = 4
+
+
+def _named_builder(index=0):
+    payload = build_fig5_design().to_dict()
+    payload["name"] = f"res-{int(index):03d}"
+    return Design.from_dict(payload)
+
+
+def _explore_once(points):
+    """One cold process-pool exploration; returns (result, wall_s)."""
+    started = time.perf_counter()
+    with Simulator(executor="process", max_workers=_MAX_WORKERS,
+                   cache=False) as simulator:
+        result = explore(choice("index", list(range(points))),
+                         _named_builder,
+                         objectives=["energy_per_frame"],
+                         simulator=simulator)
+    return result, time.perf_counter() - started
+
+
+def test_resilience_completion_under_crashes(benchmark, write_result,
+                                             write_bench_json,
+                                             bench_smoke):
+    points = _SMOKE_POINTS if bench_smoke else _FULL_POINTS
+
+    clean, clean_s = _explore_once(points)
+    assert all(point.feasible for point in clean.points)
+    assert clean.resilience["pool_rebuilds"] == 0
+
+    os.environ[FAULTS_ENV] = json.dumps(
+        {"seed": _SEED, "kill_rate": _KILL_RATE})
+    reset_injector()
+    try:
+        faulty, faulty_s = _explore_once(points)
+    finally:
+        os.environ.pop(FAULTS_ENV, None)
+        reset_injector()
+
+    completed = sum(1 for point in faulty.points if point.feasible)
+    completion = completed / points
+    overhead = faulty_s / clean_s if clean_s else float("inf")
+
+    # The faulty metrics that did complete are identical to clean ones
+    # — fault injection never changes answers, only availability.
+    clean_metrics = {json.dumps(p.params): p.metrics
+                     for p in clean.points}
+    for point in faulty.points:
+        if point.feasible:
+            assert point.metrics == clean_metrics[
+                json.dumps(point.params)]
+
+    # The benchmarked quantity: one fault-free cold exploration.
+    benchmark.pedantic(_explore_once, args=(points,),
+                       rounds=1, iterations=1)
+
+    lines = ["fault-tolerant execution — explore under injected crashes",
+             "",
+             f"{'explore points':<28} {points}"
+             f"  (process pool, {_MAX_WORKERS} workers)",
+             f"{'injected kill rate':<28} {_KILL_RATE:.0%}"
+             f"  (seed {_SEED}, first attempts only)",
+             f"{'fault-free wall':<28} {clean_s * 1e3:9.1f} ms",
+             f"{'faulty wall':<28} {faulty_s * 1e3:9.1f} ms"
+             f"  ({overhead:.2f}x)",
+             f"{'completion under faults':<28} {completed}/{points}"
+             f"  ({completion:.0%})",
+             f"{'pool rebuilds':<28} "
+             f"{faulty.resilience['pool_rebuilds']}",
+             f"{'task retries':<28} {faulty.resilience['retries']}",
+             f"{'quarantined':<28} "
+             f"{faulty.resilience['quarantined']}"]
+    write_result("resilience", "\n".join(lines))
+
+    benchmark.extra_info["completion"] = round(completion, 3)
+    benchmark.extra_info["recovery_overhead"] = round(overhead, 2)
+
+    write_bench_json("resilience", {
+        "explore_points": points,
+        "max_workers": _MAX_WORKERS,
+        "kill_rate": _KILL_RATE,
+        "fault_seed": _SEED,
+        "clean_wall_s": clean_s,
+        "faulty_wall_s": faulty_s,
+        "recovery_overhead": overhead,
+        "completed_points": completed,
+        "completion_rate": completion,
+        "min_completion_rate": _MIN_COMPLETION,
+        "pool_rebuilds": faulty.resilience["pool_rebuilds"],
+        "retries": faulty.resilience["retries"],
+        "quarantined": faulty.resilience["quarantined"],
+    })
+
+    assert completion >= _MIN_COMPLETION, \
+        f"only {completion:.0%} of points completed under faults"
+    if not bench_smoke:
+        # At 10% over 40 first attempts the deterministic plan must
+        # actually kill something — otherwise the bench measures nothing.
+        assert faulty.resilience["pool_rebuilds"] >= 1

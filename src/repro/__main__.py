@@ -385,7 +385,8 @@ def _cmd_serve(args) -> int:
     from repro.serve import ServeApp
     app = ServeApp(host=args.host, port=args.port, workers=args.workers,
                    chunk_size=args.chunk_size, cache_dir=args.cache_dir,
-                   max_workers=args.max_workers)
+                   max_workers=args.max_workers, executor=args.executor,
+                   journal_dir=args.journal)
     app.run(ready_file=args.ready_file, announce=not _wants_json(args))
     return 0
 
@@ -474,6 +475,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ready-file", default=None,
                        help="write the bound address here as JSON once "
                             "listening (ephemeral-port rendezvous)")
+    serve.add_argument("--executor", default="thread",
+                       choices=("thread", "process"),
+                       help="shared session executor; 'process' "
+                            "isolates simulations in pool workers "
+                            "(survives worker crashes) (default: thread)")
+    serve.add_argument("--journal", default=None,
+                       help="durable job-journal directory; submitted "
+                            "jobs survive daemon crashes and are "
+                            "recovered on restart (default: off)")
     return parser
 
 

@@ -29,17 +29,20 @@ per-session and surface through :meth:`repro.api.Simulator.cache_info`.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import pathlib
 import re
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.api.result import SimOptions, SimResult
 from repro.exceptions import CamJError, ConfigurationError
+from repro.resilience.faults import get_injector
 
 #: Version tag of the on-disk entry format.  Bump on any incompatible
 #: change; entries with any other tag are treated as misses.
@@ -61,10 +64,31 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: directory holding other JSON files never deletes them.
 _ENTRY_NAME = re.compile(r"^[0-9a-f]{64}\.json$")
 
+#: Errnos that mean the directory itself is unusable (full, read-only,
+#: forbidden, dying media): one of these downgrades the session to
+#: memory-only immediately — retrying every key would just repeat it.
+_HARD_ERRNOS = frozenset(
+    code for code in (
+        errno.ENOSPC, getattr(errno, "EDQUOT", None), errno.EROFS,
+        errno.EACCES, errno.EPERM, errno.EIO)
+    if code is not None)
+
+#: How many *soft* disk errors (corrupt entries, transient I/O noise)
+#: one session tolerates before concluding the tier is doing more harm
+#: than good and downgrading anyway.
+_SOFT_ERROR_LIMIT = 8
+
 
 @dataclass(frozen=True)
 class DiskCacheInfo:
-    """State and per-session counters of one disk cache."""
+    """State and per-session counters of one disk cache.
+
+    ``errors`` counts I/O and corruption incidents this session
+    absorbed; ``disabled`` reports whether they (or one hard error —
+    disk full, read-only, permission denied) downgraded the session to
+    memory-only.  A disabled tier is never an exception: simulations
+    keep succeeding without persistence.
+    """
 
     directory: str
     entries: int
@@ -73,6 +97,8 @@ class DiskCacheInfo:
     hits: int
     misses: int
     evictions: int
+    errors: int = 0
+    disabled: bool = False
 
 
 class DiskResultCache:
@@ -103,6 +129,10 @@ class DiskResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._disk_errors = 0
+        #: True once this session gave up on the tier (hard I/O error
+        #: or too much corruption).  Probes and writes become no-ops.
+        self._disabled = False
         #: Running directory-size estimate; None until the first write
         #: scans, refreshed exactly by every eviction pass.
         self._approx_bytes: Optional[int] = None
@@ -128,13 +158,22 @@ class DiskResultCache:
         crashed process, malformed JSON, unknown schema version, a
         payload the current code cannot rebuild — counts as a miss.
         """
+        if self._disabled:
+            return self._miss()
         path = self.entry_path(design_hash, options)
+        injector = get_injector()
         try:
+            if injector.active:
+                injector.before_disk("get", path.name)
             payload = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             return self._miss()
-        except (OSError, ValueError, UnicodeDecodeError):
+        except OSError as error:
+            self._note_disk_error("read", error)
+            return self._miss()
+        except (ValueError, UnicodeDecodeError) as error:
             self._discard(path)  # corrupt entry: sweep, don't crash
+            self._note_disk_error("decode", error)
             return self._miss()
         if not isinstance(payload, dict) \
                 or payload.get("schema") != DISK_CACHE_SCHEMA:
@@ -143,8 +182,9 @@ class DiskResultCache:
             return self._miss()
         try:
             result = SimResult.from_dict(payload["result"])
-        except (KeyError, TypeError, CamJError):
+        except (KeyError, TypeError, CamJError) as error:
             self._discard(path)
+            self._note_disk_error("rebuild", error)
             return self._miss()
         try:
             os.utime(path)  # bump recency for LRU eviction
@@ -160,8 +200,12 @@ class DiskResultCache:
 
         Cache-write failures (read-only directory, disk full, an
         unserializable payload) are soft: the simulation already
-        succeeded, so the caller never sees an exception.
+        succeeded, so the caller never sees an exception.  A hard
+        failure (or enough soft ones) disables the tier for the rest of
+        the session — see :meth:`_note_disk_error`.
         """
+        if self._disabled:
+            return False
         path = self.entry_path(design_hash, options)
         document = {
             "schema": DISK_CACHE_SCHEMA,
@@ -174,14 +218,18 @@ class DiskResultCache:
             return False
         temp = path.with_name(f"{path.name}.tmp.{os.getpid()}."
                               f"{threading.get_ident()}")
+        injector = get_injector()
         try:
+            if injector.active:
+                injector.before_disk("put", path.name)
             temp.write_text(encoded + "\n", encoding="utf-8")
             os.replace(temp, path)
-        except OSError:
+        except OSError as error:
             try:
                 temp.unlink()
             except OSError:
                 pass
+            self._note_disk_error("write", error)
             return False
         with self._lock:
             if self._approx_bytes is None:
@@ -216,7 +264,14 @@ class DiskResultCache:
                 total_bytes=sum(size for _, _, size in entries),
                 max_bytes=self.max_bytes,
                 hits=self._hits, misses=self._misses,
-                evictions=self._evictions)
+                evictions=self._evictions,
+                errors=self._disk_errors,
+                disabled=self._disabled)
+
+    @property
+    def disabled(self) -> bool:
+        """Whether this session downgraded the tier to memory-only."""
+        return self._disabled
 
     # --- internals --------------------------------------------------------
 
@@ -224,6 +279,29 @@ class DiskResultCache:
         with self._lock:
             self._misses += 1
         return None
+
+    def _note_disk_error(self, operation: str,
+                         error: BaseException) -> None:
+        """Record one disk incident; downgrade the tier when warranted.
+
+        Hard errors (:data:`_HARD_ERRNOS` — the directory is full,
+        read-only, forbidden, or the media is failing) disable the tier
+        at once; soft ones (corruption, transient I/O noise) disable it
+        after :data:`_SOFT_ERROR_LIMIT` strikes.  Exactly one warning is
+        emitted at the downgrade; the session continues memory-only.
+        """
+        hard = isinstance(error, OSError) and error.errno in _HARD_ERRNOS
+        with self._lock:
+            self._disk_errors += 1
+            if self._disabled:
+                return
+            if not hard and self._disk_errors < _SOFT_ERROR_LIMIT:
+                return
+            self._disabled = True
+        warnings.warn(
+            f"disk result cache at {self.directory} disabled after "
+            f"{operation} failure ({error}); continuing memory-only",
+            RuntimeWarning, stacklevel=4)
 
     def _discard(self, path: pathlib.Path) -> bool:
         try:

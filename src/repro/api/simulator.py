@@ -22,17 +22,24 @@ import os
 import threading
 import time
 import warnings
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
-from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
-                                ThreadPoolExecutor)
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, ThreadPoolExecutor)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.design import Design
 from repro.api.diskcache import (CACHE_DIR_ENV, DiskResultCache,
                                  default_cache_dir)
 from repro.api.result import SimOptions, SimResult
-from repro.exceptions import CamJError, ConfigurationError, SerializationError
+from repro.exceptions import (CamJError, ConfigurationError,
+                              ExecutionTimeoutError, SerializationError,
+                              WorkerCrashError)
+from repro.resilience.faults import get_injector
+from repro.resilience.policy import (QUARANTINE_THRESHOLD, FailureClass,
+                                     RetryPolicy, classify)
 from repro.sim.simulator import PassCounters, PassMemo, _simulate_graph
 
 #: One batch item: a bare design (session options apply) or an explicit
@@ -64,6 +71,13 @@ class BatchStats:
     workers that executed at least one job, plus the calling thread when
     it ran unserializable jobs inline; a batch served entirely from the
     result cache reports exactly 0 because no pool is touched for it.
+
+    ``retries``/``timeouts``/``pool_rebuilds``/``quarantined`` are the
+    batch's resilience events: transient-failure re-runs, per-task
+    deadline expiries, process-pool heals after a worker death, and
+    designs failed with a typed
+    :class:`~repro.exceptions.WorkerCrashError` after repeatedly
+    killing workers.  All zero on a healthy batch.
     """
 
     total: int
@@ -72,6 +86,10 @@ class BatchStats:
     max_workers: int
     workers_used: int
     elapsed_s: float
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    quarantined: int = 0
 
 
 @dataclass(frozen=True)
@@ -81,6 +99,9 @@ class CacheInfo:
     ``hits``/``misses``/``size`` describe the session (memory tier plus
     any disk-tier hits it absorbed); the ``disk_*`` fields describe the
     persistent tier and stay zero when no ``cache_dir`` is configured.
+    ``disk_errors``/``disk_disabled`` report graceful degradation: I/O
+    incidents the tier absorbed, and whether they downgraded the
+    session to memory-only.
     """
 
     hits: int
@@ -91,6 +112,8 @@ class CacheInfo:
     disk_evictions: int = 0
     disk_entries: int = 0
     disk_bytes: int = 0
+    disk_errors: int = 0
+    disk_disabled: bool = False
 
 
 class Simulator:
@@ -124,6 +147,11 @@ class Simulator:
     cache_max_bytes:
         Size bound of the disk tier (LRU-evicted); ``None`` means the
         :data:`repro.api.diskcache.DEFAULT_MAX_BYTES` default.
+    retry:
+        The session's :class:`~repro.resilience.RetryPolicy` — per-task
+        deadlines, transient-failure retries with capped exponential
+        backoff, timeout handling.  ``None`` uses
+        :meth:`RetryPolicy.from_env` (environment-tunable defaults).
 
     The session is thread-safe: ``run`` may be called concurrently,
     which is exactly what ``run_many`` does.  Sessions are context
@@ -138,7 +166,8 @@ class Simulator:
                  cache: bool = True,
                  executor: str = "thread",
                  cache_dir: Any = _UNSET,
-                 cache_max_bytes: Optional[int] = None):
+                 cache_max_bytes: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}")
@@ -180,6 +209,10 @@ class Simulator:
         #: same content hash (see repro.sim.simulator.SIM_PASSES).
         self._pass_memos: "OrderedDict[str, PassMemo]" = OrderedDict()
         self._pass_counters = PassCounters()
+        self._retry = retry if retry is not None else RetryPolicy.from_env()
+        #: Session-lifetime resilience counters (sums of BatchStats).
+        self._resilience_totals = {"retries": 0, "timeouts": 0,
+                                   "pool_rebuilds": 0, "quarantined": 0}
         self._lock = threading.Lock()
         #: Guards pool creation/growth and submission, so a batch never
         #: submits into a pool another thread just retired by growing it.
@@ -241,6 +274,18 @@ class Simulator:
                 "terminal": self._terminal,
             }
 
+    def resilience_info(self) -> Dict[str, Any]:
+        """Session-lifetime fault-tolerance counters and policy."""
+        with self._lock:
+            totals = dict(self._resilience_totals)
+        totals["policy"] = {
+            "max_attempts": self._retry.max_attempts,
+            "base_delay_s": self._retry.base_delay_s,
+            "max_delay_s": self._retry.max_delay_s,
+            "timeout_s": self._retry.timeout_s,
+        }
+        return totals
+
     def __enter__(self) -> "Simulator":
         return self
 
@@ -279,7 +324,7 @@ class Simulator:
         return self._run_resolved(design, resolved, probe_disk=True)
 
     def _run_resolved(self, design: Design, options: SimOptions,
-                      probe_disk: bool) -> SimResult:
+                      probe_disk: bool, attempt: int = 0) -> SimResult:
         """One job through the cache and the engine.
 
         ``probe_disk=False`` is the batch-worker path: ``run_many``
@@ -292,16 +337,24 @@ class Simulator:
             hit = self._probe_cache(key, probe_disk=probe_disk)
             if hit is not None:
                 return replace(hit, cached=True)
-        result = self._execute(design, options, key)
-        if key is not None and self._cache_enabled:
+        result = self._execute(design, options, key, attempt=attempt)
+        if key is not None and self._cache_enabled \
+                and _cacheable(result):
             self._store(key, result)
         return result
 
     def _execute(self, design: Design, options: SimOptions,
-                 key: Optional[Tuple[str, SimOptions]]) -> SimResult:
+                 key: Optional[Tuple[str, SimOptions]],
+                 attempt: int = 0) -> SimResult:
         started = time.perf_counter()
         design_hash = key[0] if key is not None else None
         try:
+            # Fault-injection point: inert unless REPRO_FAULTS is set.
+            # Raised transient faults are captured as typed results
+            # below, exactly like organic CamJError failures.
+            injector = get_injector()
+            if injector.active:
+                injector.before_task(design.name, design_hash, attempt)
             # Checks depend only on the design, so a design already
             # validated — this object (memoized) or an identical one in
             # this session (by content hash) — never re-walks them.
@@ -458,18 +511,19 @@ class Simulator:
             max_workers = min(max(len(pending), 1),
                               max(2, os.cpu_count() or 1))
         worker_ids = set()
+        counters = _BatchCounters()
 
         if pending:
             if self._executor_kind == "process":
                 max_workers = max(max_workers,
                                   self._process_pool_width or 0)
                 outcomes.update(self._run_unique_in_processes(
-                    pending, max_workers, worker_ids))
+                    pending, max_workers, worker_ids, counters))
             else:
                 max_workers = max(max_workers,
                                   self._thread_pool_width or 0)
                 outcomes.update(self._run_unique_in_threads(
-                    pending, max_workers, worker_ids))
+                    pending, max_workers, worker_ids, counters))
 
         results: List[SimResult] = []
         ran_inline = False
@@ -480,12 +534,21 @@ class Simulator:
             else:
                 results.append(outcomes[key])
 
+        with self._lock:
+            self._resilience_totals["retries"] += counters.retries
+            self._resilience_totals["timeouts"] += counters.timeouts
+            self._resilience_totals["pool_rebuilds"] += \
+                counters.pool_rebuilds
+            self._resilience_totals["quarantined"] += counters.quarantined
         self.last_batch_stats = BatchStats(
             total=len(jobs), unique=len(jobs) - deduplicated,
             cache_hits=batch_hits,
             max_workers=max_workers,
             workers_used=len(worker_ids) + (1 if ran_inline else 0),
-            elapsed_s=time.perf_counter() - started)
+            elapsed_s=time.perf_counter() - started,
+            retries=counters.retries, timeouts=counters.timeouts,
+            pool_rebuilds=counters.pool_rebuilds,
+            quarantined=counters.quarantined)
         return results
 
     def _acquire_pool(self, kind: str, width: int):
@@ -519,55 +582,274 @@ class Simulator:
             self._thread_pool, self._thread_pool_width = pool, width
         return pool
 
-    def _run_unique_in_threads(self, pending, max_workers, worker_ids
+    def _run_unique_in_threads(self, pending, max_workers, worker_ids,
+                               counters: "_BatchCounters"
                                ) -> Dict[Any, SimResult]:
-        def job(design: Design, resolved: SimOptions) -> SimResult:
+        policy = self._retry
+
+        def job(key: Any, design: Design,
+                resolved: SimOptions) -> SimResult:
             worker_ids.add(threading.get_ident())
-            # The batch already disk-probed this key; see _run_resolved.
-            return self._run_resolved(design, resolved, probe_disk=False)
+            attempt = 0
+            while True:
+                # The batch already disk-probed this key; see
+                # _run_resolved.
+                result = self._run_resolved(design, resolved,
+                                            probe_disk=False,
+                                            attempt=attempt)
+                if result.ok or result.cached:
+                    return result
+                if attempt + 1 >= policy.max_attempts \
+                        or not policy.retryable(classify(result.error)):
+                    return result
+                counters.add("retries")
+                time.sleep(policy.backoff_s(attempt, key))
+                attempt += 1
 
         with self._pools_lock:
             pool = self._acquire_pool("thread", max_workers)
-            futures = {key: pool.submit(job, design, resolved)
+            futures = {key: pool.submit(job, key, design, resolved)
                        for key, (design, resolved) in pending.items()}
-        return {key: future.result() for key, future in futures.items()}
 
-    def _run_unique_in_processes(self, pending, max_workers, worker_ids
+        # A running thread cannot be interrupted, so in thread mode the
+        # deadline covers the whole task and is enforced at harvest: a
+        # late task is reported as a typed timeout while its thread is
+        # left to finish in the background (the stray result is simply
+        # dropped — never cached, because the store happens here).
+        outcomes: Dict[Any, SimResult] = {}
+        deadline = (time.monotonic() + policy.timeout_s
+                    if policy.timeout_s is not None else None)
+        for key, future in futures.items():
+            try:
+                if deadline is None:
+                    outcomes[key] = future.result()
+                else:
+                    outcomes[key] = future.result(timeout=max(
+                        deadline - time.monotonic(), 0.0))
+            except FuturesTimeoutError:
+                future.cancel()  # only helps tasks still queued
+                counters.add("timeouts")
+                design, resolved = pending[key]
+                design_hash = key[0] if key[0] is not _UNCACHED else None
+                outcomes[key] = SimResult(
+                    design_name=design.name, options=resolved,
+                    design_hash=design_hash,
+                    error=ExecutionTimeoutError(
+                        f"task {design.name!r} exceeded the "
+                        f"{policy.timeout_s:g}s deadline"),
+                    elapsed_s=policy.timeout_s)
+        return outcomes
+
+    def _run_unique_in_processes(self, pending, max_workers, worker_ids,
+                                 counters: "_BatchCounters"
                                  ) -> Dict[Any, SimResult]:
         """Fan cache-missing jobs out as serialized payloads.
 
         Workers live as long as the session: the pool initializer runs
         once per worker process (not per batch), and every batch after
         the first reuses the already-warm workers.
+
+        Submission is *windowed* — at most ``max_workers`` tasks are in
+        flight — which is what makes worker deaths survivable: when a
+        dead worker poisons the executor (``BrokenProcessPool``), the
+        suspect set is exactly the in-flight window.  The pool is
+        rebuilt, the suspects are re-queued, and a task implicated in
+        :data:`~repro.resilience.policy.QUARANTINE_THRESHOLD` pool
+        deaths is failed with a typed
+        :class:`~repro.exceptions.WorkerCrashError` result instead of
+        sinking the whole batch.  Transient failures re-queue under the
+        retry policy's backoff; a per-attempt deadline expiry retires
+        the pool (reclaiming the hung slot; the stuck worker process is
+        abandoned and exits with its task).
         """
+        policy = self._retry
         outcomes: Dict[Any, SimResult] = {}
         if self._cache_enabled:
             with self._lock:
                 self._cache_misses += len(pending)
-        pool = None
-        try:
-            with self._pools_lock:
-                pool = self._acquire_pool("process", max_workers)
-                futures = {
-                    key: pool.submit(_subprocess_job, design.to_dict(),
-                                     resolved)
-                    for key, (design, resolved) in pending.items()}
-            for key, future in futures.items():
-                pid, result = future.result()
-                worker_ids.add(pid)
-                result = replace(result, design_hash=key[0])
-                if self._cache_enabled:
-                    self._store(key, result)
-                outcomes[key] = result
-        except BrokenExecutor:
-            # A dead worker (OOM, signal) poisons the whole executor.
-            # Retire it so the *next* batch gets a fresh pool instead of
-            # inheriting this batch's corpse; the failure still
-            # propagates to this batch's caller.
-            if pool is not None:
-                self._retire_pool("process", pool)
-            raise
+
+        #: Work queue entries are (key, design, options, attempt).
+        ready = deque((key, design, resolved, 0)
+                      for key, (design, resolved) in pending.items())
+        #: Backoff parking lot: (ready_at, key, design, options, attempt).
+        delayed: List[Tuple] = []
+        #: Pool deaths each key has been implicated in.
+        crashes: Dict[Any, int] = {}
+        #: future -> (key, design, options, attempt, started_at).
+        in_flight: Dict[Any, Tuple] = {}
+        #: Heal rounds that neither settled nor implicated anything —
+        #: a pool that cannot even start is not healable by rebuilding.
+        barren_rebuilds = 0
+
+        def settle(entry, pid, result) -> None:
+            key, design, resolved, attempt = entry[:4]
+            worker_ids.add(pid)
+            result = replace(result, design_hash=key[0])
+            if not result.ok and policy.retryable(classify(result.error)) \
+                    and attempt + 1 < policy.max_attempts:
+                counters.add("retries")
+                delayed.append((
+                    time.monotonic() + policy.backoff_s(attempt, key),
+                    key, design, resolved, attempt + 1))
+                return
+            if self._cache_enabled and _cacheable(result):
+                self._store(key, result)
+            outcomes[key] = result
+
+        while ready or delayed or in_flight:
+            _promote_due(delayed, ready)
+            broken: Optional[BaseException] = None
+
+            # Fill the in-flight window from the ready queue.  A crash
+            # suspect (implicated in a previous pool death) reruns
+            # *alone* in the window: if it kills its worker again the
+            # blast radius is just itself, so innocent neighbours are
+            # never implicated twice into quarantine by riding along.
+            try:
+                with self._pools_lock:
+                    pool = self._acquire_pool("process", max_workers)
+                    solo = any(crashes.get(entry[0])
+                               for entry in in_flight.values())
+                    while ready and not solo \
+                            and len(in_flight) < max_workers:
+                        key, design, resolved, attempt = ready[0]
+                        if crashes.get(key):
+                            if in_flight:
+                                break  # wait for the window to drain
+                            solo = True
+                        future = pool.submit(
+                            _subprocess_job, design.to_dict(), resolved,
+                            attempt)
+                        ready.popleft()
+                        in_flight[future] = (key, design, resolved,
+                                             attempt, time.monotonic())
+            except BrokenExecutor as error:
+                broken = error
+
+            if broken is None and not in_flight:
+                # Everything left is waiting out a backoff delay.
+                if delayed:
+                    time.sleep(max(
+                        min(entry[0] for entry in delayed)
+                        - time.monotonic(), 0.0))
+                continue
+
+            if broken is None:
+                # Wake on the first completion — or in time to promote
+                # delayed work / expire the nearest per-attempt deadline.
+                wait_s = 0.05 if delayed else None
+                if policy.timeout_s is not None:
+                    slack = max(
+                        min(entry[4] for entry in in_flight.values())
+                        + policy.timeout_s - time.monotonic(), 0.0)
+                    wait_s = slack if wait_s is None \
+                        else min(wait_s, slack)
+                done, _ = futures_wait(set(in_flight), timeout=wait_s,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    entry = in_flight.pop(future)
+                    try:
+                        pid, result = future.result()
+                    except BrokenExecutor as error:
+                        broken = error
+                        # This future's task was in flight when the
+                        # worker died: it is a suspect like the rest.
+                        in_flight[future] = entry
+                        break
+                    settle(entry, pid, result)
+                    barren_rebuilds = 0
+                if broken is None and done:
+                    continue
+                if broken is None and policy.timeout_s is not None:
+                    expired = self._expire_process_attempts(
+                        in_flight, pool, policy, counters, ready,
+                        outcomes)
+                    if expired:
+                        continue
+                if broken is None:
+                    continue
+
+            # --- heal a broken pool -----------------------------------
+            # Every in-flight future is either already failed with
+            # BrokenProcessPool or carries a result computed before the
+            # death; drain both kinds, then rebuild.
+            suspects = []
+            for future in list(in_flight):
+                entry = in_flight.pop(future)
+                try:
+                    pid, result = future.result(timeout=1.0)
+                except (BrokenExecutor, FuturesTimeoutError, OSError):
+                    suspects.append(entry)
+                    continue
+                settle(entry, pid, result)
+                barren_rebuilds = 0
+            counters.add("pool_rebuilds")
+            stale = self._process_pool
+            if stale is not None:
+                self._retire_pool("process", stale)
+            if suspects:
+                barren_rebuilds = 0
+            else:
+                barren_rebuilds += 1
+                if barren_rebuilds > 3:
+                    # Rebuilding is not helping (workers die before
+                    # taking any work): surface the infrastructure
+                    # failure instead of spinning forever.
+                    raise broken
+            for entry in suspects:
+                key, design, resolved, attempt = entry[:4]
+                count = crashes.get(key, 0) + 1
+                crashes[key] = count
+                if count >= QUARANTINE_THRESHOLD:
+                    counters.add("quarantined")
+                    outcomes[key] = SimResult(
+                        design_name=design.name, options=resolved,
+                        design_hash=key[0],
+                        error=WorkerCrashError(
+                            f"design {design.name!r} was in flight for "
+                            f"{count} worker-process deaths and is "
+                            f"quarantined"))
+                else:
+                    # Re-queue on the healed pool.  The bumped attempt
+                    # number also tells the fault injector this is a
+                    # retry, so kill_rate faults (first attempt only by
+                    # default) let recovery be measured.
+                    ready.append((key, design, resolved, attempt + 1))
         return outcomes
+
+    def _expire_process_attempts(self, in_flight, pool, policy, counters,
+                                 ready, outcomes) -> bool:
+        """Time out in-flight attempts past the per-attempt deadline.
+
+        Process mode cannot interrupt a busy worker either — but it can
+        retire the whole pool, which reclaims the hung slot for the
+        rebuilt pool while the abandoned worker process dies with its
+        task.  Non-expired in-flight futures stay harvestable: a pool
+        shutdown without cancellation lets running tasks finish.
+        """
+        now = time.monotonic()
+        expired = [future for future, entry in in_flight.items()
+                   if now - entry[4] >= policy.timeout_s]
+        if not expired:
+            return False
+        for future in expired:
+            key, design, resolved, attempt = in_flight.pop(future)[:4]
+            future.cancel()
+            counters.add("timeouts")
+            if policy.retry_timeouts and attempt + 1 < policy.max_attempts:
+                counters.add("retries")
+                ready.append((key, design, resolved, attempt + 1))
+            else:
+                outcomes[key] = SimResult(
+                    design_name=design.name, options=resolved,
+                    design_hash=key[0],
+                    error=ExecutionTimeoutError(
+                        f"task {design.name!r} exceeded the "
+                        f"{policy.timeout_s:g}s per-attempt deadline"),
+                    elapsed_s=policy.timeout_s)
+        counters.add("pool_rebuilds")
+        self._retire_pool("process", pool)
+        return True
 
     def _retire_pool(self, kind: str, pool) -> None:
         """Drop a broken executor so the next batch recreates one."""
@@ -613,7 +895,9 @@ class Simulator:
                          disk_hits=disk.hits, disk_misses=disk.misses,
                          disk_evictions=disk.evictions,
                          disk_entries=disk.entries,
-                         disk_bytes=disk.total_bytes)
+                         disk_bytes=disk.total_bytes,
+                         disk_errors=disk.errors,
+                         disk_disabled=disk.disabled)
 
     def clear_cache(self, disk: bool = False) -> None:
         """Drop cached results (counters are kept).
@@ -637,6 +921,51 @@ class Simulator:
         return self._pass_counters.snapshot()
 
 
+class _BatchCounters:
+    """Mutable resilience tallies for one ``run_many`` call.
+
+    Worker threads bump these concurrently, so increments go through a
+    lock; ``run_many`` reads them only after every worker is done.
+    """
+
+    __slots__ = ("lock", "retries", "timeouts", "pool_rebuilds",
+                 "quarantined")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_rebuilds = 0
+        self.quarantined = 0
+
+    def add(self, field: str, count: int = 1) -> None:
+        with self.lock:
+            setattr(self, field, getattr(self, field) + count)
+
+
+def _cacheable(result: SimResult) -> bool:
+    """Whether a result is a property of its ``(design, options)`` key.
+
+    Reports and permanent failures are; transient, timeout, and
+    worker-crash outcomes describe one unlucky execution, and caching
+    them would turn a recoverable hiccup into a sticky failure that
+    every retry would then hit.
+    """
+    return result.ok or classify(result.error) is FailureClass.PERMANENT
+
+
+def _promote_due(delayed: List[Tuple], ready: deque) -> None:
+    """Move backoff entries whose delay has elapsed onto the ready queue."""
+    now = time.monotonic()
+    due = [entry for entry in delayed if entry[0] <= now]
+    if not due:
+        return
+    delayed[:] = [entry for entry in delayed if entry[0] > now]
+    due.sort(key=lambda entry: entry[0])
+    for _, key, design, resolved, attempt in due:
+        ready.append((key, design, resolved, attempt))
+
+
 def _init_worker() -> None:
     """Process-pool initializer: warm each worker exactly once.
 
@@ -649,15 +978,18 @@ def _init_worker() -> None:
     import repro.sim.simulator  # noqa: F401
 
 
-def _subprocess_job(payload: Dict[str, Any],
-                    options: SimOptions) -> Tuple[int, SimResult]:
+def _subprocess_job(payload: Dict[str, Any], options: SimOptions,
+                    attempt: int = 0) -> Tuple[int, SimResult]:
     """Worker body of the process executor: rebuild, simulate, return.
 
     The design travels as its serialized payload (always picklable),
     so worker processes never depend on pickling user-built objects.
+    ``attempt`` reaches the fault injector (inherited via the
+    environment), which is how retried tasks stop being re-killed.
     """
     design = Design.from_dict(payload)
-    result = Simulator(cache=False)._execute(design, options, None)
+    result = Simulator(cache=False)._execute(design, options, None,
+                                             attempt=attempt)
     return os.getpid(), result
 
 

@@ -45,3 +45,25 @@ class SimulationError(CamJError):
 
 class SerializationError(ConfigurationError):
     """A design cannot be converted to/from its serialized spec form."""
+
+
+class TransientSimError(CamJError):
+    """A failure expected to clear on retry (I/O hiccup, injected fault).
+
+    Execution layers classify these as retryable: a task failing with a
+    transient error is re-run under the session's retry policy instead
+    of surfacing the failure immediately.
+    """
+
+
+class ExecutionTimeoutError(CamJError):
+    """A simulation task exceeded its per-task deadline."""
+
+
+class WorkerCrashError(CamJError):
+    """A design was quarantined after repeatedly killing pool workers.
+
+    Raised (or captured into a typed result) when the same task is
+    implicated in multiple worker-process deaths: re-running it would
+    keep crashing the pool, so it is failed instead of retried.
+    """

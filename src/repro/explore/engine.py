@@ -37,6 +37,10 @@ from repro.explore.space import OPTIONS_PREFIX, ParameterSpace
 #: Schema tag of a serialized exploration result.
 EXPLORATION_SCHEMA = "repro.explore/1"
 
+#: The per-batch resilience counters an exploration aggregates.
+RESILIENCE_COUNTERS = ("retries", "timeouts", "pool_rebuilds",
+                       "quarantined")
+
 #: Objectives used when the caller names none: the Sec. 6 trade-off
 #: (energy vs. power density) plus the latency the frame budget gates.
 DEFAULT_OBJECTIVES = ("energy_per_frame", "power_density", "latency")
@@ -202,12 +206,21 @@ class ExplorationPoint:
 
 @dataclass
 class ExplorationResult:
-    """Everything one exploration produced, Pareto analysis included."""
+    """Everything one exploration produced, Pareto analysis included.
+
+    ``resilience`` tallies the fault-tolerance events the run absorbed
+    (``retries``/``timeouts``/``pool_rebuilds``/``quarantined`` — see
+    :class:`repro.api.simulator.BatchStats`); all zeros on a healthy
+    run, so healthy documents stay byte-identical across retries of
+    the same study.
+    """
 
     name: str
     objectives: List[Metric]
     options: SimOptions
     points: List[ExplorationPoint]
+    resilience: Dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(RESILIENCE_COUNTERS, 0))
 
     @property
     def goals(self) -> Tuple[str, ...]:
@@ -271,6 +284,8 @@ class ExplorationResult:
             "points": [point.to_dict() for point in self.points],
             "frontier": self.frontier_indices(),
             "ranks": self.dominance_ranks(),
+            "resilience": {key: int(self.resilience.get(key, 0))
+                           for key in RESILIENCE_COUNTERS},
         }
 
     @classmethod
@@ -294,8 +309,11 @@ class ExplorationResult:
         except KeyError as error:
             raise SerializationError(
                 f"exploration payload missing {error}") from error
+        raw_resilience = payload.get("resilience") or {}
+        resilience = {key: int(raw_resilience.get(key, 0))
+                      for key in RESILIENCE_COUNTERS}
         return cls(name=name, objectives=objectives, options=options,
-                   points=points)
+                   points=points, resilience=resilience)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The result as a canonical JSON document."""
@@ -528,6 +546,7 @@ def explore_stream(space: ParameterSpace,
     step = chunk_size if chunk_size is not None else max(total, 1)
     built_cache: Dict[tuple, Union[Design, CamJError]] = {}
     points: List[ExplorationPoint] = []
+    resilience = dict.fromkeys(RESILIENCE_COUNTERS, 0)
     # A session we created exists only for this exploration: release its
     # pool workers once done (caller-provided sessions keep theirs for
     # the next exploration).
@@ -537,10 +556,12 @@ def explore_stream(space: ParameterSpace,
                 raise ExplorationInterrupted(
                     f"exploration {result_name!r} stopped after "
                     f"{len(points)}/{total} points")
-            chunk_points, chunk_hits = _run_chunk(
+            chunk_points, chunk_hits, chunk_resilience = _run_chunk(
                 all_params[start:start + step], build, base_options,
                 built_cache, simulator, resolved_objectives, annotate)
             points.extend(chunk_points)
+            for counter, count in chunk_resilience.items():
+                resilience[counter] += count
             if on_progress is not None:
                 on_progress(chunk_points, len(points), total, chunk_hits)
     except (KeyboardInterrupt, SystemExit):
@@ -555,7 +576,8 @@ def explore_stream(space: ParameterSpace,
 
     return ExplorationResult(name=result_name,
                              objectives=resolved_objectives,
-                             options=base_options, points=points)
+                             options=base_options, points=points,
+                             resilience=resilience)
 
 
 def _run_chunk(chunk_params: List[Dict[str, Any]],
@@ -564,13 +586,15 @@ def _run_chunk(chunk_params: List[Dict[str, Any]],
                built_cache: Dict[tuple, Union[Design, CamJError]],
                simulator: Simulator,
                objectives: Sequence[Metric],
-               annotate: bool) -> Tuple[List[ExplorationPoint], int]:
+               annotate: bool
+               ) -> Tuple[List[ExplorationPoint], int, Dict[str, int]]:
     """Build, simulate, and evaluate one chunk of space points.
 
     Identical builder params build the design once — ``built_cache``
     persists across chunks, so option-only sweeps build exactly one
     design no matter how finely the run is chunked.  Returns the
-    chunk's points (in input order) and its result-cache hit count.
+    chunk's points (in input order), its result-cache hit count, and
+    the resilience counters its one ``run_many`` batch reported.
     """
     # Phase 1: enumerate and build.  Failures of either the builder or
     # the per-point options become typed infeasible points.
@@ -603,8 +627,16 @@ def _run_chunk(chunk_params: List[Dict[str, Any]],
             for _, design, point_options, error in slots if error is None]
     results = simulator.run_many(jobs) if jobs else []
     # Per-result ``cached`` flags are race-free under concurrent batches
-    # on a shared session, unlike the session-wide counters.
+    # on a shared session, unlike the session-wide counters.  The batch
+    # stats must be read *here*, right after our own run_many call (an
+    # empty chunk never ran a batch, so its counters are all zero).
     chunk_hits = sum(1 for result in results if result.cached)
+    resilience = dict.fromkeys(RESILIENCE_COUNTERS, 0)
+    if jobs:
+        stats = simulator.last_batch_stats
+        if stats is not None:
+            for counter in RESILIENCE_COUNTERS:
+                resilience[counter] = getattr(stats, counter, 0)
 
     # Phase 3: evaluate objectives and annotate.
     points: List[ExplorationPoint] = []
@@ -618,7 +650,7 @@ def _run_chunk(chunk_params: List[Dict[str, Any]],
         points.append(_evaluate_point(params, design, next(cursor),
                                       objectives, annotate))
 
-    return points, chunk_hits
+    return points, chunk_hits, resilience
 
 
 def _evaluate_point(params: Dict[str, Any], design: Design,

@@ -1,0 +1,141 @@
+"""A crash-safe append-only JSONL write-ahead journal.
+
+:class:`JsonlJournal` is the durable substrate under the serve daemon's
+job recovery (:mod:`repro.serve.journal`): records are appended as one
+JSON object per line with an explicit ``flush`` + ``fsync`` before the
+append returns, so anything acknowledged is on disk even through a
+``SIGKILL`` or power loss.  Replay is corruption-tolerant — a torn
+final line from a crashed writer is skipped, never fatal — and
+:meth:`rewrite` compacts the file through the same temp-file +
+``os.replace`` idiom the disk cache uses, so readers always see either
+the old journal or the new one, complete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+class JsonlJournal:
+    """One append-only JSONL file with fsync'd appends and atomic rewrite.
+
+    Thread-safe: appends from worker threads and compaction from the
+    owner serialize on an internal lock.  The file handle is kept open
+    across appends (one ``open`` per daemon lifetime, not per record).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = None
+        self.appends = 0
+        self.rewrites = 0
+        self.skipped_corrupt = 0
+
+    # --- writing ------------------------------------------------------------
+
+    def append(self, record: Dict[str, Any], sync: bool = True) -> None:
+        """Durably append one record (fsync before returning).
+
+        ``sync=False`` skips the fsync for records whose loss is
+        acceptable (informational transitions); the write is still
+        atomic at the line level for same-process readers.
+        """
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            handle = self._open_locked()
+            handle.write(line)
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+            self.appends += 1
+
+    def rewrite(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Atomically replace the journal's contents (compaction).
+
+        The replacement is written to a sibling temp file, fsync'd, and
+        ``os.replace``d over the journal, so a crash mid-compaction
+        leaves the previous journal intact.  Returns the record count.
+        """
+        encoded: List[str] = [
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in records]
+        temp = self.path.with_name(
+            f"{self.path.name}.compact.{os.getpid()}")
+        with self._lock:
+            self._close_locked()
+            with open(temp, "w", encoding="utf-8") as handle:
+                for line in encoded:
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, self.path)
+            self.rewrites += 1
+        return len(encoded)
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+    def _open_locked(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def _close_locked(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - nothing left to save
+                pass
+            self._handle = None
+
+    # --- reading ------------------------------------------------------------
+
+    def replay(self) -> Iterator[Dict[str, Any]]:
+        """Yield every intact record, oldest first.
+
+        A missing file replays as empty.  Undecodable lines — the torn
+        tail a ``SIGKILL`` mid-append leaves behind, or bitrot — are
+        counted in ``skipped_corrupt`` and skipped.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        self.skipped_corrupt += 1
+                        continue
+                    if isinstance(record, dict):
+                        yield record
+                    else:
+                        self.skipped_corrupt += 1
+        except FileNotFoundError:
+            return
+
+    # --- introspection ------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "bytes": self.size_bytes(),
+            "appends": self.appends,
+            "rewrites": self.rewrites,
+            "skipped_corrupt": self.skipped_corrupt,
+        }

@@ -30,6 +30,7 @@ Quick taste::
 
 from repro.serve.app import BackgroundServer, ServeApp
 from repro.serve.client import ServeClient, ServeError, ServeTimeout
+from repro.serve.journal import JobJournal
 from repro.serve.jobs import (
     DEFAULT_CHUNK_SIZE,
     DEFAULT_WORKERS,
@@ -48,6 +49,7 @@ __all__ = [
     "ServeError",
     "ServeTimeout",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobState",
     "JobProgress",

@@ -64,15 +64,22 @@ class ServeApp:
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  options: Optional[SimOptions] = None,
                  cache_dir: Optional[str] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 executor: str = "thread",
+                 journal_dir: Optional[str] = None) -> None:
         self.host = host
         self.port = port
-        simulator_kwargs: Dict[str, Any] = {"max_workers": max_workers}
+        simulator_kwargs: Dict[str, Any] = {"max_workers": max_workers,
+                                            "executor": executor}
         if cache_dir is not None:
             simulator_kwargs["cache_dir"] = cache_dir
         self.simulator = Simulator(options, **simulator_kwargs)
+        journal = None
+        if journal_dir is not None:
+            from repro.serve.journal import JobJournal
+            journal = JobJournal(journal_dir)
         self.queue = JobQueue(self.simulator, workers=workers,
-                              chunk_size=chunk_size)
+                              chunk_size=chunk_size, journal=journal)
         self.requests_served = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._started_monotonic: Optional[float] = None
@@ -80,9 +87,15 @@ class ServeApp:
     # --- lifecycle --------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the socket and start the queue workers."""
+        """Bind the socket and start the queue workers.
+
+        With a journal, interrupted work from a previous daemon life is
+        re-admitted *before* the socket binds — a client that connects
+        right after restart already sees the recovered jobs.
+        """
         self._started_monotonic = time.monotonic()
         await self.queue.start()
+        self.queue.recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         # Ephemeral binds (port 0) resolve here.
@@ -95,6 +108,8 @@ class ServeApp:
             await self._server.wait_closed()
             self._server = None
         await self.queue.close()
+        if self.queue.journal is not None:
+            self.queue.journal.close()
         self.simulator.close(terminal=True)
 
     @property

@@ -130,28 +130,65 @@ class ServeClient:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
     def wait(self, job_id: str, timeout: float = 120.0,
-             poll_s: float = 0.05) -> Dict[str, Any]:
-        """Poll until the job is terminal; returns its final status."""
+             poll_s: float = 0.05,
+             max_poll_s: float = 2.0) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final status.
+
+        The poll interval starts at ``poll_s`` and doubles up to
+        ``max_poll_s`` — snappy for short jobs, gentle on the daemon
+        for long ones — and never sleeps past the deadline.
+        """
         deadline = time.monotonic() + timeout
+        interval = poll_s
         while True:
             document = self.job(job_id)
             if document["state"] in TERMINAL_STATE_NAMES:
                 return document
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServeTimeout(job_id, timeout, document["state"])
-            time.sleep(poll_s)
+            time.sleep(min(interval, remaining))
+            interval = min(interval * 2, max_poll_s)
 
     def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
         """Tail the job's JSONL stream; yields event dicts until done.
 
         Explore jobs yield ``{"event": "point", ...}`` per finished
         point (in space order) and finally ``{"event": "done", ...}``
-        carrying the terminal job document.
+        carrying the terminal job document.  A connection dropped
+        mid-stream is retried **once**, resuming at the server-side
+        cursor of the last event consumed (so nothing is replayed or
+        lost); a second drop raises :class:`ServeError`.
         """
+        seen = 0  # real events consumed (cursor currency; see handlers)
+        reconnected = False
+        while True:
+            try:
+                for event in self._stream_once(job_id, cursor=seen):
+                    if event.get("event") != "truncated":
+                        seen += 1
+                    yield event
+                return
+            except (http.client.HTTPException, OSError) as error:
+                # ServeError (a typed daemon response) is not caught
+                # here and propagates on the first occurrence; only
+                # transport-level drops earn the one reconnect.
+                if reconnected:
+                    raise ServeError(
+                        0, "ConnectionLost",
+                        f"stream for {job_id} dropped twice: "
+                        f"{error}") from error
+                reconnected = True
+
+    def _stream_once(self, job_id: str,
+                     cursor: int = 0) -> Iterator[Dict[str, Any]]:
+        """One streaming connection, resumed from ``cursor``."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
-            connection.request("GET", f"/jobs/{job_id}/stream?format=jsonl")
+            connection.request(
+                "GET",
+                f"/jobs/{job_id}/stream?format=jsonl&cursor={cursor}")
             response = connection.getresponse()
             if response.status >= 400:
                 raw = response.read()

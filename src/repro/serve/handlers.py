@@ -113,7 +113,8 @@ async def dispatch(app, request: Request) -> Response:
             return Response(payload=handle_cancel(app, job))
         if len(parts) == 3 and parts[2] == "stream":
             _require_method(request, "GET")
-            return stream_response(job, _stream_format(request))
+            return stream_response(job, _stream_format(request),
+                                   _stream_cursor(request))
     raise ApiError(404, "NotFound", f"no such endpoint: {request.path}")
 
 
@@ -142,6 +143,27 @@ def _stream_format(request: Request) -> str:
     return "sse" if "text/event-stream" in accept else "jsonl"
 
 
+def _stream_cursor(request: Request) -> int:
+    """The ``?cursor=N`` resume offset (0 = from the beginning).
+
+    Cursors are absolute event indices — what a reconnecting client
+    already consumed — so a dropped connection resumes where it left
+    off instead of replaying (or worse, re-counting) the prefix.
+    """
+    raw = request.query.get("cursor")
+    if raw is None:
+        return 0
+    try:
+        cursor = int(raw)
+    except ValueError:
+        raise ApiError(400, "BadCursor",
+                       f"cursor must be an integer, got {raw!r}") from None
+    if cursor < 0:
+        raise ApiError(400, "BadCursor",
+                       f"cursor must be >= 0, got {cursor}")
+    return cursor
+
+
 # --- endpoint bodies -------------------------------------------------------
 
 def handle_healthz(app) -> Dict[str, Any]:
@@ -162,6 +184,8 @@ def handle_stats(app) -> Dict[str, Any]:
         "cache": dataclasses.asdict(simulator.cache_info()),
         "passes": simulator.pass_info(),
         "pools": simulator.pool_info(),
+        "resilience": simulator.resilience_info(),
+        "journal": app.queue.journal_info(),
     }
 
 
@@ -278,11 +302,11 @@ def handle_cancel(app, job: Job) -> Dict[str, Any]:
 
 # --- streaming -------------------------------------------------------------
 
-def stream_response(job: Job, fmt: str) -> Response:
+def stream_response(job: Job, fmt: str, start: int = 0) -> Response:
     """Tail a job's event stream as JSONL or SSE until it seals."""
     content_type = ("text/event-stream" if fmt == "sse"
                     else "application/x-ndjson")
-    return Response(stream=_stream_events(job, fmt),
+    return Response(stream=_stream_events(job, fmt, start),
                     content_type=content_type)
 
 
@@ -294,16 +318,20 @@ def _encode_event(event: Dict[str, Any], fmt: str) -> bytes:
     return (document + "\n").encode("utf-8")
 
 
-async def _stream_events(job: Job, fmt: str) -> AsyncIterator[bytes]:
-    """Replay the job's buffer from the start, then tail it live.
+async def _stream_events(job: Job, fmt: str,
+                         start: int = 0) -> AsyncIterator[bytes]:
+    """Replay the job's buffer from ``start``, then tail it live.
 
     Subscribing after completion replays everything and returns at
     once; a live subscriber polls the buffer — cheap reads under the
-    job lock — until the terminal ``done`` event seals it.
+    job lock — until the terminal ``done`` event seals it.  A cursor
+    below the buffer's retained window gets one synthetic
+    ``truncated`` event describing the gap (see
+    :class:`~repro.serve.progress.StreamBuffer`).
     """
     import asyncio
 
-    cursor = 0
+    cursor = start
     while True:
         events, cursor, closed = job.stream.read_from(cursor)
         for event in events:

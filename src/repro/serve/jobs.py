@@ -34,6 +34,7 @@ from repro.api.simulator import Simulator
 from repro.exceptions import CamJError
 from repro.explore.engine import ExplorationInterrupted, explore_stream
 from repro.explore.spec import ExplorationSpec
+from repro.serve.journal import JobJournal
 from repro.serve.progress import JobProgress, StreamBuffer
 
 #: How many simulation points one explore chunk covers by default: the
@@ -46,6 +47,15 @@ DEFAULT_WORKERS = 2
 #: Terminal-job retention bound: oldest finished jobs are forgotten
 #: once the registry outgrows this (running/queued jobs never are).
 DEFAULT_JOBS_KEPT = 512
+
+
+def _job_number(job_id: str) -> int:
+    """The counter behind a ``job-NNNNNN`` id (0 for foreign ids)."""
+    _, _, digits = job_id.partition("-")
+    try:
+        return int(digits)
+    except ValueError:
+        return 0
 
 
 class JobState(enum.Enum):
@@ -124,7 +134,8 @@ class JobQueue:
     def __init__(self, simulator: Simulator, *,
                  workers: int = DEFAULT_WORKERS,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 max_jobs_kept: int = DEFAULT_JOBS_KEPT) -> None:
+                 max_jobs_kept: int = DEFAULT_JOBS_KEPT,
+                 journal: Optional[JobJournal] = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
@@ -132,6 +143,8 @@ class JobQueue:
         self.simulator = simulator
         self.workers = workers
         self.chunk_size = chunk_size
+        self.journal = journal
+        self._recovery: Optional[Dict[str, int]] = None
         self._max_jobs_kept = max_jobs_kept
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._registry_lock = threading.Lock()
@@ -187,6 +200,10 @@ class JobQueue:
         if not self._accepting or self._queue is None:
             raise QueueClosed("job queue is not accepting submissions")
         job = Job(f"job-{next(self._counter):06d}", kind, name, payload)
+        if self.journal is not None:
+            # Write-ahead: the submission is durable before it is
+            # acknowledged, so an accepted job survives any crash.
+            self.journal.record_submit(job)
         with self._registry_lock:
             self._jobs[job.id] = job
             self._evict_old_terminal()
@@ -222,6 +239,7 @@ class JobQueue:
                 finish_now = True
         if finish_now:
             self._seal_stream(job)
+            self._journal_terminal(job)
         return job
 
     def counts(self) -> Dict[str, int]:
@@ -332,8 +350,117 @@ class JobQueue:
             job.error = error
             job.finished_at = time.time()
         self._seal_stream(job)
+        self._journal_terminal(job)
 
     def _seal_stream(self, job: Job) -> None:
         """Emit the terminal event and close the job's stream."""
         job.stream.append({"event": "done", "job": job.to_dict()})
         job.stream.close()
+
+    def _journal_terminal(self, job: Job) -> None:
+        """Durably record one terminal transition (if journaling)."""
+        if self.journal is None:
+            return
+        self.journal.record_terminal(job)
+        self.journal.maybe_compact(self._max_jobs_kept)
+
+    # --- restart recovery ---------------------------------------------------
+
+    def recover(self) -> Optional[Dict[str, int]]:
+        """Re-admit journaled work after a restart.
+
+        Call once, after :meth:`start` and before accepting traffic.
+        Jobs with a terminal record are restored — state, error, and
+        result intact, so ``/jobs/<id>/result`` keeps working across
+        the restart.  Jobs that were queued or running when the
+        previous process died are re-enqueued **under their original
+        ids** and re-run; with a shared disk cache the re-run is warm
+        and the recovered results are bit-identical.  Journaled jobs
+        whose spec can no longer be rebuilt fail with a typed error
+        instead of vanishing.
+        """
+        if self.journal is None or self._queue is None:
+            return None
+        snapshots = self.journal.replay_jobs()
+        summary = {"restored": 0, "requeued": 0, "unrecoverable": 0}
+        max_seen = 0
+        for job_id, snapshot in snapshots.items():
+            number = _job_number(job_id)
+            max_seen = max(max_seen, number)
+            submit, state = snapshot["submit"], snapshot["state"]
+            if state is not None:
+                job = self._restore_terminal(submit, state)
+                summary["restored"] += 1
+            else:
+                job = self._readmit(submit)
+                if job.state is JobState.FAILED:
+                    summary["unrecoverable"] += 1
+                else:
+                    summary["requeued"] += 1
+            with self._registry_lock:
+                self._jobs[job.id] = job
+        self._counter = itertools.count(max_seen + 1)
+        # Startup compaction: fold the replayed history (plus any
+        # unrecoverable-job terminals just appended) into its bound.
+        self.journal.compact(self.journal.replay_jobs(),
+                             max_terminal=self._max_jobs_kept)
+        self._recovery = summary
+        return summary
+
+    def _restore_terminal(self, submit: Dict[str, Any],
+                          state: Dict[str, Any]) -> Job:
+        """A finished job, rebuilt exactly as the journal remembers it."""
+        job = Job(submit["id"], submit.get("kind", "run"),
+                  submit.get("name", ""), None)
+        job.created_at = submit.get("created_at", job.created_at)
+        try:
+            job.state = JobState(state.get("state"))
+        except ValueError:
+            job.state = JobState.FAILED
+            job.error = {"type": "JournalError",
+                         "message": f"unknown terminal state "
+                                    f"{state.get('state')!r}"}
+        else:
+            job.result = state.get("result")
+            error = state.get("error")
+            job.error = dict(error) if error else None
+        job.started_at = state.get("started_at")
+        job.finished_at = state.get("finished_at")
+        self._seal_stream(job)
+        return job
+
+    def _readmit(self, submit: Dict[str, Any]) -> Job:
+        """Rebuild one interrupted job's payload and re-enqueue it."""
+        kind = submit.get("kind", "run")
+        job = Job(submit["id"], kind, submit.get("name", ""), None)
+        job.created_at = submit.get("created_at", job.created_at)
+        spec = submit.get("spec")
+        try:
+            if not isinstance(spec, dict):
+                raise ValueError(
+                    "job was journaled without a rebuildable spec")
+            if kind == "run":
+                job.payload = (Design.from_dict(spec["design"]),
+                               SimOptions.from_dict(spec["options"]))
+            else:
+                from repro.explore.spec import exploration_spec_from_dict
+                job.payload = exploration_spec_from_dict(spec)
+        except Exception as error:  # noqa: BLE001 - journal may be stale
+            with job.lock:
+                job.state = JobState.FAILED
+                job.error = {"type": type(error).__name__,
+                             "message": str(error)}
+                job.finished_at = time.time()
+            self._seal_stream(job)
+            self._journal_terminal(job)
+            return job
+        self._queue.put_nowait(job)
+        return job
+
+    def journal_info(self) -> Optional[Dict[str, Any]]:
+        """Journal state for ``/stats``; ``None`` when not journaling."""
+        if self.journal is None:
+            return None
+        payload = self.journal.info()
+        payload["recovery"] = self._recovery
+        return payload

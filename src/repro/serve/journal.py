@@ -1,0 +1,175 @@
+"""Durable job records: the serve daemon's write-ahead journal.
+
+:class:`JobJournal` wraps one :class:`repro.resilience.JsonlJournal`
+with the daemon's record vocabulary, making ``repro serve --journal
+DIR`` crash-safe:
+
+``{"type": "submit", ...}``
+    Appended (fsync'd) before a submission is acknowledged, carrying
+    the job's **fully serialized spec** — a design + options document
+    for ``run`` jobs, an exploration spec for ``explore`` jobs — so a
+    restarted daemon can re-admit the job and re-run it to the same
+    result (bit-identical when the shared disk cache is warm).
+``{"type": "state", ...}``
+    Appended on every terminal transition (``done``/``failed``/
+    ``cancelled``), carrying the result payload for finished jobs so a
+    restarted daemon keeps serving their ``/jobs/<id>/result``.
+
+:meth:`replay_jobs` folds the record stream into per-job snapshots;
+:meth:`maybe_compact` periodically rewrites the file down to one
+submit + one state record per retained job, bounding growth.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import SerializationError
+from repro.resilience.journal import JsonlJournal
+
+#: Schema tag of every journal record.
+JOB_JOURNAL_SCHEMA = "repro.serve-journal/1"
+
+#: Journal file name inside the ``--journal`` directory.
+JOURNAL_FILENAME = "jobs.jsonl"
+
+#: Appends between compaction checks: often enough to bound the file,
+#: rare enough that fsync'd appends dominate, not rewrites.
+COMPACT_EVERY_APPENDS = 256
+
+
+class JobJournal:
+    """The daemon's append-only job ledger under one directory."""
+
+    def __init__(self, directory) -> None:
+        import pathlib
+        self.directory = pathlib.Path(directory)
+        self._journal = JsonlJournal(self.directory / JOURNAL_FILENAME)
+        self._lock = threading.Lock()
+        self._appends_since_compact = 0
+
+    # --- writing ------------------------------------------------------------
+
+    def record_submit(self, job) -> None:
+        """Durably journal one admitted job before acknowledging it.
+
+        A job whose payload cannot be serialized (custom in-memory
+        parts) is journaled with ``spec: null`` — it still counts and
+        keeps its id, but a restart fails it instead of re-running it.
+        """
+        record = {
+            "schema": JOB_JOURNAL_SCHEMA,
+            "type": "submit",
+            "id": job.id,
+            "kind": job.kind,
+            "name": job.name,
+            "created_at": job.created_at,
+            "spec": self._serialize_payload(job),
+        }
+        self._journal.append(record, sync=True)
+        self._count_append()
+
+    def record_terminal(self, job) -> None:
+        """Durably journal one terminal transition (with its result)."""
+        with job.lock:
+            record = {
+                "schema": JOB_JOURNAL_SCHEMA,
+                "type": "state",
+                "id": job.id,
+                "state": job.state.value,
+                "started_at": job.started_at,
+                "finished_at": job.finished_at,
+                "result": job.result,
+                "error": dict(job.error) if job.error else None,
+            }
+        self._journal.append(record, sync=True)
+        self._count_append()
+
+    def _serialize_payload(self, job) -> Optional[Dict[str, Any]]:
+        try:
+            if job.kind == "run":
+                design, options = job.payload
+                return {"design": design.to_dict(),
+                        "options": options.to_dict()}
+            return job.payload.to_dict()
+        except SerializationError:
+            return None
+
+    def _count_append(self) -> None:
+        with self._lock:
+            self._appends_since_compact += 1
+
+    # --- replay -------------------------------------------------------------
+
+    def replay_jobs(self) -> "Dict[str, Dict[str, Any]]":
+        """Fold the record stream into one snapshot per job id.
+
+        Returns ``{job_id: {"submit": record, "state": record|None}}``
+        in submission order.  Records for foreign schemas, and state
+        records without a preceding submit, are ignored.
+        """
+        snapshots: Dict[str, Dict[str, Any]] = {}
+        for record in self._journal.replay():
+            if record.get("schema") != JOB_JOURNAL_SCHEMA:
+                continue
+            job_id = record.get("id")
+            if not isinstance(job_id, str):
+                continue
+            if record.get("type") == "submit":
+                snapshots[job_id] = {"submit": record, "state": None}
+            elif record.get("type") == "state" and job_id in snapshots:
+                snapshots[job_id]["state"] = record
+        return snapshots
+
+    # --- maintenance --------------------------------------------------------
+
+    def compact(self, snapshots: "Dict[str, Dict[str, Any]]",
+                max_terminal: Optional[int] = None) -> int:
+        """Rewrite the journal to these job snapshots, oldest-first.
+
+        ``max_terminal`` bounds how many *terminal* jobs survive (the
+        oldest beyond it are dropped, mirroring the in-memory
+        registry's retention); non-terminal jobs are always kept.
+        """
+        retained = list(snapshots.values())
+        if max_terminal is not None:
+            terminal = [snapshot for snapshot in retained
+                        if snapshot["state"] is not None]
+            excess = len(terminal) - max_terminal
+            if excess > 0:
+                dropped = set(map(id, terminal[:excess]))
+                retained = [snapshot for snapshot in retained
+                            if id(snapshot) not in dropped]
+        records: List[Dict[str, Any]] = []
+        for snapshot in retained:
+            records.append(snapshot["submit"])
+            if snapshot["state"] is not None:
+                records.append(snapshot["state"])
+        count = self._journal.rewrite(records)
+        with self._lock:
+            self._appends_since_compact = 0
+        return count
+
+    def maybe_compact(self, max_terminal: Optional[int] = None) -> bool:
+        """Compact when enough appends have accumulated since the last.
+
+        The rewrite keeps one submit (+ one state) record per retained
+        job — dropping superseded duplicates, torn garbage, and the
+        oldest terminal jobs beyond ``max_terminal`` — which is what
+        bounds the file across a long daemon lifetime.
+        """
+        with self._lock:
+            if self._appends_since_compact < COMPACT_EVERY_APPENDS:
+                return False
+        self.compact(self.replay_jobs(), max_terminal=max_terminal)
+        return True
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def info(self) -> Dict[str, Any]:
+        payload = self._journal.info()
+        with self._lock:
+            payload["appends_since_compact"] = self._appends_since_compact
+        return payload

@@ -12,8 +12,15 @@ a live one tails new events as the worker appends them.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Any, Dict, List, Optional, Tuple
+
+#: How many events one job's stream retains by default.  Far above any
+#: realistic explore chunk stream; the cap exists so a pathological
+#: million-point job cannot hold every event in memory forever.
+DEFAULT_STREAM_EVENTS = 4096
 
 
 @dataclass
@@ -40,17 +47,32 @@ class JobProgress:
 
 
 class StreamBuffer:
-    """Append-only, thread-safe event log with cursor-based reads.
+    """Bounded, thread-safe event log with absolute cursor reads.
 
     Writers (worker threads) :meth:`append` event dicts and eventually
     :meth:`close` the buffer; readers (streaming handlers) poll
     :meth:`read_from` with their last cursor and stop once the buffer
-    is closed and drained.  Events are kept for the lifetime of the
-    job so any number of subscribers can replay the full stream.
+    is closed and drained.
+
+    Retention is a ring: the newest ``maxlen`` events are kept and the
+    oldest beyond that are dropped, so a million-point job cannot pin
+    every event in daemon memory.  Cursors are **absolute** event
+    indices (they keep counting across drops); a reader whose cursor
+    has fallen out of the retained window gets one synthetic
+    ``{"event": "truncated", "dropped": N}`` marker summarizing the
+    gap, then the stream continues from the oldest retained event.
+    Subscribers inside the window still replay losslessly from the
+    start.
     """
 
-    def __init__(self) -> None:
-        self._events: List[Dict[str, Any]] = []
+    def __init__(self, maxlen: int = DEFAULT_STREAM_EVENTS) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._events: "deque[Dict[str, Any]]" = deque()
+        #: Events discarded off the front; the absolute index of the
+        #: oldest retained event.
+        self._dropped = 0
         self._lock = threading.Lock()
         self._closed = False
 
@@ -59,6 +81,9 @@ class StreamBuffer:
             if self._closed:
                 raise RuntimeError("stream buffer is closed")
             self._events.append(event)
+            if len(self._events) > self.maxlen:
+                self._events.popleft()
+                self._dropped += 1
 
     def close(self) -> None:
         """No further events will arrive (idempotent)."""
@@ -71,13 +96,31 @@ class StreamBuffer:
 
         ``done`` is true only when the buffer is closed *and* the
         returned slice reaches its end — a reader seeing it can stop
-        polling without missing events.
+        polling without missing events.  ``new_cursor`` counts real
+        events only: a synthetic ``truncated`` marker never advances
+        it past the events it stands in for.
         """
         with self._lock:
-            events = self._events[cursor:]
-            new_cursor = len(self._events)
-            return events, new_cursor, self._closed
+            first_retained = self._dropped
+            total = first_retained + len(self._events)
+            if cursor >= total:
+                return [], max(cursor, total), self._closed
+            events: List[Dict[str, Any]] = []
+            if cursor < first_retained:
+                events.append({"event": "truncated",
+                               "dropped": first_retained - cursor})
+                cursor = first_retained
+            events.extend(islice(self._events,
+                                 cursor - first_retained, None))
+            return events, total, self._closed
+
+    @property
+    def dropped(self) -> int:
+        """How many old events the ring has discarded so far."""
+        with self._lock:
+            return self._dropped
 
     def __len__(self) -> int:
+        """Total events ever appended (retained plus dropped)."""
         with self._lock:
-            return len(self._events)
+            return self._dropped + len(self._events)
