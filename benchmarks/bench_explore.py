@@ -1,21 +1,25 @@
 """Exploration-engine benchmark: points/sec through ``run_many``.
 
-Drives the Ed-Gaze product space (Fig. 9b) through
-:func:`repro.explore.explore` twice against one simulator session — a
-cold pass that simulates every distinct design and a warm pass that must
-be served entirely from the content-hash result cache — and records
-exploration throughput plus the cache hit rate as machine-readable
-``BENCH_explore.json``.
+Drives the Ed-Gaze product space (Fig. 9b), widened by a frame-rate
+axis to a few hundred points, through :func:`repro.explore.explore`
+twice against one simulator session — a cold pass that simulates every
+distinct design and a warm pass that must be served entirely from the
+content-hash result cache — and records exploration throughput plus
+the cache hit rate as machine-readable ``BENCH_explore.json``.
 
-``REPRO_BENCH_SMOKE=1`` shrinks the space to one CIS node and drops the
-wall-clock assertions; cache-effectiveness claims are asserted
-structurally in both modes.
+The engine is pinned to ``"object"`` so this baseline keeps measuring
+the per-point path as the space grows; ``bench_vector.py`` measures
+the vectorized fast path against it.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the space to one CIS node and two
+frame rates and drops the wall-clock assertions; cache-effectiveness
+claims are asserted structurally in both modes.
 """
 
 import time
 
 from repro.api import Simulator
-from repro.explore import choice, explore, product
+from repro.explore import choice, explore, linspace, product
 
 #: The three objectives the Sec. 6 exploration trades off.
 _OBJECTIVES = ("energy_per_frame", "power_density", "latency")
@@ -23,13 +27,18 @@ _OBJECTIVES = ("energy_per_frame", "power_density", "latency")
 
 def _space(smoke: bool):
     nodes = [65] if smoke else [130, 65]
+    # Every Ed-Gaze design fits its digital pipeline below ~509 FPS, so
+    # the whole frame-rate axis stays feasible.
+    rates = linspace("options.frame_rate", 15.0, 480.0,
+                     2 if smoke else 32)
     return product(
         choice("placement", ["2D-In", "2D-Off", "3D-In", "3D-In-STT"]),
-        choice("cis_node", nodes))
+        choice("cis_node", nodes), rates)
 
 
 def _explore_fresh(space):
-    return explore(space, "edgaze", objectives=_OBJECTIVES)
+    return explore(space, "edgaze", objectives=_OBJECTIVES,
+                   engine="object")
 
 
 def test_explore_throughput(benchmark, write_result, write_bench_json,
@@ -39,12 +48,12 @@ def test_explore_throughput(benchmark, write_result, write_bench_json,
 
     started = time.perf_counter()
     cold = explore(space, "edgaze", objectives=_OBJECTIVES,
-                   simulator=simulator)
+                   simulator=simulator, engine="object")
     cold_s = time.perf_counter() - started
 
     started = time.perf_counter()
     warm = explore(space, "edgaze", objectives=_OBJECTIVES,
-                   simulator=simulator)
+                   simulator=simulator, engine="object")
     warm_s = time.perf_counter() - started
     warm_stats = simulator.last_batch_stats
 

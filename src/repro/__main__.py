@@ -91,8 +91,10 @@ def _run_config_grid(args, space, usecase) -> int:
     ``run_many`` batch — instead of a sequential loop per configuration.
     """
     from repro.explore import explore
+    # The table prints full per-point reports, which only the object
+    # path materializes — keep the vector engine out of this command.
     result = explore(space, usecase, objectives=("energy_per_frame",),
-                     annotate=False)
+                     annotate=False, engine="object")
     labeled = [(f"{point.params['placement']} "
                 f"({point.params['cis_node']}nm)", point)
                for point in result.points]
@@ -313,6 +315,8 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_explore(args) -> int:
     """Run a design-space exploration spec through the engine."""
+    import dataclasses
+
     from repro.exceptions import CamJError
     from repro.explore import load_exploration_spec
     try:
@@ -320,6 +324,8 @@ def _cmd_explore(args) -> int:
     except (OSError, CamJError) as error:
         print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
         return 1
+    if args.engine:
+        spec = dataclasses.replace(spec, engine=args.engine)
     try:
         result = spec.run()
     except CamJError as error:
@@ -445,6 +451,13 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("-o", "--output", default=None,
                          help="also write the full repro.explore/1 result "
                               "JSON to this path")
+    explore.add_argument("--engine", default=None,
+                         choices=("auto", "vector", "object"),
+                         help="evaluation engine: auto routes eligible "
+                              "groups through the vectorized fast path, "
+                              "vector requires it, object forces the "
+                              "per-point path (default: the spec's "
+                              "engine, normally auto)")
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache",
         parents=[common])

@@ -77,7 +77,8 @@ def sweep_parameter(builder_for_value: Callable[[Any], BuilderResult],
     result = explore(choice(_VALUE, list(values)),
                      lambda **params: builder_for_value(params[_VALUE]),
                      objectives=_SWEEP_OBJECTIVES, options=options,
-                     simulator=simulator, annotate=False)
+                     simulator=simulator, annotate=False,
+                     engine="object")
     return _to_sweep_points(values, result)
 
 
@@ -95,13 +96,16 @@ def sweep_frame_rate(builder: Callable[[], BuilderResult],
     """
     if not frame_rates:
         raise ConfigurationError("sweep needs at least one frame rate")
+    # Sweep points hand the full EnergyReport to callers, which only the
+    # per-point object path materializes; the vector fast path carries
+    # metric columns instead of reports, so it is pinned off here.
     result = explore(choice(OPTIONS_PREFIX + "frame_rate",
                             list(frame_rates)),
                      lambda **_: builder(),
                      objectives=_SWEEP_OBJECTIVES,
                      simulator=simulator if simulator is not None
                      else Simulator(),
-                     annotate=False)
+                     annotate=False, engine="object")
     return _to_sweep_points(frame_rates, result)
 
 

@@ -62,6 +62,16 @@ class SimOptions:
             raise ConfigurationError(
                 f"exposure slots must be >= 1, got {self.exposure_slots}")
 
+    def __hash__(self) -> int:
+        # Options are hashed millions of times as cache-key components
+        # during large explorations; memoize (safe: the value is frozen).
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.frame_rate, self.exposure_slots,
+                          self.cycle_accurate, self.skip_checks))
+            object.__setattr__(self, "_hash", value)
+        return value
+
     def replace(self, **changes: Any) -> "SimOptions":
         """A copy with some fields changed."""
         return replace(self, **changes)

@@ -59,6 +59,11 @@ _UNSET = object()
 #: entries — which is what makes option sweeps incremental.
 _PASS_MEMO_LIMIT = 256
 
+#: Upper bound on pending lazy results offered by the vectorized explore
+#: path (see :meth:`Simulator.offer_result`); oldest offers are dropped
+#: first — they can always be re-simulated.
+_VECTOR_BACKFILL_LIMIT = 65536
+
 
 @dataclass(frozen=True)
 class BatchStats:
@@ -182,6 +187,17 @@ class Simulator:
         self._cache: Dict[Tuple[str, SimOptions], SimResult] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Lazy results offered by the vectorized explore path: thunks
+        #: that materialize a full SimResult only if the key is ever
+        #: probed again (see :meth:`offer_result`).
+        self._vector_backfill: "OrderedDict[Tuple[str, SimOptions], Any]" \
+            = OrderedDict()
+        #: How many backfill entries each design hash owns — lets bulk
+        #: probes for a design with no offers skip the tier entirely.
+        self._backfill_hashes: Dict[str, int] = {}
+        #: Design hashes with at least one memory-tier entry, grow-only
+        #: (conservative: a stale member only costs a real probe).
+        self._cache_hashes: set = set()
         env_derived = cache_dir is _UNSET
         if env_derived:
             cache_dir = default_cache_dir()
@@ -359,12 +375,7 @@ class Simulator:
             # validated — this object (memoized) or an identical one in
             # this session (by content hash) — never re-walks them.
             if not options.skip_checks:
-                if design_hash is None \
-                        or design_hash not in self._checked_hashes:
-                    design.ensure_checked()
-                    if design_hash is not None:
-                        with self._lock:
-                            self._checked_hashes.add(design_hash)
+                self.ensure_design_checked(design, design_hash)
             report = _simulate_graph(
                 design.graph, design.system, design.mapping,
                 frame_rate=options.frame_rate,
@@ -391,6 +402,38 @@ class Simulator:
         except SerializationError:
             return None
 
+    def design_key(self, design: Design) -> Optional[str]:
+        """The design's content hash, or ``None`` when unserializable."""
+        try:
+            return design.content_hash
+        except SerializationError:
+            return None
+
+    def ensure_design_checked(self, design: Design,
+                              design_hash: Optional[str]) -> None:
+        """Run the pre-simulation checks at most once per design.
+
+        Session-deduplicated by content hash exactly like the engine
+        path: a hash already validated this session (by this object or
+        an identical design) skips the check walk entirely.
+        """
+        if design_hash is None \
+                or design_hash not in self._checked_hashes:
+            design.ensure_checked()
+            if design_hash is not None:
+                with self._lock:
+                    self._checked_hashes.add(design_hash)
+
+    def pass_context(self, design: Design, design_hash: Optional[str]):
+        """(memo, counters) the engine would use for this design.
+
+        Lets external evaluators (the vectorized explore path) run
+        design-only passes with the same session-level memoization and
+        accounting as :meth:`run`.
+        """
+        return self._pass_memo_for(design, design_hash), \
+            self._pass_counters
+
     # --- the two-tier cache -----------------------------------------------
 
     def _probe_cache(self, key: Tuple[str, SimOptions],
@@ -408,12 +451,24 @@ class Simulator:
             with self._lock:
                 self._cache_hits += 1
             return hit
+        if self._vector_backfill:
+            with self._lock:
+                thunk = self._vector_backfill.pop(key, None)
+                if thunk is not None:
+                    self._drop_backfill_hash(key[0])
+            if thunk is not None:
+                result = thunk()
+                self._store(key, result)
+                with self._lock:
+                    self._cache_hits += 1
+                return result
         if probe_disk and self._disk_cache is not None:
             persisted = self._disk_cache.get(key[0], key[1])
             if persisted is not None:
                 with self._lock:
                     self._cache_hits += 1
                     self._cache.setdefault(key, persisted)
+                    self._cache_hashes.add(key[0])
                 return persisted
         if count_miss:
             with self._lock:
@@ -425,8 +480,197 @@ class Simulator:
         """Publish one executed result to both cache tiers."""
         with self._lock:
             self._cache.setdefault(key, result)
+            self._cache_hashes.add(key[0])
         if self._disk_cache is not None:
             self._disk_cache.put(key[0], key[1], result)
+
+    def probe_result(self, key: Optional[Tuple[str, SimOptions]]
+                     ) -> Optional[SimResult]:
+        """Probe the result cache for one job key, counting hit or miss.
+
+        The vectorized explore path uses this to give every point the
+        same cache behavior a cold :meth:`run` would have — including
+        the miss counter on absent keys.  ``None`` on miss, on ``None``
+        keys (unserializable designs), and when caching is disabled
+        (mirroring :meth:`run`, which skips the probe entirely then).
+        """
+        if key is None or not self._cache_enabled:
+            return None
+        hit = self._probe_cache(key)
+        return replace(hit, cached=True) if hit is not None else None
+
+    def design_probe_needed(self, design_hash: str, count: int) -> bool:
+        """Whether probing ``count`` keys of one design could hit at all.
+
+        ``False`` means the whole group cold-misses: no memory-tier or
+        backfill entry carries this design hash and there is no disk
+        tier.  The miss counters are bulk-updated here, so the caller
+        may skip per-key probing with identical observable behavior.
+        (``False`` with no counter change when caching is disabled,
+        mirroring :meth:`probe_result`.)
+        """
+        if not self._cache_enabled:
+            return False
+        if self._disk_cache is not None \
+                or design_hash in self._cache_hashes \
+                or design_hash in self._backfill_hashes:
+            return True
+        with self._lock:
+            self._cache_misses += count
+        return False
+
+    def probe_results(self, keys) -> List[Optional[SimResult]]:
+        """Bulk :meth:`probe_result` over a whole group of job keys.
+
+        Observable behavior (hits returned and promoted, counters
+        ticked) matches probing each key individually, but each tier is
+        consulted in one sweep — at most one lock round-trip for the
+        backfill tier and one for the counters, instead of one per
+        point.
+        """
+        if not self._cache_enabled:
+            return [None] * len(keys)
+        out: List[Optional[SimResult]] = [None] * len(keys)
+        cache = self._cache
+        hits = 0
+        thunks: List[Tuple[int, Any]] = []
+        if cache:
+            remaining: List[int] = []
+            for position, key in enumerate(keys):
+                if key is None:
+                    continue
+                hit = cache.get(key)
+                if hit is not None:
+                    hits += 1
+                    out[position] = replace(hit, cached=True)
+                else:
+                    remaining.append(position)
+        else:
+            remaining = [position for position, key in enumerate(keys)
+                         if key is not None]
+        # A cold exploration of a new design probes thousands of keys
+        # that cannot be in the backfill tier; the hash index answers
+        # that for the whole group without touching the OrderedDict.
+        if remaining and self._backfill_hashes and any(
+                keys[position][0] in self._backfill_hashes
+                for position in remaining):
+            with self._lock:
+                backfill = self._vector_backfill
+                still: List[int] = []
+                for position in remaining:
+                    thunk = backfill.pop(keys[position], None)
+                    if thunk is not None:
+                        self._drop_backfill_hash(keys[position][0])
+                        thunks.append((position, thunk))
+                    else:
+                        still.append(position)
+                remaining = still
+            for position, thunk in thunks:
+                result = thunk()
+                self._store(keys[position], result)
+                hits += 1
+                out[position] = replace(result, cached=True)
+        if remaining and self._disk_cache is not None:
+            still = []
+            for position in remaining:
+                key = keys[position]
+                persisted = self._disk_cache.get(key[0], key[1])
+                if persisted is None:
+                    still.append(position)
+                    continue
+                hits += 1
+                with self._lock:
+                    cache.setdefault(key, persisted)
+                    self._cache_hashes.add(key[0])
+                out[position] = replace(persisted, cached=True)
+            remaining = still
+        if hits or remaining:
+            with self._lock:
+                self._cache_hits += hits
+                self._cache_misses += len(remaining)
+        return out
+
+    def offer_result(self, key: Optional[Tuple[str, SimOptions]],
+                     thunk) -> None:
+        """Lazily publish a vector-evaluated result to the cache.
+
+        ``thunk`` must build the full :class:`SimResult` for ``key``
+        when called.  It is only ever invoked if the key is probed again
+        (a later identical run or explore point), at which point the
+        materialized result is promoted into both cache tiers and the
+        probe counts a hit — the same observable behavior as if the
+        object path had executed and stored the point.  Deferring the
+        materialization keeps the fast path fast: most explore points
+        are never re-requested.
+
+        Bounded (oldest offers dropped); no-op when caching is off, the
+        key is ``None``, or the key is already cached.
+        """
+        if key is None or not self._cache_enabled:
+            return
+        if self._cache.get(key) is not None:
+            return
+        with self._lock:
+            if key in self._vector_backfill:
+                self._vector_backfill.move_to_end(key)
+            else:
+                self._backfill_hashes[key[0]] = \
+                    self._backfill_hashes.get(key[0], 0) + 1
+            self._vector_backfill[key] = thunk
+            self._evict_backfill()
+
+    def offer_results(self, offers, same_hash: Optional[str] = None
+                      ) -> None:
+        """Bulk :meth:`offer_result` over ``(key, thunk)`` pairs.
+
+        Same semantics, one lock acquisition for the whole group.  A
+        caller whose offers all carry one design hash may pass it as
+        ``same_hash``; when that design has nothing cached or pending
+        yet (the cold-exploration common case) the whole group inserts
+        without per-key membership checks.
+        """
+        if not self._cache_enabled or not offers:
+            return
+        cache = self._cache
+        backfill = self._vector_backfill
+        hashes = self._backfill_hashes
+        with self._lock:
+            if same_hash is not None and same_hash not in hashes \
+                    and not cache:
+                before = len(backfill)
+                for key, thunk in offers:
+                    backfill[key] = thunk
+                added = len(backfill) - before
+                if added:
+                    hashes[same_hash] = hashes.get(same_hash, 0) + added
+                self._evict_backfill()
+                return
+            check_cache = bool(cache)
+            for key, thunk in offers:
+                if key is None or (check_cache
+                                   and cache.get(key) is not None):
+                    continue
+                if key in backfill:
+                    backfill.move_to_end(key)
+                else:
+                    hashes[key[0]] = hashes.get(key[0], 0) + 1
+                backfill[key] = thunk
+            self._evict_backfill()
+
+    def _drop_backfill_hash(self, design_hash: str) -> None:
+        """Un-count one backfill entry of ``design_hash`` (lock held)."""
+        count = self._backfill_hashes.get(design_hash, 0)
+        if count <= 1:
+            self._backfill_hashes.pop(design_hash, None)
+        else:
+            self._backfill_hashes[design_hash] = count - 1
+
+    def _evict_backfill(self) -> None:
+        """Enforce the backfill tier's size bound (lock held)."""
+        backfill = self._vector_backfill
+        while len(backfill) > _VECTOR_BACKFILL_LIMIT:
+            evicted, _ = backfill.popitem(last=False)
+            self._drop_backfill_hash(evicted[0])
 
     def _pass_memo_for(self, design: Design,
                        design_hash: Optional[str]) -> PassMemo:
@@ -907,6 +1151,9 @@ class Simulator:
         """
         with self._lock:
             self._cache.clear()
+            self._vector_backfill.clear()
+            self._backfill_hashes.clear()
+            self._cache_hashes.clear()
         if disk and self._disk_cache is not None:
             self._disk_cache.clear()
 

@@ -121,6 +121,59 @@ def power_density(system: SensorSystem, report: EnergyReport,
     return total_power / total_area
 
 
+def power_density_batch(system: SensorSystem, entries, frame_rate,
+                        include_comm: bool = False):
+    """Vector mirror of :func:`power_density` over energy columns.
+
+    ``entries`` are ``VectorEntry`` columns (per-point energy vectors or
+    design-constant floats) and ``frame_rate`` is the per-point frame
+    rate vector; the fold orders and division sequence replicate the
+    scalar functions exactly, so each element is bit-identical to the
+    scalar density of that point.  The no-on-chip-area
+    :class:`ConfigurationError` depends only on the design and is raised
+    (not masked) for the whole batch, mirroring every scalar point
+    failing the same way.
+    """
+    import numpy as np
+
+    areas = estimate_area(system)
+    power_by_layer = {}
+    for entry in entries:
+        if entry.layer == OFF_CHIP:
+            continue
+        if not include_comm and _is_comm_entry(entry):
+            continue
+        power_by_layer[entry.layer] = (power_by_layer.get(entry.layer, 0.0)
+                                       + entry.energy * frame_rate)
+    densities = {}
+    footprint = areas.footprint if system.is_stacked else None
+    for layer_name, power in power_by_layer.items():
+        area = footprint if footprint else areas.by_layer.get(layer_name,
+                                                              0.0)
+        if area <= 0:
+            continue
+        densities[layer_name] = power / area
+    if not densities:
+        raise ConfigurationError(
+            f"system {system.name!r} has no on-chip area to compute a "
+            f"power density over; set pixel geometry or memory areas")
+    if system.is_stacked:
+        # max() over per-layer vectors, element-wise; np.maximum is a
+        # selection (never rounds), so ties and order match the scalar
+        # max() bit-for-bit.
+        best = None
+        for value in densities.values():
+            best = value if best is None else np.maximum(best, value)
+        return best
+    total_area = areas.total
+    total_power = 0
+    for entry in entries:
+        if entry.layer != OFF_CHIP \
+                and (include_comm or not _is_comm_entry(entry)):
+            total_power = total_power + entry.energy * frame_rate
+    return total_power / total_area
+
+
 def format_density(density: float) -> str:
     """Render a power density in the paper's mW/mm^2 unit."""
     return f"{density / (units.mW / units.mm2):.2f} mW/mm^2"

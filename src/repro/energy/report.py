@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import units
 from repro.exceptions import ConfigurationError
@@ -46,6 +46,25 @@ class EnergyEntry:
             raise ConfigurationError(
                 f"energy entry {self.name!r}: energy must be non-negative, "
                 f"got {self.energy}")
+
+
+@dataclass(frozen=True)
+class VectorEntry:
+    """Column-oriented :class:`EnergyEntry`: one component across a batch.
+
+    ``energy`` is either a NumPy array (one element per explored point)
+    or a plain float for components whose energy does not depend on the
+    swept options; arithmetic broadcasts either way.  Produced by the
+    batch energy models (``analog_energy_batch`` et al.) and consumed by
+    the vectorized explore path, which materializes per-point
+    :class:`EnergyEntry` rows from it on demand.
+    """
+
+    name: str
+    category: Category
+    layer: str
+    energy: Any
+    stage: Optional[str] = None
 
 
 @dataclass

@@ -67,3 +67,12 @@ class WorkerCrashError(CamJError):
     implicated in multiple worker-process deaths: re-running it would
     keep crashing the pool, so it is failed instead of retried.
     """
+
+
+class VectorUnsupported(Exception):
+    """A design or group cannot take the vectorized explore fast path.
+
+    Deliberately *not* a :class:`CamJError`: it never reaches users as a
+    failure — the explore engine catches it and routes the affected
+    points through the object path instead.
+    """

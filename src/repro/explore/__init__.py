@@ -36,6 +36,8 @@ from repro.explore.annotate import (
 )
 from repro.explore.engine import (
     DEFAULT_OBJECTIVES,
+    ENGINE_CHOICES,
+    ENGINE_COUNTERS,
     EXPLORATION_SCHEMA,
     ExplorationInterrupted,
     ExplorationPoint,
@@ -84,6 +86,7 @@ __all__ = [
     "explore", "explore_stream", "ExplorationPoint", "ExplorationResult",
     "ExplorationInterrupted", "dominates", "pareto_indices",
     "dominance_ranks", "DEFAULT_OBJECTIVES", "EXPLORATION_SCHEMA",
+    "ENGINE_CHOICES", "ENGINE_COUNTERS",
     # annotation
     "Bottleneck", "identify_bottlenecks", "dominant_category",
     # specs

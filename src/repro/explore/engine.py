@@ -28,8 +28,10 @@ from repro.api.registry import build_usecase
 from repro.api.result import SimOptions, SimResult
 from repro.api.simulator import Simulator
 from repro.energy.report import EnergyReport
-from repro.exceptions import CamJError, ConfigurationError, SerializationError
+from repro.exceptions import CamJError, ConfigurationError, \
+    SerializationError, VectorUnsupported
 from repro.explore.annotate import Bottleneck, identify_bottlenecks
+from repro.resilience.faults import get_injector
 from repro.explore.metrics import Metric, metric as _lookup_metric, \
     resolve_metrics
 from repro.explore.space import OPTIONS_PREFIX, ParameterSpace
@@ -40,6 +42,15 @@ EXPLORATION_SCHEMA = "repro.explore/1"
 #: The per-batch resilience counters an exploration aggregates.
 RESILIENCE_COUNTERS = ("retries", "timeouts", "pool_rebuilds",
                        "quarantined")
+
+#: Per-engine point tallies an exploration reports: how many points the
+#: structure-of-arrays fast path evaluated vs. how many went through the
+#: per-point object path (``run_many``).  Under ``engine="object"`` both
+#: stay zero — nothing was routed.
+ENGINE_COUNTERS = ("vectorized", "fallback")
+
+#: Valid values of the ``engine`` parameter.
+ENGINE_CHOICES = ("auto", "vector", "object")
 
 #: Objectives used when the caller names none: the Sec. 6 trade-off
 #: (energy vs. power density) plus the latency the frame budget gates.
@@ -212,7 +223,10 @@ class ExplorationResult:
     (``retries``/``timeouts``/``pool_rebuilds``/``quarantined`` — see
     :class:`repro.api.simulator.BatchStats`); all zeros on a healthy
     run, so healthy documents stay byte-identical across retries of
-    the same study.
+    the same study.  ``engines`` tallies how many points each
+    evaluation engine handled (``vectorized``/``fallback`` — see
+    :data:`ENGINE_COUNTERS`); old documents without the key load as
+    all zeros.
     """
 
     name: str
@@ -221,6 +235,8 @@ class ExplorationResult:
     points: List[ExplorationPoint]
     resilience: Dict[str, int] = field(
         default_factory=lambda: dict.fromkeys(RESILIENCE_COUNTERS, 0))
+    engines: Dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(ENGINE_COUNTERS, 0))
 
     @property
     def goals(self) -> Tuple[str, ...]:
@@ -286,6 +302,8 @@ class ExplorationResult:
             "ranks": self.dominance_ranks(),
             "resilience": {key: int(self.resilience.get(key, 0))
                            for key in RESILIENCE_COUNTERS},
+            "engines": {key: int(self.engines.get(key, 0))
+                        for key in ENGINE_COUNTERS},
         }
 
     @classmethod
@@ -312,8 +330,11 @@ class ExplorationResult:
         raw_resilience = payload.get("resilience") or {}
         resilience = {key: int(raw_resilience.get(key, 0))
                       for key in RESILIENCE_COUNTERS}
+        raw_engines = payload.get("engines") or {}
+        engines = {key: int(raw_engines.get(key, 0))
+                   for key in ENGINE_COUNTERS}
         return cls(name=name, objectives=objectives, options=options,
-                   points=points, resilience=resilience)
+                   points=points, resilience=resilience, engines=engines)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The result as a canonical JSON document."""
@@ -390,16 +411,18 @@ def _metric_from_payload(raw: Dict[str, Any]) -> Metric:
         raise SerializationError(
             f"objective spec must be an object with a 'name', got {raw!r}")
     name = raw["name"]
+    vector = None
     try:
         registered = _lookup_metric(name)
         extract = registered.extract
+        vector = registered.vector
     except ConfigurationError:
         def extract(design, report, _name=name):
             raise ConfigurationError(
                 f"metric {_name!r} was deserialized without an extractor; "
                 f"register it before re-evaluating")
     return Metric(name=name, unit=raw.get("unit", ""), extract=extract,
-                  goal=raw.get("goal", "min"))
+                  goal=raw.get("goal", "min"), vector=vector)
 
 
 # --- the engine -----------------------------------------------------------
@@ -421,27 +444,16 @@ def _as_design(built: BuilderResult) -> Design:
     return Design(stages, system, mapping)
 
 
-def _split_params(params: Dict[str, Any]
-                  ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-    """Split a space point into builder params and SimOptions overrides."""
-    build_params = {}
-    option_overrides = {}
-    for name, value in params.items():
-        if name.startswith(OPTIONS_PREFIX):
-            option_overrides[name[len(OPTIONS_PREFIX):]] = value
-        else:
-            build_params[name] = value
-    return build_params, option_overrides
-
-
-def _freeze(params: Dict[str, Any]) -> Optional[tuple]:
-    """A hashable cache key for builder params (None when unhashable)."""
-    try:
-        key = tuple(sorted(params.items()))
-        hash(key)
-        return key
-    except TypeError:
-        return None
+def _split_plan(names: Tuple[str, ...]) -> Tuple[tuple, tuple, tuple]:
+    """Split plan for one key-set: builder names, full and short
+    (prefix-stripped) option-override names."""
+    build_names = tuple(name for name in names
+                        if not name.startswith(OPTIONS_PREFIX))
+    override_full = tuple(name for name in names
+                          if name.startswith(OPTIONS_PREFIX))
+    override_short = tuple(name[len(OPTIONS_PREFIX):]
+                           for name in override_full)
+    return build_names, override_full, override_short
 
 
 def explore(space: ParameterSpace,
@@ -450,7 +462,8 @@ def explore(space: ParameterSpace,
             options: Optional[SimOptions] = None,
             simulator: Optional[Simulator] = None,
             name: Optional[str] = None,
-            annotate: bool = True) -> ExplorationResult:
+            annotate: bool = True,
+            engine: str = "auto") -> ExplorationResult:
     """Run ``builder`` across ``space`` and analyze the objectives.
 
     Parameters
@@ -473,6 +486,18 @@ def explore(space: ParameterSpace,
         returning.
     annotate:
         Attach the top energy bottleneck to every feasible point.
+    engine:
+        Point-evaluation strategy.  ``"auto"`` (default) routes groups
+        of :data:`~repro.explore.vector.VECTOR_MIN_POINTS`-or-more
+        points that share one design and vary only in options through
+        the vectorized structure-of-arrays path
+        (:mod:`repro.explore.vector`) — bit-identical results, orders
+        of magnitude faster — and everything else through the object
+        path.  ``"vector"`` vectorizes every group it can (any size)
+        and raises :class:`ConfigurationError` when the objectives (or
+        a missing numpy) make vectorization impossible; unsupported
+        *designs* still fall back per group.  ``"object"`` forces
+        today's per-point path for everything.
 
     Builder failures, simulation failures (timing, stalls), and metric
     extraction failures are all :class:`CamJError`-typed infeasible
@@ -481,7 +506,7 @@ def explore(space: ParameterSpace,
     """
     return explore_stream(space, builder, objectives=objectives,
                           options=options, simulator=simulator, name=name,
-                          annotate=annotate)
+                          annotate=annotate, engine=engine)
 
 
 def explore_stream(space: ParameterSpace,
@@ -495,8 +520,8 @@ def explore_stream(space: ParameterSpace,
                    chunk_size: Optional[int] = None,
                    on_progress: Optional[Callable[
                        [List[ExplorationPoint], int, int, int], None]] = None,
-                   should_stop: Optional[Callable[[], bool]] = None
-                   ) -> ExplorationResult:
+                   should_stop: Optional[Callable[[], bool]] = None,
+                   engine: str = "auto") -> ExplorationResult:
     """:func:`explore`, incrementally: points surface as they complete.
 
     The space is evaluated in chunks of ``chunk_size`` points
@@ -518,6 +543,16 @@ def explore_stream(space: ParameterSpace,
     if chunk_size is not None and chunk_size < 1:
         raise ConfigurationError(
             f"chunk_size must be >= 1 or None, got {chunk_size}")
+    if engine not in ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINE_CHOICES}, got {engine!r}")
+    if engine == "vector":
+        from repro.explore import vector as vector_engine
+        support_error = vector_engine.vector_support_error(
+            resolved_objectives)
+        if support_error is not None:
+            raise ConfigurationError(
+                f"engine 'vector' is unavailable: {support_error}")
     owns_session = simulator is None
     simulator = simulator if simulator is not None else Simulator(options)
     base_options = options if options is not None else simulator.options
@@ -545,8 +580,10 @@ def explore_stream(space: ParameterSpace,
     total = len(all_params)
     step = chunk_size if chunk_size is not None else max(total, 1)
     built_cache: Dict[tuple, Union[Design, CamJError]] = {}
+    options_cache: Dict[tuple, SimOptions] = {}
     points: List[ExplorationPoint] = []
     resilience = dict.fromkeys(RESILIENCE_COUNTERS, 0)
+    engines = dict.fromkeys(ENGINE_COUNTERS, 0)
     # A session we created exists only for this exploration: release its
     # pool workers once done (caller-provided sessions keep theirs for
     # the next exploration).
@@ -556,12 +593,16 @@ def explore_stream(space: ParameterSpace,
                 raise ExplorationInterrupted(
                     f"exploration {result_name!r} stopped after "
                     f"{len(points)}/{total} points")
-            chunk_points, chunk_hits, chunk_resilience = _run_chunk(
-                all_params[start:start + step], build, base_options,
-                built_cache, simulator, resolved_objectives, annotate)
+            chunk_points, chunk_hits, chunk_resilience, chunk_engines = \
+                _run_chunk(
+                    all_params[start:start + step], build, base_options,
+                    built_cache, simulator, resolved_objectives, annotate,
+                    engine, options_cache)
             points.extend(chunk_points)
             for counter, count in chunk_resilience.items():
                 resilience[counter] += count
+            for counter, count in chunk_engines.items():
+                engines[counter] += count
             if on_progress is not None:
                 on_progress(chunk_points, len(points), total, chunk_hits)
     except (KeyboardInterrupt, SystemExit):
@@ -577,7 +618,7 @@ def explore_stream(space: ParameterSpace,
     return ExplorationResult(name=result_name,
                              objectives=resolved_objectives,
                              options=base_options, points=points,
-                             resilience=resilience)
+                             resilience=resilience, engines=engines)
 
 
 def _run_chunk(chunk_params: List[Dict[str, Any]],
@@ -586,31 +627,73 @@ def _run_chunk(chunk_params: List[Dict[str, Any]],
                built_cache: Dict[tuple, Union[Design, CamJError]],
                simulator: Simulator,
                objectives: Sequence[Metric],
-               annotate: bool
-               ) -> Tuple[List[ExplorationPoint], int, Dict[str, int]]:
+               annotate: bool,
+               engine: str = "auto",
+               options_cache: Optional[Dict[tuple, SimOptions]] = None,
+               ) -> Tuple[List[ExplorationPoint], int, Dict[str, int],
+                          Dict[str, int]]:
     """Build, simulate, and evaluate one chunk of space points.
 
     Identical builder params build the design once — ``built_cache``
     persists across chunks, so option-only sweeps build exactly one
-    design no matter how finely the run is chunked.  Returns the
-    chunk's points (in input order), its result-cache hit count, and
-    the resilience counters its one ``run_many`` batch reported.
+    design no matter how finely the run is chunked (``options_cache``
+    does the same for validated per-point option overrides).  Returns
+    the chunk's points (in input order), its result-cache hit count,
+    the resilience counters its one ``run_many`` batch reported, and
+    the engine counters (vector-evaluated vs object-fallback point
+    counts).
     """
+    if options_cache is None:
+        options_cache = {}
     # Phase 1: enumerate and build.  Failures of either the builder or
     # the per-point options become typed infeasible points.
     slots: List[Tuple[Dict[str, Any], Optional[Design],
                       Optional[SimOptions], Optional[CamJError]]] = []
+    # Points of one space share their key tuple, so the name split is
+    # computed once per distinct key-set instead of once per point.
+    split_plans: Dict[tuple, Tuple[tuple, tuple]] = {}
     for params in chunk_params:
-        build_params, overrides = _split_params(params)
+        names = tuple(params)
+        plan = split_plans.get(names)
+        if plan is None:
+            plan = _split_plan(names)
+            split_plans[names] = plan
+        build_names, override_full, override_short = plan
+        if override_full:
+            # Validated options dedup across points (and chunks): a
+            # frame-rate axis shared by many designs replays the same
+            # overrides for every design.  The key is built straight
+            # from the point — no intermediate dict on the hot path —
+            # with unhashable values falling through to a fresh build.
+            try:
+                options_key = (override_short,
+                               tuple(map(params.__getitem__,
+                                         override_full)))
+                point_options = options_cache.get(options_key)
+            except TypeError:
+                options_key = None
+                point_options = None
+            if point_options is None:
+                overrides = dict(zip(override_short,
+                                     map(params.__getitem__,
+                                         override_full)))
+                try:
+                    point_options = base_options.replace(**overrides)
+                except CamJError as error:
+                    slots.append((params, None, None, error))
+                    continue
+                if options_key is not None:
+                    options_cache[options_key] = point_options
+        else:
+            point_options = base_options
         try:
-            point_options = base_options.replace(**overrides) if overrides \
-                else base_options
-        except CamJError as error:
-            slots.append((params, None, None, error))
-            continue
-        key = _freeze(build_params)
-        cached = built_cache.get(key) if key is not None else None
+            key = (build_names, tuple(map(params.__getitem__, build_names)))
+            cached = built_cache.get(key)
+        except TypeError:
+            key = None
+            cached = None
         if cached is None:
+            build_params = {name: params[name] for name in build_names}
             try:
                 cached = _as_design(build(**build_params))
             except CamJError as error:
@@ -622,15 +705,29 @@ def _run_chunk(chunk_params: List[Dict[str, Any]],
         else:
             slots.append((params, cached, point_options, None))
 
-    # Phase 2: one parallel, deduplicated batch over the buildable points.
-    jobs = [(design, point_options)
-            for _, design, point_options, error in slots if error is None]
+    # Phase 2a: the vector fast path takes eligible groups (same design
+    # object, numeric-only variation) out of the object batch entirely.
+    engines = dict.fromkeys(ENGINE_COUNTERS, 0)
+    vector_points: Dict[int, ExplorationPoint] = {}
+    vector_hits = 0
+    if engine != "object":
+        vector_points, vector_hits = _run_vector_groups(
+            slots, simulator, objectives, annotate, engine)
+        engines["vectorized"] = len(vector_points)
+
+    # Phase 2b: one parallel, deduplicated batch over the buildable
+    # points the vector path did not claim.
+    job_indices = [index for index, (_, _, _, error) in enumerate(slots)
+                   if error is None and index not in vector_points]
+    jobs = [(slots[index][1], slots[index][2]) for index in job_indices]
     results = simulator.run_many(jobs) if jobs else []
+    if engine != "object":
+        engines["fallback"] = len(jobs)
     # Per-result ``cached`` flags are race-free under concurrent batches
     # on a shared session, unlike the session-wide counters.  The batch
     # stats must be read *here*, right after our own run_many call (an
     # empty chunk never ran a batch, so its counters are all zero).
-    chunk_hits = sum(1 for result in results if result.cached)
+    chunk_hits = sum(1 for result in results if result.cached) + vector_hits
     resilience = dict.fromkeys(RESILIENCE_COUNTERS, 0)
     if jobs:
         stats = simulator.last_batch_stats
@@ -638,19 +735,79 @@ def _run_chunk(chunk_params: List[Dict[str, Any]],
             for counter in RESILIENCE_COUNTERS:
                 resilience[counter] = getattr(stats, counter, 0)
 
-    # Phase 3: evaluate objectives and annotate.
+    # Phase 3: evaluate objectives and annotate.  When the vector path
+    # claimed the whole chunk (so no error slots existed either), the
+    # merge is a straight read-out.
+    if len(vector_points) == len(slots):
+        return [vector_points[index] for index in range(len(slots))], \
+            chunk_hits, resilience, engines
     points: List[ExplorationPoint] = []
     cursor = iter(results)
-    for params, design, _, error in slots:
+    for index, (params, design, _, error) in enumerate(slots):
         if error is not None:
             points.append(ExplorationPoint(
                 params=params, failure_type=type(error).__name__,
                 failure=str(error)))
             continue
+        if index in vector_points:
+            points.append(vector_points[index])
+            continue
         points.append(_evaluate_point(params, design, next(cursor),
                                       objectives, annotate))
 
-    return points, chunk_hits, resilience
+    return points, chunk_hits, resilience, engines
+
+
+def _run_vector_groups(slots, simulator: Simulator,
+                       objectives: Sequence[Metric], annotate: bool,
+                       engine: str
+                       ) -> Tuple[Dict[int, ExplorationPoint], int]:
+    """Route eligible slot groups through the vector fast path.
+
+    Groups slots by design identity (the built-design cache already
+    collapses option-only sweeps onto one object) and hands each
+    large-enough group to :func:`repro.explore.vector.evaluate_group`.
+    Returns the points it produced keyed by slot index, plus the
+    number of them served from the result cache.  Any group the
+    lowering rejects (:class:`VectorUnsupported`) is silently left for
+    the object path — under ``engine="auto"`` that is the contract;
+    under ``engine="vector"`` unsupported *objectives* were already
+    rejected up front, and design-level rejections still degrade
+    gracefully rather than failing the run.
+    """
+    from repro.explore import vector as vector_mod
+
+    if not vector_mod.numpy_available() \
+            or vector_mod.vector_support_error(objectives) is not None:
+        return {}, 0
+    if get_injector().active:
+        # Fault injection hooks the object execution path; vectorized
+        # evaluation would sidestep the injected faults.
+        return {}, 0
+    groups: Dict[int, List[int]] = {}
+    designs: Dict[int, Design] = {}
+    for index, (_, design, point_options, error) in enumerate(slots):
+        if error is not None or point_options.cycle_accurate:
+            continue
+        groups.setdefault(id(design), []).append(index)
+        designs[id(design)] = design
+    min_points = 1 if engine == "vector" else vector_mod.VECTOR_MIN_POINTS
+    vector_points: Dict[int, ExplorationPoint] = {}
+    hits = 0
+    for design_id, indices in groups.items():
+        if len(indices) < min_points:
+            continue
+        design = designs[design_id]
+        group = [(slots[index][0], slots[index][2]) for index in indices]
+        try:
+            group_points, group_hits = vector_mod.evaluate_group(
+                simulator, design, group, objectives, annotate)
+        except VectorUnsupported:
+            continue
+        for index, point in zip(indices, group_points):
+            vector_points[index] = point
+        hits += group_hits
+    return vector_points, hits
 
 
 def _evaluate_point(params: Dict[str, Any], design: Design,

@@ -30,8 +30,8 @@ from typing import Any, Dict, List, Optional
 from repro.api.result import SimOptions
 from repro.api.simulator import Simulator
 from repro.exceptions import SerializationError
-from repro.explore.engine import (DEFAULT_OBJECTIVES, ExplorationResult,
-                                  explore)
+from repro.explore.engine import (DEFAULT_OBJECTIVES, ENGINE_CHOICES,
+                                  ExplorationResult, explore)
 from repro.explore.space import ParameterSpace, space_from_dict
 
 #: Schema tag of an exploration spec file.
@@ -48,13 +48,21 @@ class ExplorationSpec:
         default_factory=lambda: list(DEFAULT_OBJECTIVES))
     options: SimOptions = field(default_factory=SimOptions)
     name: Optional[str] = None
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_CHOICES:
+            raise SerializationError(
+                f"spec engine must be one of {ENGINE_CHOICES}, "
+                f"got {self.engine!r}")
 
     def run(self, simulator: Optional[Simulator] = None
             ) -> ExplorationResult:
         """Execute the spec through the exploration engine."""
         return explore(self.space, self.usecase,
                        objectives=self.objectives, options=self.options,
-                       simulator=simulator, name=self.name)
+                       simulator=simulator, name=self.name,
+                       engine=self.engine)
 
     def to_dict(self) -> Dict[str, Any]:
         """The spec back as its JSON form."""
@@ -67,6 +75,8 @@ class ExplorationSpec:
         }
         if self.name is not None:
             payload["name"] = self.name
+        if self.engine != "auto":
+            payload["engine"] = self.engine
         return payload
 
 
@@ -81,7 +91,7 @@ def exploration_spec_from_dict(payload: Dict[str, Any]) -> ExplorationSpec:
         raise SerializationError(
             f"expected schema {EXPLORATION_SPEC_SCHEMA!r}, got {schema!r}")
     unknown = set(payload) - {"schema", "usecase", "space", "objectives",
-                              "options", "name"}
+                              "options", "name", "engine"}
     if unknown:
         raise SerializationError(
             f"unknown exploration spec keys: {sorted(unknown)}")
@@ -99,7 +109,8 @@ def exploration_spec_from_dict(payload: Dict[str, Any]) -> ExplorationSpec:
         space=space_from_dict(payload["space"]),
         objectives=list(objectives),
         options=SimOptions.from_dict(payload.get("options", {})),
-        name=payload.get("name"))
+        name=payload.get("name"),
+        engine=payload.get("engine", "auto"))
 
 
 def load_exploration_spec(path) -> ExplorationSpec:

@@ -1,0 +1,589 @@
+"""Structure-of-arrays batch evaluation: the explore fast path.
+
+Exploration grids routinely sweep *numeric knobs* over one built design
+— frame rates, exposure slots — producing groups of points that share a
+stage graph, mapping, and hardware but differ only in
+:class:`~repro.api.result.SimOptions`.  The object path simulates each
+such point through the full engine; this module evaluates a whole group
+at once:
+
+1. the design is *lowered* once into per-component energy kernels
+   (:mod:`repro.hw.analog.vector`), memoized per content hash;
+2. the design-only passes (timeline, analog usage, communication
+   energy) run through the session's :class:`PassMemo` exactly like the
+   engine would;
+3. timing, analog/digital energy, and power density evaluate as
+   element-wise NumPy expressions over per-point column vectors;
+4. metrics extract columns through their ``vector`` extractors.
+
+Equivalence contract: every float operation sequence of the scalar
+engine is replayed element-wise, so vector-evaluated points are
+*bit-identical* to object-path points — same metrics, same infeasibility
+boundaries, same :class:`TimingError` messages — which the property
+tests in ``tests/test_vector.py`` assert.  Designs, cells, memories, or
+metrics that cannot be vectorized raise
+:class:`~repro.exceptions.VectorUnsupported` during lowering (before any
+observable cache side effect) and the engine falls back to
+:meth:`Simulator.run_many` for the group.
+
+Cache semantics match the object path: every point probes the session
+result cache first (hits are served as cached results, misses counted),
+and vector-evaluated outcomes are offered back to the cache as lazy
+thunks (:meth:`Simulator.offer_result`) that materialize a full
+:class:`SimResult` only if the key is ever requested again.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.design import Design
+from repro.api.result import SimOptions, SimResult
+from repro.api.simulator import Simulator
+from repro.energy.analog_model import analog_energy_batch, analog_usage
+from repro.energy.comm_model import communication_energy
+from repro.energy.digital_model import digital_energy_batch
+from repro.energy.report import (Category, EnergyEntry, EnergyReport,
+                                 VectorEntry)
+from repro.exceptions import CamJError, TimingError, VectorUnsupported
+from repro.explore.annotate import _HINTS, Bottleneck
+from repro.explore.engine import ExplorationPoint, _evaluate_point
+from repro.explore.metrics import Metric
+from repro.hw.analog.vector import lower_array, numpy_available
+from repro.resilience.policy import FailureClass, classify
+from repro.sim.cycle_sim import simulate_digital
+from repro.sim.simulator import _run_pass
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    _np = None
+
+#: Smallest same-design group the ``auto`` engine vectorizes.  Tiny
+#: groups gain nothing over the object path (lowering plus array setup
+#: costs more than a handful of scalar runs), and below this bound the
+#: object path's per-point reports stay attached — the behavior existing
+#: small sweeps (and their tests) expect.  ``engine="vector"`` ignores
+#: the bound and vectorizes any group it can.
+VECTOR_MIN_POINTS = 4
+
+_LOWERED_LIMIT = 128
+_lowered_cache: "OrderedDict[str, Dict[str, Callable]]" = OrderedDict()
+_lowered_lock = threading.Lock()
+
+
+def vector_support_error(objectives: Sequence[Metric]) -> Optional[str]:
+    """Why the vector path cannot serve these objectives; None if it can."""
+    if not numpy_available():  # pragma: no cover - numpy ships in CI
+        return "numpy is not installed"
+    missing = sorted(objective.name for objective in objectives
+                     if objective.vector is None)
+    if missing:
+        return (f"objective(s) {missing} have no vector extractor; "
+                f"register the metric with a vector= callable or use "
+                f"the object engine")
+    return None
+
+
+def _lower_design(design: Design, design_hash: Optional[str]
+                  ) -> Dict[str, Callable]:
+    """Lower every analog array of a design to vector energy kernels.
+
+    Pure over the design's *system* (no passes run, no cache touched),
+    so eligibility is decided before the group produces any observable
+    side effect.  Also pre-screens the digital memories — their leakage
+    formula is replayed element-wise later, which only mirrors the stock
+    implementation.  Memoized per content hash.
+    """
+    if design_hash is not None:
+        with _lowered_lock:
+            cached = _lowered_cache.get(design_hash)
+            if cached is not None:
+                _lowered_cache.move_to_end(design_hash)
+                return cached
+    from repro.hw.digital.memory import DigitalMemory
+    for memory in design.system.memories:
+        if getattr(type(memory), "leakage_energy", None) \
+                is not DigitalMemory.leakage_energy:
+            raise VectorUnsupported(
+                f"memory {getattr(memory, 'name', memory)!r} overrides "
+                f"leakage_energy")
+    lowered = {array.name: lower_array(array)
+               for array in design.system.analog_arrays}
+    if design_hash is not None:
+        with _lowered_lock:
+            _lowered_cache[design_hash] = lowered
+            while len(_lowered_cache) > _LOWERED_LIMIT:
+                _lowered_cache.popitem(last=False)
+    return lowered
+
+
+class VectorBatch:
+    """Column view of one vector-evaluated group of feasible points.
+
+    Metric ``vector`` extractors receive this in place of a per-point
+    :class:`EnergyReport`; the rollups mirror the report's with the same
+    left-fold float arithmetic, element-wise, so each column element is
+    bit-identical to the scalar metric of that point.  Values may be
+    design-constant scalars (broadcast); :meth:`materialize` turns any
+    extractor result into a dense per-point column.
+    """
+
+    def __init__(self, design: Design, size: int, frame_rate, frame_time,
+                 digital_latency: float, entries: List[VectorEntry]):
+        self.design = design
+        self.system = design.system
+        self.size = size
+        self.frame_rate = frame_rate
+        self.frame_time = frame_time
+        self.digital_latency = digital_latency
+        self.entries = entries
+        self._total = None
+        self._by_category: Optional[Dict[Category, Any]] = None
+
+    def materialize(self, values) -> Any:
+        """A dense per-point column from a vector or a constant scalar."""
+        if isinstance(values, _np.ndarray):
+            return values
+        return _np.full(self.size, float(values))
+
+    def total_energy(self):
+        if self._total is None:
+            total = _np.zeros(self.size)
+            for entry in self.entries:
+                total = total + entry.energy
+            self._total = total
+        return self._total
+
+    def total_power(self):
+        return self.total_energy() * self.frame_rate
+
+    def by_category(self) -> Dict[Category, Any]:
+        if self._by_category is None:
+            rollup: Dict[Category, Any] = {}
+            for entry in self.entries:
+                rollup[entry.category] = rollup.get(entry.category, 0.0) \
+                    + entry.energy
+            self._by_category = rollup
+        return self._by_category
+
+    def category_energy(self, category: Category):
+        return self.by_category().get(category, 0.0)
+
+    def category_share(self, category: Category):
+        total = self.total_energy()
+        energy = self.materialize(self.category_energy(category))
+        share = _np.zeros(self.size)
+        _np.divide(energy, total, out=share, where=total != 0.0)
+        return share
+
+    def analog_energy(self):
+        return (self.category_energy(Category.SEN)
+                + self.category_energy(Category.COMP_A)
+                + self.category_energy(Category.MEM_A))
+
+    def digital_energy(self):
+        return (self.category_energy(Category.COMP_D)
+                + self.category_energy(Category.MEM_D))
+
+    def communication_energy(self):
+        return (self.category_energy(Category.MIPI)
+                + self.category_energy(Category.UTSV))
+
+    def frame_slack(self):
+        return self.frame_time - self.digital_latency
+
+    def power_density(self, include_comm: bool = False):
+        from repro.area.model import power_density_batch
+        return power_density_batch(self.system, self.entries,
+                                   self.frame_rate,
+                                   include_comm=include_comm)
+
+
+def _error_point(params: Dict[str, Any], design: Design,
+                 design_hash: Optional[str],
+                 error: CamJError) -> ExplorationPoint:
+    return ExplorationPoint(params=params, design_name=design.name,
+                            design_hash=design_hash,
+                            failure_type=type(error).__name__,
+                            failure=str(error))
+
+
+def _error_offer(design: Design, design_hash: Optional[str],
+                 options: SimOptions, error: CamJError):
+    """A cache offer for a failed outcome, iff the object path would
+    cache it; ``None`` otherwise."""
+    if design_hash is None:
+        return None
+    if classify(error) is not FailureClass.PERMANENT:
+        return None
+    design_name = design.name
+    return ((design_hash, options),
+            lambda: SimResult(design_name=design_name, options=options,
+                              design_hash=design_hash, error=error))
+
+
+def _new_point(params: Dict[str, Any], metrics: Dict[str, float],
+               design_name: str, design_hash: Optional[str],
+               bottleneck: Optional[Bottleneck]) -> ExplorationPoint:
+    """A feasible :class:`ExplorationPoint`, built without the frozen
+    dataclass ``__init__`` (one ``object.__setattr__`` per field is the
+    single largest per-point cost at 10k+ points).  Every field is set
+    explicitly; equality, hashing, and serialization are unaffected."""
+    point = object.__new__(ExplorationPoint)
+    point.__dict__.update(params=params, metrics=metrics,
+                          design_name=design_name, design_hash=design_hash,
+                          failure_type=None, failure=None,
+                          bottleneck=bottleneck, report=None)
+    return point
+
+
+def _new_bottleneck(name: str, category: Category, energy: float,
+                    share: float, hint: str) -> Bottleneck:
+    """A :class:`Bottleneck` built the same fast way as :func:`_new_point`."""
+    bottleneck = object.__new__(Bottleneck)
+    bottleneck.__dict__.update(name=name, category=category, energy=energy,
+                               share=share, hint=hint)
+    return bottleneck
+
+
+def _vector_bottlenecks(batch: VectorBatch) -> List[Optional[Bottleneck]]:
+    """Per-point top energy bottleneck, mirroring identify_bottlenecks.
+
+    The scalar ranking sorts (name, category) component totals by
+    energy, descending and stable, and takes the head — equivalent to
+    the first maximum in entry-insertion order, which is what a
+    column-stacked argmax yields.
+    """
+    total = batch.total_energy()
+    groups: "OrderedDict[Tuple[str, Category], Any]" = OrderedDict()
+    for entry in batch.entries:
+        key = (entry.name, entry.category)
+        groups[key] = groups.get(key, 0.0) + entry.energy
+    if not groups:
+        return [None] * batch.size
+    keys = list(groups)
+    matrix = _np.vstack([batch.materialize(groups[key]) for key in keys])
+    top = matrix.argmax(axis=0)
+    top_energy = matrix[top, _np.arange(batch.size)]
+    share = _np.zeros(batch.size)
+    positive = total > 0.0
+    _np.divide(top_energy, total, out=share, where=positive)
+    top_list = top.tolist()
+    energy_list = top_energy.tolist()
+    share_list = share.tolist()
+    # Pre-resolve per-component hints so the per-point loop never
+    # hashes a Category enum.
+    hinted = [key + (_HINTS[key[1]],) for key in keys]
+    if positive.all():
+        return [_new_bottleneck(hinted[top][0], hinted[top][1],
+                                energy_list[i], share_list[i],
+                                hinted[top][2])
+                for i, top in enumerate(top_list)]
+    positive_list = positive.tolist()
+    out: List[Optional[Bottleneck]] = []
+    for i in range(batch.size):
+        if not positive_list[i]:
+            out.append(None)
+            continue
+        name, category, hint = hinted[top_list[i]]
+        out.append(_new_bottleneck(name, category, energy_list[i],
+                                   share_list[i], hint))
+    return out
+
+
+def evaluate_group(simulator: Simulator, design: Design,
+                   group: List[Tuple[Dict[str, Any], SimOptions]],
+                   objectives: Sequence[Metric],
+                   annotate: bool) -> Tuple[List[ExplorationPoint], int]:
+    """Evaluate one same-design group of points on the vector path.
+
+    ``group`` holds ``(params, options)`` pairs.  Returns the points in
+    group order plus the result-cache hit count.  Raises
+    :class:`VectorUnsupported` — before any cache probe or pass runs —
+    when the design cannot be lowered; the caller falls back to the
+    object path with no counters disturbed.
+    """
+    design_hash = simulator.design_key(design)
+    # Eligibility first: lowering inspects only the system, so an
+    # unsupported design escapes here with zero observable side effects.
+    lowered = _lower_design(design, design_hash)
+
+    size = len(group)
+    points: List[Optional[ExplorationPoint]] = [None] * size
+    hits = 0
+    # Cache offers accumulate here and publish in one bulk call on
+    # every exit path.
+    offers: List[tuple] = []
+    try:
+        return _evaluate_lowered(simulator, design, design_hash, lowered,
+                                 group, objectives, annotate, points,
+                                 offers)
+    finally:
+        # Offers are only ever accumulated under a non-None design
+        # hash, so the whole group shares it.
+        simulator.offer_results(offers, same_hash=design_hash)
+
+
+def _evaluate_lowered(simulator: Simulator, design: Design,
+                      design_hash: Optional[str],
+                      lowered: Dict[str, Callable],
+                      group: List[Tuple[Dict[str, Any], SimOptions]],
+                      objectives: Sequence[Metric], annotate: bool,
+                      points: List[Optional[ExplorationPoint]],
+                      offers: List[tuple]
+                      ) -> Tuple[List[ExplorationPoint], int]:
+    hits = 0
+
+    # Mirror the object path's order: run() probes the cache before it
+    # executes anything, so cached points never touch checks or passes.
+    # A design with nothing cached anywhere answers in one call, with
+    # no per-key probing at all.
+    if design_hash is not None \
+            and simulator.design_probe_needed(design_hash, len(group)):
+        keys = [(design_hash, options) for _, options in group]
+        probed = simulator.probe_results(keys)
+        pending: List[int] = []
+        for i, hit in enumerate(probed):
+            if hit is not None:
+                hits += 1
+                params, _ = group[i]
+                points[i] = _evaluate_point(params, design, hit,
+                                            objectives, annotate)
+            else:
+                pending.append(i)
+        if not pending:
+            return points, hits
+    else:
+        # Cold group (or unserializable design): every point is pending.
+        pending = list(range(len(group)))
+
+    # Pre-simulation checks, once per design, session-deduplicated —
+    # exactly the engine's prelude.  A check failure fails every
+    # checked point with the same typed error the object path reports.
+    check_error: Optional[CamJError] = None
+    if any(not group[i][1].skip_checks for i in pending):
+        try:
+            simulator.ensure_design_checked(design, design_hash)
+        except CamJError as error:
+            check_error = error
+    if check_error is None:
+        survivors = pending
+    else:
+        survivors = []
+        for i in pending:
+            params, options = group[i]
+            if options.skip_checks:
+                survivors.append(i)
+                continue
+            points[i] = _error_point(params, design, design_hash,
+                                     check_error)
+            offer = _error_offer(design, design_hash, options, check_error)
+            if offer is not None:
+                offers.append(offer)
+        if not survivors:
+            return points, hits
+
+    # Design-only passes through the session memo: an interleaved or
+    # subsequent object-path run of this design reuses these outputs
+    # (and vice versa), and pass_info() accounts them identically.
+    memo, counters = simulator.pass_context(design, design_hash)
+    try:
+        resolved = design.resolved_units
+        timeline = _run_pass(
+            "timeline", memo, counters,
+            lambda: simulate_digital(design.graph, design.system,
+                                     design.mapping, resolved=resolved))
+        participating = _run_pass(
+            "analog_usage", memo, counters,
+            lambda: analog_usage(design.graph, design.system,
+                                 design.mapping, resolved=resolved))
+    except CamJError as error:
+        for i in survivors:
+            params, options = group[i]
+            points[i] = _error_point(params, design, design_hash, error)
+            offer = _error_offer(design, design_hash, options, error)
+            if offer is not None:
+                offers.append(offer)
+        return points, hits
+
+    # Timing, vectorized (estimate_frame_timing element-wise).  Note
+    # SimOptions validates frame_rate > 0 and exposure_slots >= 1, so
+    # only the budget check can fail here.
+    digital_latency = timeline.total_latency
+    if len(survivors) == len(group):
+        frame_rate_vec = _np.array([options.frame_rate
+                                    for _, options in group], dtype=float)
+    else:
+        frame_rate_vec = _np.array([float(group[i][1].frame_rate)
+                                    for i in survivors])
+    frame_time_vec = 1.0 / frame_rate_vec
+    budget = frame_time_vec - digital_latency
+    feasible_mask = budget > 0.0
+    if feasible_mask.all():
+        # Common case: every survivor fits its frame budget — skip the
+        # per-point scan and the compaction copies entirely.
+        feasible_survivors = survivors
+        frame_rate_f = frame_rate_vec
+        frame_time_f = frame_time_vec
+        budget_f = budget
+    else:
+        frame_time_list = frame_time_vec.tolist()
+        feasible_positions: List[int] = []
+        for position, feasible in enumerate(feasible_mask.tolist()):
+            if feasible:
+                feasible_positions.append(position)
+                continue
+            i = survivors[position]
+            params, options = group[i]
+            error = TimingError(
+                f"digital latency ({digital_latency:.3e} s) exceeds the "
+                f"frame budget ({frame_time_list[position]:.3e} s at "
+                f"{options.frame_rate:g} FPS); the "
+                f"digital pipeline needs a re-design")
+            points[i] = _error_point(params, design, design_hash, error)
+            offer = _error_offer(design, design_hash, options, error)
+            if offer is not None:
+                offers.append(offer)
+        if not feasible_positions:
+            return points, hits
+        # Compact to the feasible subset (exact element copies, so the
+        # downstream arithmetic is unchanged).
+        index = _np.array(feasible_positions)
+        feasible_survivors = [survivors[p] for p in feasible_positions]
+        frame_rate_f = frame_rate_vec[index]
+        frame_time_f = frame_time_vec[index]
+        budget_f = budget[index]
+
+    # Build the energy columns in the engine's entry order: analog,
+    # digital, communication.
+    base_slots = float(len(participating))
+    if len(feasible_survivors) == len(group):
+        slots_f = _np.array([base_slots + options.exposure_slots
+                             for _, options in group])
+    else:
+        slots_f = _np.array([base_slots + group[i][1].exposure_slots
+                             for i in feasible_survivors])
+    delay_f = budget_f / slots_f
+    breakdowns = [lowered[usage.array.name] if usage.ops > 0 else None
+                  for usage in participating]
+    try:
+        entries: List[VectorEntry] = []
+        entries.extend(analog_energy_batch(participating, delay_f,
+                                           breakdowns))
+        entries.extend(digital_energy_batch(design.system, timeline,
+                                            frame_time_f))
+        comm_entries = _run_pass(
+            "comm_energy", memo, counters,
+            lambda: communication_energy(design.graph, design.system,
+                                         design.mapping,
+                                         resolved=resolved))
+        entries.extend(VectorEntry(name=entry.name,
+                                   category=entry.category,
+                                   layer=entry.layer, energy=entry.energy,
+                                   stage=entry.stage)
+                       for entry in comm_entries)
+    except CamJError as error:
+        for i in feasible_survivors:
+            params, options = group[i]
+            points[i] = _error_point(params, design, design_hash, error)
+            offer = _error_offer(design, design_hash, options, error)
+            if offer is not None:
+                offers.append(offer)
+        return points, hits
+
+    batch = VectorBatch(design, len(feasible_survivors), frame_rate_f,
+                        frame_time_f, digital_latency, entries)
+
+    # Metrics, column-wise, in objective order.  A failing metric is
+    # design-wide here (per-point metric failures cannot arise from the
+    # built-in vector extractors), so it fails every batch point with
+    # the object path's message.
+    columns: List[Tuple[str, List[float]]] = []
+    metric_error: Optional[CamJError] = None
+    failed_objective: Optional[Metric] = None
+    for objective in objectives:
+        try:
+            raw = objective.vector(design, batch)
+        except CamJError as error:
+            metric_error = error
+            failed_objective = objective
+            break
+        columns.append((objective.name,
+                        batch.materialize(raw).tolist()))
+    design_name = design.name
+    system_name = design.system.name
+    if metric_error is not None:
+        failure = f"metric {failed_objective.name!r}: {metric_error}"
+        delay_list = delay_f.tolist()
+        frame_time_f_list = frame_time_f.tolist()
+        failure_type = type(metric_error).__name__
+        for column, i in enumerate(feasible_survivors):
+            params, options = group[i]
+            points[i] = ExplorationPoint(
+                params=params, design_name=design_name,
+                design_hash=design_hash,
+                failure_type=failure_type, failure=failure)
+            # The simulation itself succeeded — the object path would
+            # cache its result even though the metric failed.
+            if design_hash is not None:
+                offers.append((
+                    (design_hash, options),
+                    partial(_materialize_report, design_name, system_name,
+                            design_hash, options, frame_time_f_list[column],
+                            digital_latency, delay_list[column], entries,
+                            column)))
+        return points, hits
+
+    bottlenecks: List[Optional[Bottleneck]] = [None] * batch.size
+    if annotate:
+        bottlenecks = _vector_bottlenecks(batch)
+
+    delay_list = delay_f.tolist()
+    frame_time_f_list = frame_time_f.tolist()
+    metric_names = tuple(name for name, _ in columns)
+    metric_rows = list(zip(*(values for _, values in columns)))
+    for column, i in enumerate(feasible_survivors):
+        params, options = group[i]
+        points[i] = _new_point(params,
+                               dict(zip(metric_names, metric_rows[column])),
+                               design_name, design_hash,
+                               bottlenecks[column])
+        if design_hash is not None:
+            offers.append((
+                (design_hash, options),
+                partial(_materialize_report, design_name, system_name,
+                        design_hash, options, frame_time_f_list[column],
+                        digital_latency, delay_list[column], entries,
+                        column)))
+    return points, hits
+
+
+def _materialize_report(design_name: str, system_name: str,
+                        design_hash: str, options: SimOptions,
+                        frame_time: float, digital_latency: float,
+                        analog_stage_delay: float,
+                        entries: List[VectorEntry],
+                        column: int) -> SimResult:
+    """Rebuild one feasible point's full, bit-identical report.
+
+    Bound into a cache offer via :func:`functools.partial`, so the cost
+    per point stays one (C-level) partial until the key is ever probed
+    again — most explore points never are.
+    """
+    report = EnergyReport(system_name=system_name,
+                          frame_rate=options.frame_rate,
+                          frame_time=frame_time,
+                          digital_latency=digital_latency,
+                          analog_stage_delay=analog_stage_delay)
+    report.extend(EnergyEntry(
+        name=entry.name, category=entry.category, layer=entry.layer,
+        energy=(float(entry.energy[column])
+                if isinstance(entry.energy, _np.ndarray)
+                else entry.energy),
+        stage=entry.stage) for entry in entries)
+    return SimResult(design_name=design_name, options=options,
+                     design_hash=design_hash, report=report)

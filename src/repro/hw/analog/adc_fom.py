@@ -98,3 +98,80 @@ def adc_energy_per_conversion(sample_rate: float, bits: int) -> float:
     if bits < 1:
         raise ConfigurationError(f"ADC resolution must be >= 1 bit, got {bits}")
     return walden_fom(sample_rate) * (2 ** bits)
+
+
+_SURVEY_LOG_RATES = tuple(math.log10(point.sample_rate)
+                          for point in FOM_SURVEY)
+_SURVEY_FOMS = tuple(point.fom for point in FOM_SURVEY)
+
+
+def walden_fom_batch(sample_rates, window_decades: float = 0.5):
+    """Vector mirror of :func:`walden_fom` over an array of rates.
+
+    Bit-identical per element: the log-space window is evaluated against
+    the same ``math.log10`` values the scalar lookup compares, and each
+    distinct window takes the same :func:`_median` over the same survey
+    slice.  Survey rates are ascending, so every window is a contiguous
+    slice identified by its (start, length) pair — points sharing a
+    window share one median computation.
+    """
+    import numpy as np
+
+    rates = np.asarray(sample_rates, dtype=float)
+    if rates.size == 0:
+        return np.zeros(0)
+    if not bool((rates > 0).all()):
+        raise ConfigurationError("sample rates must all be positive")
+    # math.log10 per point, not np.log10: the window membership below
+    # must see the very floats the scalar path compares (np.log10 is
+    # not bit-identical to math.log10 on this platform).
+    point_logs = np.array([math.log10(rate) for rate in rates.tolist()])
+    survey_logs = np.array(_SURVEY_LOG_RATES)
+    # The survey is ascending with strictly distinct log rates, so each
+    # point's window is the contiguous run where the scalar predicate
+    # abs(survey_log - point_log) <= window holds.  Two searchsorted
+    # calls seed the run bounds from the rounded point_log -/+ window;
+    # because that one rounding can disagree with the predicate (which
+    # subtracts first) only within ~1 ulp — far below the survey's
+    # log-rate spacing — each bound is off by at most one index, and
+    # the exact-predicate nudges below (two steps, for margin) restore
+    # bit-identical membership without the dense N x survey mask.
+    size = survey_logs.size
+    first = np.searchsorted(survey_logs, point_logs - window_decades,
+                            side="left")
+    last = np.searchsorted(survey_logs, point_logs + window_decades,
+                           side="right")
+
+    def _in_window(indices):
+        probe = survey_logs[np.clip(indices, 0, size - 1)]
+        return np.abs(probe - point_logs) <= window_decades
+
+    for _ in range(2):
+        prev = first - 1
+        first = np.where((prev >= 0) & _in_window(prev), prev, first)
+    for _ in range(2):
+        first = np.where((first < size) & ~_in_window(first),
+                         first + 1, first)
+    for _ in range(2):
+        last = np.where((last < size) & _in_window(last), last + 1, last)
+    for _ in range(2):
+        prev = last - 1
+        last = np.where((prev >= 0) & ~_in_window(prev), prev, last)
+    counts = np.maximum(last - first, 0)
+    out = np.empty(rates.shape)
+    empty = counts == 0
+    if bool(empty.any()):
+        out[empty] = _FOM_FLOOR * np.maximum(1.0,
+                                             rates[empty] / _CORNER_RATE)
+    filled = ~empty
+    if bool(filled.any()):
+        stride = len(_SURVEY_FOMS) + 1
+        keys = first[filled] * stride + counts[filled]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        medians = np.empty(len(unique_keys))
+        for position, key in enumerate(unique_keys.tolist()):
+            start, length = divmod(int(key), stride)
+            medians[position] = _median(
+                list(_SURVEY_FOMS[start:start + length]))
+        out[filled] = medians[inverse]
+    return out

@@ -185,6 +185,7 @@ def handle_stats(app) -> Dict[str, Any]:
         "passes": simulator.pass_info(),
         "pools": simulator.pool_info(),
         "resilience": simulator.resilience_info(),
+        "engines": app.queue.engine_totals(),
         "journal": app.queue.journal_info(),
     }
 

@@ -32,7 +32,8 @@ from repro.api.design import Design
 from repro.api.result import SimOptions
 from repro.api.simulator import Simulator
 from repro.exceptions import CamJError
-from repro.explore.engine import ExplorationInterrupted, explore_stream
+from repro.explore.engine import (ENGINE_COUNTERS, ExplorationInterrupted,
+                                  explore_stream)
 from repro.explore.spec import ExplorationSpec
 from repro.serve.journal import JobJournal
 from repro.serve.progress import JobProgress, StreamBuffer
@@ -147,6 +148,8 @@ class JobQueue:
         self._recovery: Optional[Dict[str, int]] = None
         self._max_jobs_kept = max_jobs_kept
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._engine_totals: Dict[str, int] = dict.fromkeys(
+            ENGINE_COUNTERS, 0)
         self._registry_lock = threading.Lock()
         self._counter = itertools.count(1)
         self._queue: Optional["asyncio.Queue[Optional[Job]]"] = None
@@ -217,6 +220,11 @@ class JobQueue:
     def jobs(self) -> List[Job]:
         with self._registry_lock:
             return list(self._jobs.values())
+
+    def engine_totals(self) -> Dict[str, int]:
+        """Lifetime explore-engine point tallies across finished jobs."""
+        with self._registry_lock:
+            return dict(self._engine_totals)
 
     def cancel(self, job_id: str) -> Job:
         """Request cancellation; queued jobs finish immediately.
@@ -338,7 +346,12 @@ class JobQueue:
             options=spec.options, simulator=self.simulator,
             name=spec.name, chunk_size=self.chunk_size,
             on_progress=on_progress,
-            should_stop=job.cancel_event.is_set)
+            should_stop=job.cancel_event.is_set,
+            engine=spec.engine)
+        with self._registry_lock:
+            for counter, count in result.engines.items():
+                self._engine_totals[counter] = \
+                    self._engine_totals.get(counter, 0) + count
         self._finish(job, JobState.DONE, result=result.to_dict())
 
     def _finish(self, job: Job, state: JobState,

@@ -151,12 +151,16 @@ class TestMetrics:
             Metric("m", unit="x", extract=lambda d, r: 0.0, goal="upward")
 
     def test_custom_metric_usable_as_objective(self):
+        from repro.explore import metrics as metrics_module
         register_metric(Metric(
             "test_total_nj", unit="nJ",
             extract=lambda design, report: report.total_energy * 1e9))
-        result = explore(choice("options.frame_rate", [30.0]),
-                         build_fig5_design,
-                         objectives=("test_total_nj",), annotate=False)
+        try:
+            result = explore(choice("options.frame_rate", [30.0]),
+                             build_fig5_design,
+                             objectives=("test_total_nj",), annotate=False)
+        finally:
+            metrics_module._REGISTRY.pop("test_total_nj", None)
         point = result.points[0]
         assert point.metrics["test_total_nj"] == pytest.approx(
             point.report.total_energy * 1e9)
@@ -271,13 +275,18 @@ class TestEngine:
         assert failed.params == {"value": 2}
 
     def test_metric_failure_marks_the_point(self):
+        from repro.explore import metrics as metrics_module
         register_metric(Metric(
             "test_always_fails", unit="x",
             extract=lambda design, report: (_ for _ in ()).throw(
                 ConfigurationError("cannot compute"))))
-        result = explore(choice("options.frame_rate", [30.0]),
-                         build_fig5_design,
-                         objectives=("test_always_fails",), annotate=False)
+        try:
+            result = explore(choice("options.frame_rate", [30.0]),
+                             build_fig5_design,
+                             objectives=("test_always_fails",),
+                             annotate=False)
+        finally:
+            metrics_module._REGISTRY.pop("test_always_fails", None)
         point = result.points[0]
         assert not point.feasible
         assert "test_always_fails" in point.failure
