@@ -1,0 +1,142 @@
+"""Robustness-ensemble benchmark: Monte Carlo samples/sec on Ed-Gaze.
+
+The robust subsystem's pitch is that variation analysis is an ensemble
+of ordinary cached simulations, not a new engine: every perturbed
+sample is a content-addressed design flowing through ``run_many``, so
+the session cache amortizes repeated studies the same way it amortizes
+repeated explorations.  This bench prices that claim on the paper's
+Ed-Gaze design (Fig. 9b):
+
+1. **Cold ensemble throughput** — a >=256-sample Monte Carlo study
+   (:func:`repro.robust.monte_carlo`) on a fresh session, in
+   samples/sec, with every sample accounted for (100% ``ok``).
+2. **Warm ensemble throughput** — the identical study replayed on the
+   same session must be served from the result cache and run at least
+   ``_MIN_WARM_SPEEDUP``x faster (asserted; the determinism of the
+   seed-addressed draws is what makes the replay cache-exact).
+3. **Zero-variation equivalence** — a robust exploration under a
+   zero-sigma model is asserted bit-identical to the nominal
+   :func:`repro.explore.explore` document, the subsystem's core
+   correctness contract.
+
+Emitted as ``BENCH_robust.json``.  ``REPRO_BENCH_SMOKE=1`` shrinks the
+ensemble and drops the wall-clock speedup assertion; the accounting
+and bit-identity claims are structural and assert in both modes.
+"""
+
+import time
+
+from repro.api import Simulator
+from repro.api.registry import build_usecase
+from repro.explore import explore
+from repro.robust import (default_variation, explore_robust, monte_carlo)
+from repro.usecases.edgaze import edgaze_space
+
+#: The three objectives the Sec. 6 exploration trades off.
+_METRICS = ("energy_per_frame", "power_density", "latency")
+
+#: Warm replays ride the content-hash result cache; anything under this
+#: speedup means the ensemble re-simulated work it had already paid for.
+_MIN_WARM_SPEEDUP = 3.0
+
+_FULL_SAMPLES = 256
+_SMOKE_SAMPLES = 32
+_SEED = 7
+
+
+def _study(simulator, samples):
+    design = build_usecase("edgaze", placement="2D-In", cis_node=65)
+    return monte_carlo(design, default_variation(), samples=samples,
+                       seed=_SEED, metrics=list(_METRICS),
+                       simulator=simulator)
+
+
+def _study_fresh(samples):
+    with Simulator() as simulator:
+        return _study(simulator, samples)
+
+
+def test_robust_ensemble_throughput(benchmark, write_result,
+                                    write_bench_json, bench_smoke):
+    samples = _SMOKE_SAMPLES if bench_smoke else _FULL_SAMPLES
+    simulator = Simulator()
+
+    started = time.perf_counter()
+    cold = _study(simulator, samples)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = _study(simulator, samples)
+    warm_s = time.perf_counter() - started
+    warm_stats = simulator.last_batch_stats
+
+    # The benchmarked quantity: one cold ensemble on a fresh session.
+    benchmark.pedantic(_study_fresh, args=(samples,), rounds=1,
+                       iterations=1)
+
+    # 100% sample accounting: every drawn sample reached a terminal
+    # ok/failed state and none failed on this all-feasible design.
+    assert cold.accounting == {"total": samples, "ok": samples,
+                               "failed": 0}
+    assert cold.seed == _SEED and cold.samples == samples
+    # Deterministic replay: the warm document is bit-identical and the
+    # final batch was served without simulating anything new.
+    assert warm.to_json() == cold.to_json()
+    assert warm_stats.cache_hits == warm_stats.unique
+
+    # Zero-variation ensembles collapse to the nominal path exactly.
+    space = edgaze_space()
+    nominal = explore(space, "edgaze", objectives=list(_METRICS),
+                      simulator=simulator, engine="object")
+    zero = explore_robust(space, "edgaze", objectives=list(_METRICS),
+                          variation=default_variation(0.0), samples=3,
+                          seed=_SEED, simulator=simulator,
+                          engine="object")
+    assert zero.to_json() == nominal.to_json(), \
+        "zero-variation robust explore drifted from the nominal engine"
+
+    cold_rate = samples / cold_s if cold_s else float("inf")
+    warm_rate = samples / warm_s if warm_s else float("inf")
+    speedup = warm_rate / cold_rate if cold_rate else float("inf")
+    spread = cold.distributions["energy_per_frame"]
+
+    lines = ["robust ensembles — Monte Carlo samples through run_many",
+             "",
+             f"{'ensemble samples':<28} {samples}  (seed {_SEED})",
+             f"{'sample accounting':<28} {cold.accounting['ok']}"
+             f"/{cold.accounting['total']} ok",
+             f"{'cold wall-clock':<28} {cold_s * 1e3:8.2f} ms  "
+             f"({cold_rate:.1f} samples/s)",
+             f"{'warm wall-clock':<28} {warm_s * 1e3:8.2f} ms  "
+             f"({warm_rate:.1f} samples/s, {speedup:.1f}x)",
+             f"{'energy p5/p50/p95':<28} "
+             f"{spread.quantiles['p05']:.3e} / "
+             f"{spread.quantiles['p50']:.3e} / "
+             f"{spread.quantiles['p95']:.3e} J",
+             f"{'zero-variation explore':<28} bit-identical to nominal"]
+    write_result("robust", "\n".join(lines))
+
+    benchmark.extra_info["samples_per_s_cold"] = round(cold_rate, 1)
+    benchmark.extra_info["samples_per_s_warm"] = round(warm_rate, 1)
+    benchmark.extra_info["warm_speedup"] = round(speedup, 2)
+
+    write_bench_json("robust", {
+        "samples": samples,
+        "seed": _SEED,
+        "metrics": list(_METRICS),
+        "accounting": dict(cold.accounting),
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "samples_per_s_cold": cold_rate,
+        "samples_per_s_warm": warm_rate,
+        "warm_speedup": speedup,
+        "min_warm_speedup": _MIN_WARM_SPEEDUP,
+        "energy_per_frame_p5": spread.quantiles["p05"],
+        "energy_per_frame_p50": spread.quantiles["p50"],
+        "energy_per_frame_p95": spread.quantiles["p95"],
+        "zero_variation_bit_identical": True,
+    })
+
+    if not bench_smoke:  # smoke jobs never fail on wall-clock noise
+        assert speedup >= _MIN_WARM_SPEEDUP, \
+            f"warm ensemble only {speedup:.1f}x faster than cold"

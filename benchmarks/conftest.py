@@ -64,6 +64,20 @@ def _no_ambient_disk_cache(monkeypatch):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos(monkeypatch):
+    """Benches measure healthy-path performance unless they opt into
+    fault injection themselves — scrub a chaos session's leftovers."""
+    from repro.resilience.faults import reset_injector
+
+    for variable in ("REPRO_FAULTS", "REPRO_RETRY_MAX_ATTEMPTS",
+                     "REPRO_RETRY_BASE_DELAY_S", "REPRO_TASK_TIMEOUT_S"):
+        monkeypatch.delenv(variable, raising=False)
+    reset_injector()
+    yield
+    reset_injector()
+
+
 @pytest.fixture
 def write_result():
     """The text-result writer, injected so benches need no conftest import."""

@@ -17,6 +17,7 @@ Plus the serialized-scenario workflow of the session API:
     python -m repro sweep spec.json --param frame_rate \\
         --values 15,30,60,120                # sweep an option over a spec
     python -m repro explore space.json       # multi-axis Pareto exploration
+    python -m repro robust study.json        # Monte Carlo / corners / etc.
     python -m repro usecases                 # names `run` specs can reference
     python -m repro cache info               # inspect the persistent cache
     python -m repro cache clear              # wipe the persistent cache
@@ -341,6 +342,50 @@ def _cmd_explore(args) -> int:
     return 0 if result.feasible_points else 1
 
 
+def _cmd_robust(args) -> int:
+    """Run a robustness study spec (Monte Carlo, corners, ...)."""
+    import dataclasses
+    import json as json_mod
+
+    from repro.exceptions import CamJError
+    from repro.robust import load_robust_spec
+
+    try:
+        spec = load_robust_spec(args.spec)
+    except (OSError, CamJError) as error:
+        print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
+        return 1
+    overrides = {}
+    if args.samples is not None:
+        overrides["samples"] = args.samples
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    try:
+        document = spec.run_document()
+    except CamJError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_mod.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if _wants_json(args):
+        _emit_json(document)
+    elif spec.kind == "explore":
+        from repro.explore import ExplorationResult
+        print(ExplorationResult.from_dict(document["result"]).to_table())
+    else:
+        from repro.robust import RobustResult
+        print(RobustResult.from_dict(document).summary())
+    if spec.kind == "explore":
+        return 0 if any(point["feasible"]
+                        for point in document["result"]["points"]) else 1
+    accounting = document.get("accounting", {})
+    return 0 if accounting.get("ok", 0) > 0 else 1
+
+
 def _cmd_cache(args) -> int:
     """Inspect or clear the persistent (disk-tier) result cache."""
     import os
@@ -458,6 +503,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "vector requires it, object forces the "
                               "per-point path (default: the spec's "
                               "engine, normally auto)")
+    robust = sub.add_parser(
+        "robust",
+        help="run a statistical robustness study spec (repro.robust)",
+        parents=[common])
+    robust.add_argument("spec", help="path to a robustness spec JSON "
+                                     "file (repro.robust-spec/1)")
+    robust.add_argument("-o", "--output", default=None,
+                        help="also write the full repro.robust/1 "
+                             "document to this path")
+    robust.add_argument("--samples", type=int, default=None,
+                        help="override the spec's ensemble size")
+    robust.add_argument("--seed", type=int, default=None,
+                        help="override the spec's sampling seed")
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache",
         parents=[common])
@@ -513,6 +571,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,
+    "robust": _cmd_robust,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
 }

@@ -963,7 +963,7 @@ class Simulator:
                             solo = True
                         future = pool.submit(
                             _subprocess_job, design.to_dict(), resolved,
-                            attempt)
+                            attempt, key[0])
                         ready.popleft()
                         in_flight[future] = (key, design, resolved,
                                              attempt, time.monotonic())
@@ -1220,22 +1220,48 @@ def _init_worker() -> None:
     creates (imported engine modules, populated caches) persists for the
     session's lifetime, which is what makes pool reuse pay off in
     ``executor="process"`` mode.
+
+    Fork-started workers also inherit the parent's signal plumbing.
+    Under an asyncio host (the serve daemon), that includes the event
+    loop's wakeup fd — a socketpair *shared* with the parent — so a
+    SIGTERM delivered to a worker (e.g. by the executor terminating
+    siblings while healing a crashed pool) would echo into the parent's
+    loop and be handled as the daemon's own shutdown signal.  Detach
+    the wakeup fd and restore default dispositions so signals aimed at
+    a worker stay in that worker.
     """
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
     import repro.api.design  # noqa: F401  (pulls in the whole engine)
     import repro.sim.simulator  # noqa: F401
 
 
 def _subprocess_job(payload: Dict[str, Any], options: SimOptions,
-                    attempt: int = 0) -> Tuple[int, SimResult]:
+                    attempt: int = 0,
+                    design_hash: Optional[str] = None
+                    ) -> Tuple[int, SimResult]:
     """Worker body of the process executor: rebuild, simulate, return.
 
     The design travels as its serialized payload (always picklable),
     so worker processes never depend on pickling user-built objects.
     ``attempt`` reaches the fault injector (inherited via the
-    environment), which is how retried tasks stop being re-killed.
+    environment), which is how retried tasks stop being re-killed;
+    ``design_hash`` travels alongside so the injector keys its
+    decisions on the same content identity in every executor mode
+    instead of degrading to the (possibly shared) design name.
     """
     design = Design.from_dict(payload)
-    result = Simulator(cache=False)._execute(design, options, None,
+    key = (design_hash, options) if design_hash is not None else None
+    result = Simulator(cache=False)._execute(design, options, key,
                                              attempt=attempt)
     return os.getpid(), result
 

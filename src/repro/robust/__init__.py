@@ -1,0 +1,92 @@
+"""Statistical robustness: variation-aware evaluation of designs.
+
+Nominal simulation answers "what does this design cost at typical
+silicon, nominal supply, room temperature?"; this package answers what
+happens *around* that point.  A deterministic, seed-addressed
+:class:`VariationModel` perturbs technology and analog component
+parameters of any :class:`~repro.api.Design`; ensemble runners
+(:func:`monte_carlo`, :func:`corners`, :func:`sensitivity`,
+:func:`worst_case`) fan the perturbed family through the session's
+cached, pooled batch path and reduce to distributions, rankings, and
+bounds (``repro.robust/1`` documents); and :func:`explore_robust`
+ranks whole design spaces by robust objectives such as p95 energy or
+worst-case latency.
+"""
+
+from repro.robust.variation import (
+    PARAMETER_GROUPS,
+    DISTRIBUTIONS,
+    NOMINAL_SAMPLE,
+    DEFAULT_SIGMA,
+    VariationModel,
+    Corner,
+    CORNER_SETS,
+    corner_set,
+    corner_from_pvt,
+    default_variation,
+    perturb_payload,
+    perturb_design,
+    standard_draw,
+)
+from repro.robust.ensemble import (
+    ROBUST_SCHEMA,
+    DEFAULT_METRICS,
+    QUANTILE_LEVELS,
+    Distribution,
+    RobustResult,
+    monte_carlo,
+    corners,
+    sensitivity,
+    worst_case,
+    quantile,
+)
+from repro.robust.explore import (
+    SAMPLE_AXIS,
+    STATISTICS,
+    ROBUST_YIELD,
+    explore_robust,
+    resolve_statistics,
+)
+from repro.robust.spec import (
+    ROBUST_SPEC_SCHEMA,
+    ROBUST_KINDS,
+    RobustSpec,
+    robust_spec_from_dict,
+    load_robust_spec,
+)
+
+__all__ = [
+    "PARAMETER_GROUPS",
+    "DISTRIBUTIONS",
+    "NOMINAL_SAMPLE",
+    "DEFAULT_SIGMA",
+    "VariationModel",
+    "Corner",
+    "CORNER_SETS",
+    "corner_set",
+    "corner_from_pvt",
+    "default_variation",
+    "perturb_payload",
+    "perturb_design",
+    "standard_draw",
+    "ROBUST_SCHEMA",
+    "DEFAULT_METRICS",
+    "QUANTILE_LEVELS",
+    "Distribution",
+    "RobustResult",
+    "monte_carlo",
+    "corners",
+    "sensitivity",
+    "worst_case",
+    "quantile",
+    "SAMPLE_AXIS",
+    "STATISTICS",
+    "ROBUST_YIELD",
+    "explore_robust",
+    "resolve_statistics",
+    "ROBUST_SPEC_SCHEMA",
+    "ROBUST_KINDS",
+    "RobustSpec",
+    "robust_spec_from_dict",
+    "load_robust_spec",
+]

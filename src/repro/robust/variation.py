@@ -1,0 +1,443 @@
+"""Deterministic, seed-addressed variation over design parameters.
+
+A :class:`VariationModel` names the physical quantities that vary —
+*parameter groups* addressing fields of the ``repro.design/1`` payload,
+e.g. ``memory.leakage_power`` or ``analog.load_capacitance`` — and a
+relative spread for each.  Sampling is a **pure function** of
+``(seed, sample index, parameter name)``: every draw hashes that triple
+(SHA-256 -> uniforms -> truncated normal), so an ensemble replays
+bit-identically across thread and process executors, across restarts,
+and regardless of evaluation order.  Sample ``0`` is reserved for the
+nominal design and always draws factor ``1.0`` for every parameter.
+
+Perturbation happens on the serialized design payload: deep-copy,
+multiply the addressed numeric fields, decode back through
+:meth:`~repro.api.design.Design.from_dict`.  The perturbed design gets
+its own content hash, so the session cache, batch dedup, and the disk
+tier all work untouched.  An all-ones factor set short-circuits to the
+original design object — the zero-variation ensemble is the nominal
+path, bit for bit.
+
+Named PVT corners (:func:`corner_set`) compile the first-order physics
+of :mod:`repro.tech.corners` into the same parameter-group vocabulary,
+so ``corners()`` and ``monte_carlo()`` speak one language.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import json
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Tuple
+
+from repro.api.design import Design
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.tech.corners import PvtPoint, standard_pvt_points
+
+#: Supported sampling distributions of relative parameter spread.
+DISTRIBUTIONS = ("normal", "uniform")
+
+#: Reserved sample index of the unperturbed design.
+NOMINAL_SAMPLE = 0
+
+#: Half-width of a unit-variance uniform distribution.
+_UNIFORM_HALF_WIDTH = math.sqrt(3.0)
+
+_TWO_PI = 2.0 * math.pi
+_U64 = float(2 ** 64)
+
+
+# --- parameter groups ------------------------------------------------------
+
+def _scale(container: Dict[str, Any], key: str, factor: float) -> int:
+    value = container.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return 0
+    container[key] = value * factor
+    return 1
+
+
+def _memories(system: Dict[str, Any], key: str,
+              factor: float) -> int:
+    return sum(_scale(memory, key, factor)
+               for memory in system.get("memories", []))
+
+
+def _compute_units(system: Dict[str, Any], key: str, factor: float,
+                   unit_type: str = "") -> int:
+    return sum(_scale(unit, key, factor)
+               for unit in system.get("compute_units", [])
+               if not unit_type or unit.get("type") == unit_type)
+
+
+def _interfaces(system: Dict[str, Any], factor: float) -> int:
+    return sum(_scale(system[role], "energy_per_byte", factor)
+               for role in ("offchip_interface", "interlayer_interface")
+               if isinstance(system.get(role), dict))
+
+
+def _analog_cells(system: Dict[str, Any]) -> Iterable[Dict[str, Any]]:
+    for array in system.get("analog_arrays", []):
+        for entry in array.get("components", []):
+            for usage in entry.get("component", {}).get("cells", []):
+                yield usage.get("cell", {})
+
+
+def _cells(system: Dict[str, Any], key: str, factor: float,
+           cell_types: Tuple[str, ...]) -> int:
+    return sum(_scale(cell, key, factor)
+               for cell in _analog_cells(system)
+               if cell.get("type") in cell_types)
+
+
+def _dynamic_nodes(system: Dict[str, Any], factor: float) -> int:
+    touched = 0
+    for cell in _analog_cells(system):
+        if cell.get("type") != "dynamic":
+            continue
+        for node in cell.get("nodes", []):
+            node[0] = node[0] * factor
+            touched += 1
+    return touched
+
+
+#: Parameter group name -> in-place multiplier over one system payload.
+#: Each applier returns how many concrete fields it touched; a group a
+#: design simply lacks (e.g. analog cells in an all-digital system) is
+#: a silent no-op — the draw still happens, keeping streams aligned.
+PARAMETER_GROUPS: Dict[str, Callable[[Dict[str, Any], float], int]] = {
+    "memory.write_energy_per_word":
+        lambda s, f: _memories(s, "write_energy_per_word", f),
+    "memory.read_energy_per_word":
+        lambda s, f: _memories(s, "read_energy_per_word", f),
+    "memory.leakage_power":
+        lambda s, f: _memories(s, "leakage_power", f),
+    "compute.energy_per_cycle":
+        lambda s, f: _compute_units(s, "energy_per_cycle", f, "ComputeUnit"),
+    "compute.energy_per_mac":
+        lambda s, f: _compute_units(s, "energy_per_mac", f, "SystolicArray"),
+    "compute.clock_hz":
+        lambda s, f: _compute_units(s, "clock_hz", f),
+    "interface.energy_per_byte": _interfaces,
+    "analog.load_capacitance":
+        lambda s, f: _cells(s, "load_capacitance", f, ("static",)),
+    "analog.node_capacitance": _dynamic_nodes,
+    "analog.voltage_swing":
+        lambda s, f: _cells(s, "voltage_swing", f, ("static",)),
+    "analog.vdda":
+        lambda s, f: _cells(s, "vdda", f, ("static", "single_slope")),
+    "analog.energy_per_conversion":
+        lambda s, f: _cells(s, "energy_per_conversion", f, ("nonlinear",)),
+    "analog.comparator_bias":
+        lambda s, f: _cells(s, "comparator_bias", f, ("single_slope",)),
+    "analog.counter_energy_per_step":
+        lambda s, f: _cells(s, "counter_energy_per_step", f,
+                            ("single_slope",)),
+}
+
+
+def _check_params(params: Iterable[str], where: str) -> None:
+    unknown = sorted(set(params) - set(PARAMETER_GROUPS))
+    if unknown:
+        raise ConfigurationError(
+            f"{where}: unknown parameter group(s) {unknown}; "
+            f"known: {sorted(PARAMETER_GROUPS)}")
+
+
+def perturb_payload(payload: Dict[str, Any],
+                    factors: Mapping[str, float]) -> Dict[str, Any]:
+    """A deep copy of a design payload with ``factors`` multiplied in."""
+    _check_params(factors, "perturb_payload")
+    try:
+        # A ``repro.design/1`` payload is pure JSON, and a serialize/parse
+        # round trip copies such trees several times faster than
+        # ``copy.deepcopy`` walks them (floats round-trip bit-exactly).
+        perturbed = json.loads(json.dumps(payload))
+    except (TypeError, ValueError):
+        perturbed = copy.deepcopy(payload)
+    system = perturbed.get("system", {})
+    for param in sorted(factors):
+        factor = factors[param]
+        if factor != 1.0:
+            PARAMETER_GROUPS[param](system, factor)
+    return perturbed
+
+
+#: Recently perturbed designs, keyed by (base content hash, applied
+#: factors).  Draws are pure in (seed, sample, param), so replaying a
+#: study regenerates the exact same factor sets — memoizing the decoded
+#: designs lets warm ensembles skip the payload copy/decode entirely
+#: and ride the result cache at full speed.
+_PERTURBED_LIMIT = 1024
+_perturbed_cache: "OrderedDict[Tuple[str, Tuple[Tuple[str, float], ...]], Design]" = OrderedDict()
+_perturbed_lock = threading.Lock()
+
+
+def perturb_design(design: Design,
+                   factors: Mapping[str, float]) -> Design:
+    """``design`` with ``factors`` applied; the identical object when
+    every factor is exactly ``1.0`` (the nominal path, bit for bit).
+
+    Perturbed designs are memoized per (base design, factor set) — an
+    ensemble replayed with the same seed returns the same design
+    objects, so the simulator's content-hash cache serves it without
+    re-decoding anything.
+    """
+    active = tuple((param, factors[param]) for param in sorted(factors)
+                   if factors[param] != 1.0)
+    if not active:
+        _check_params(factors, "perturb_design")
+        return design
+    base_hash = design._content_hash_or_none()
+    key = (base_hash, active)
+    if base_hash is not None:
+        with _perturbed_lock:
+            cached = _perturbed_cache.get(key)
+            if cached is not None:
+                _perturbed_cache.move_to_end(key)
+                return cached
+    perturbed = Design.from_dict(perturb_payload(design.to_dict(),
+                                                 factors))
+    if base_hash is not None:
+        with _perturbed_lock:
+            _perturbed_cache[key] = perturbed
+            while len(_perturbed_cache) > _PERTURBED_LIMIT:
+                _perturbed_cache.popitem(last=False)
+    return perturbed
+
+
+# --- deterministic draws ---------------------------------------------------
+
+def _hash_uniforms(seed: int, sample: int, param: str,
+                   attempt: int) -> Tuple[float, float]:
+    """Two uniforms from one addressed SHA-256 digest.
+
+    The first lands in the open interval (0, 1) — safe under ``log`` —
+    and the second in [0, 1).
+    """
+    key = f"{seed}|{sample}|{param}|{attempt}".encode("utf-8")
+    digest = hashlib.sha256(key).digest()
+    first = int.from_bytes(digest[:8], "big")
+    second = int.from_bytes(digest[8:16], "big")
+    return (first + 1.0) / (_U64 + 2.0), second / _U64
+
+
+def standard_draw(seed: int, sample: int, param: str, *,
+                  dist: str = "normal", cutoff: float = 3.0) -> float:
+    """One unit-scale draw, pure in ``(seed, sample, param)``.
+
+    ``normal`` is a Box-Muller standard normal, redrawn (with an
+    attempt counter folded into the hash) until it lands within
+    ``cutoff`` standard deviations; ``uniform`` is unit-variance,
+    spanning ``+/- sqrt(3)``.
+    """
+    for attempt in itertools.count():
+        u1, u2 = _hash_uniforms(seed, sample, param, attempt)
+        if dist == "uniform":
+            return _UNIFORM_HALF_WIDTH * (2.0 * u1 - 1.0)
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(_TWO_PI * u2)
+        if abs(z) <= cutoff:
+            return z
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Relative spreads over parameter groups, deterministically sampled.
+
+    ``sigma`` maps parameter-group names to relative standard
+    deviations (0.05 = 5%).  ``dist`` picks the sampling distribution;
+    normal draws are truncated at ``cutoff`` sigmas, which both keeps
+    physical quantities positive and gives :func:`worst_case` a finite
+    extreme to evaluate.
+    """
+
+    sigma: Mapping[str, float]
+    dist: str = "normal"
+    cutoff: float = 3.0
+
+    def __post_init__(self) -> None:
+        _check_params(self.sigma, "variation model")
+        if self.dist not in DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"variation dist must be one of {DISTRIBUTIONS}, "
+                f"got {self.dist!r}")
+        if not self.cutoff > 0:
+            raise ConfigurationError(
+                f"variation cutoff must be > 0, got {self.cutoff}")
+        for param, sigma in self.sigma.items():
+            if not isinstance(sigma, (int, float)) or sigma < 0:
+                raise ConfigurationError(
+                    f"sigma[{param!r}] must be a number >= 0, got {sigma!r}")
+            if self.extent_of(float(sigma)) >= 1.0:
+                raise ConfigurationError(
+                    f"sigma[{param!r}]={sigma} reaches factor <= 0 at the "
+                    f"{self.dist} extreme; shrink sigma or the cutoff")
+        object.__setattr__(self, "sigma",
+                           {param: float(self.sigma[param])
+                            for param in sorted(self.sigma)})
+
+    # --- structure --------------------------------------------------------
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        return tuple(self.sigma)
+
+    @property
+    def is_zero(self) -> bool:
+        return all(sigma == 0.0 for sigma in self.sigma.values())
+
+    def extent_of(self, sigma: float) -> float:
+        """The worst-direction relative excursion for one spread."""
+        width = self.cutoff if self.dist == "normal" else _UNIFORM_HALF_WIDTH
+        return width * sigma
+
+    def extent(self, param: str) -> float:
+        return self.extent_of(self.sigma.get(param, 0.0))
+
+    # --- sampling ---------------------------------------------------------
+
+    def factor(self, seed: int, sample: int, param: str) -> float:
+        """The multiplicative factor of one draw — pure and replayable."""
+        sigma = self.sigma.get(param, 0.0)
+        if sample == NOMINAL_SAMPLE or sigma == 0.0:
+            return 1.0
+        draw = standard_draw(seed, sample, param,
+                             dist=self.dist, cutoff=self.cutoff)
+        return 1.0 + sigma * draw
+
+    def factors(self, seed: int, sample: int) -> Dict[str, float]:
+        return {param: self.factor(seed, sample, param)
+                for param in self.sigma}
+
+    def extreme_corners(self) -> List["Corner"]:
+        """The all-low / all-high box corners of the truncated model."""
+        return [
+            Corner("all-low", {param: 1.0 - self.extent(param)
+                               for param in self.sigma}),
+            Corner("all-high", {param: 1.0 + self.extent(param)
+                                for param in self.sigma}),
+        ]
+
+    # --- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"sigma": dict(self.sigma), "dist": self.dist,
+                "cutoff": self.cutoff}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "VariationModel":
+        if not isinstance(payload, Mapping):
+            raise SerializationError(
+                f"variation model must be an object, "
+                f"got {type(payload).__name__}")
+        unknown = set(payload) - {"sigma", "dist", "cutoff"}
+        if unknown:
+            raise SerializationError(
+                f"unknown variation model keys: {sorted(unknown)}")
+        sigma = payload.get("sigma")
+        if not isinstance(sigma, Mapping):
+            raise SerializationError("variation model needs a 'sigma' map")
+        return cls(sigma=dict(sigma),
+                   dist=payload.get("dist", "normal"),
+                   cutoff=payload.get("cutoff", 3.0))
+
+
+#: Moderate all-around spreads: 5% on energies and capacitances, 10% on
+#: leakage (it varies far more than switching energy in practice), 2%
+#: on clocks and supplies.
+DEFAULT_SIGMA: Dict[str, float] = {
+    "memory.write_energy_per_word": 0.05,
+    "memory.read_energy_per_word": 0.05,
+    "memory.leakage_power": 0.10,
+    "compute.energy_per_cycle": 0.05,
+    "compute.energy_per_mac": 0.05,
+    "compute.clock_hz": 0.02,
+    "interface.energy_per_byte": 0.05,
+    "analog.load_capacitance": 0.05,
+    "analog.node_capacitance": 0.05,
+    "analog.vdda": 0.02,
+    "analog.energy_per_conversion": 0.05,
+}
+
+
+def default_variation(scale: float = 1.0) -> VariationModel:
+    """The stock model, optionally scaled (``scale=0`` -> zero model)."""
+    return VariationModel(sigma={param: sigma * scale
+                                 for param, sigma in DEFAULT_SIGMA.items()})
+
+
+# --- corners ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Corner:
+    """One named set of parameter-group factors."""
+
+    name: str
+    factors: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("corner name must be non-empty")
+        _check_params(self.factors, f"corner {self.name!r}")
+        for param, factor in self.factors.items():
+            if not isinstance(factor, (int, float)) or not factor > 0:
+                raise ConfigurationError(
+                    f"corner {self.name!r}: factor[{param!r}] must be a "
+                    f"number > 0, got {factor!r}")
+        object.__setattr__(self, "factors",
+                           {param: float(self.factors[param])
+                            for param in sorted(self.factors)})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "factors": dict(self.factors)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Corner":
+        if not isinstance(payload, Mapping) or "name" not in payload \
+                or "factors" not in payload:
+            raise SerializationError(
+                "corner must be an object with 'name' and 'factors'")
+        unknown = set(payload) - {"name", "factors"}
+        if unknown:
+            raise SerializationError(
+                f"unknown corner keys: {sorted(unknown)}")
+        return cls(name=payload["name"], factors=dict(payload["factors"]))
+
+
+def corner_from_pvt(point: PvtPoint) -> Corner:
+    """Compile one PVT operating point into parameter-group factors."""
+    dynamic = point.dynamic_energy_factor()
+    return Corner(point.name, {
+        "memory.write_energy_per_word": dynamic,
+        "memory.read_energy_per_word": dynamic,
+        "memory.leakage_power": point.leakage_power_factor(),
+        "compute.energy_per_cycle": dynamic,
+        "compute.energy_per_mac": dynamic,
+        "compute.clock_hz": point.clock_factor(),
+        "interface.energy_per_byte": dynamic,
+        "analog.vdda": point.supply_factor(),
+        "analog.voltage_swing": point.supply_factor(),
+        "analog.energy_per_conversion": dynamic,
+        "analog.counter_energy_per_step": dynamic,
+    })
+
+
+#: Named corner-set builders usable anywhere a corner list is accepted.
+CORNER_SETS: Dict[str, Callable[[], List[Corner]]] = {
+    "pvt": lambda: [corner_from_pvt(point)
+                    for point in standard_pvt_points()],
+}
+
+
+def corner_set(name: str) -> List[Corner]:
+    """The corners of one named set (see :data:`CORNER_SETS`)."""
+    if name not in CORNER_SETS:
+        raise ConfigurationError(
+            f"unknown corner set {name!r}; known: {sorted(CORNER_SETS)}")
+    return CORNER_SETS[name]()

@@ -9,7 +9,8 @@ Endpoints::
 
     GET    /healthz             liveness + uptime
     GET    /stats               queue depth, job counts, cache/pass/pool state
-    POST   /jobs                submit a design or explore spec -> job id
+    POST   /jobs                submit a design, explore, or robust spec
+                                -> job id
     GET    /jobs                all known jobs (status documents)
     GET    /jobs/<id>           one job's status + progress
     GET    /jobs/<id>/result    the finished result (409 until terminal)
@@ -32,6 +33,7 @@ from repro.api.spec import scenario_from_spec
 from repro.exceptions import CamJError
 from repro.explore.spec import (EXPLORATION_SPEC_SCHEMA,
                                 exploration_spec_from_dict)
+from repro.robust.spec import ROBUST_SPEC_SCHEMA, robust_spec_from_dict
 from repro.serve.jobs import (TERMINAL_STATES, Job, JobQueue, JobState,
                               QueueClosed)
 
@@ -206,11 +208,13 @@ def job_document(job: Job) -> Dict[str, Any]:
 async def handle_submit(app, request: Request) -> Response:
     """Parse, validate, and enqueue one submitted spec.
 
-    The body is either a bare spec (design/scenario or explore) or an
-    envelope ``{"kind": "run"|"explore", "spec": {...}}``.  Without an
-    explicit kind, explore specs are recognized by their schema tag or
-    a ``space`` key.  Bad specs are typed 400s; building the design
-    happens off the event loop — structural payloads can be large.
+    The body is either a bare spec (design/scenario, explore, or
+    robust) or an envelope ``{"kind": "run"|"explore"|"robust",
+    "spec": {...}}``.  Without an explicit kind, robust specs are
+    recognized by their schema tag or a robust ``kind`` key, explore
+    specs by their schema tag or a ``space`` key.  Bad specs are typed
+    400s; building the design happens off the event loop — structural
+    payloads can be large.
     """
     import asyncio
 
@@ -235,21 +239,29 @@ async def handle_submit(app, request: Request) -> Response:
             raise ApiError(400, "InvalidSpec",
                            f"'spec' must be a JSON object, "
                            f"got {type(spec).__name__}")
-        if kind is not None and kind not in ("run", "explore"):
+        if kind is not None and kind not in ("run", "explore", "robust"):
             raise ApiError(400, "InvalidSpec",
-                           f"kind must be 'run' or 'explore', got {kind!r}")
+                           f"kind must be 'run', 'explore', or 'robust', "
+                           f"got {kind!r}")
     if kind is None:
-        kind = "explore" if (
-            spec.get("schema") == EXPLORATION_SPEC_SCHEMA
-            or "space" in spec) else "run"
+        if spec.get("schema") == ROBUST_SPEC_SCHEMA or (
+                "variation" in spec and "kind" in spec):
+            kind = "robust"
+        elif spec.get("schema") == EXPLORATION_SPEC_SCHEMA \
+                or "space" in spec:
+            kind = "explore"
+        else:
+            kind = "run"
 
-    parse = (_parse_explore_spec if kind == "explore"
-             else _parse_run_spec)
+    parse = {"explore": _parse_explore_spec,
+             "robust": _parse_robust_spec}.get(kind, _parse_run_spec)
     parsed = await asyncio.get_running_loop().run_in_executor(
         None, parse, spec)
     try:
         if kind == "explore":
             job = app.queue.submit_explore(parsed)
+        elif kind == "robust":
+            job = app.queue.submit_robust(parsed)
         else:
             design, options = parsed
             job = app.queue.submit_run(design, options)
@@ -264,6 +276,20 @@ def _parse_explore_spec(spec: Dict[str, Any]):
     except CamJError as error:
         raise ApiError(400, type(error).__name__, str(error)) from error
     if parsed.usecase not in available_usecases():
+        raise ApiError(
+            400, "ConfigurationError",
+            f"unknown usecase {parsed.usecase!r}; "
+            f"available: {available_usecases()}")
+    return parsed
+
+
+def _parse_robust_spec(spec: Dict[str, Any]):
+    try:
+        parsed = robust_spec_from_dict(spec)
+    except CamJError as error:
+        raise ApiError(400, type(error).__name__, str(error)) from error
+    if parsed.usecase is not None \
+            and parsed.usecase not in available_usecases():
         raise ApiError(
             400, "ConfigurationError",
             f"unknown usecase {parsed.usecase!r}; "

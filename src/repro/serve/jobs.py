@@ -81,8 +81,9 @@ class QueueClosed(RuntimeError):
 class Job:
     """One unit of daemon work and everything observers may ask of it.
 
-    ``kind`` is ``"run"`` (one design, one :class:`SimOptions`) or
-    ``"explore"`` (an :class:`ExplorationSpec`).  Mutable state is
+    ``kind`` is ``"run"`` (one design, one :class:`SimOptions`),
+    ``"explore"`` (an :class:`ExplorationSpec`), or ``"robust"`` (a
+    :class:`~repro.robust.spec.RobustSpec`).  Mutable state is
     guarded by ``lock``; ``stream`` carries the incremental event log
     the JSONL/SSE endpoints replay.
     """
@@ -199,6 +200,10 @@ class JobQueue:
         name = spec.name if spec.name is not None else spec.usecase
         return self._submit("explore", name, spec)
 
+    def submit_robust(self, spec: "RobustSpec") -> Job:  # noqa: F821
+        """Enqueue one robustness study (Monte Carlo, corners, ...)."""
+        return self._submit("robust", spec.display_name, spec)
+
     def _submit(self, kind: str, name: str, payload: Any) -> Job:
         if not self._accepting or self._queue is None:
             raise QueueClosed("job queue is not accepting submissions")
@@ -298,6 +303,8 @@ class JobQueue:
                 self._finish(job, JobState.CANCELLED)
             elif job.kind == "run":
                 self._execute_run(job)
+            elif job.kind == "robust":
+                self._execute_robust(job)
             else:
                 self._execute_explore(job)
         except ExplorationInterrupted:
@@ -353,6 +360,23 @@ class JobQueue:
                 self._engine_totals[counter] = \
                     self._engine_totals.get(counter, 0) + count
         self._finish(job, JobState.DONE, result=result.to_dict())
+
+    def _execute_robust(self, job: Job) -> None:
+        spec = job.payload  # a RobustSpec
+
+        def on_progress(completed, total, cache_hits):
+            with job.lock:
+                job.progress.total = total
+                job.progress.completed = completed
+                job.progress.cache_hits += cache_hits
+            job.stream.append({"event": "progress",
+                               "completed": completed, "total": total})
+
+        document = spec.run_document(
+            simulator=self.simulator, chunk_size=self.chunk_size,
+            on_progress=on_progress,
+            should_stop=job.cancel_event.is_set)
+        self._finish(job, JobState.DONE, result=document)
 
     def _finish(self, job: Job, state: JobState,
                 result: Optional[Dict[str, Any]] = None,
@@ -455,6 +479,9 @@ class JobQueue:
             if kind == "run":
                 job.payload = (Design.from_dict(spec["design"]),
                                SimOptions.from_dict(spec["options"]))
+            elif kind == "robust":
+                from repro.robust.spec import robust_spec_from_dict
+                job.payload = robust_spec_from_dict(spec)
             else:
                 from repro.explore.spec import exploration_spec_from_dict
                 job.payload = exploration_spec_from_dict(spec)

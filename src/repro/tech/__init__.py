@@ -12,6 +12,13 @@ from repro.tech.nodes import (
     SUPPORTED_NODES,
     get_node,
 )
+from repro.tech.corners import (
+    PvtPoint,
+    PROCESS_SPLITS,
+    LEAKAGE_DOUBLING_C,
+    NOMINAL_TEMP_C,
+    standard_pvt_points,
+)
 from repro.tech.scaling import (
     scale_energy,
     scale_leakage_power,
@@ -27,6 +34,11 @@ __all__ = [
     "NODE_TABLE",
     "SUPPORTED_NODES",
     "get_node",
+    "PvtPoint",
+    "PROCESS_SPLITS",
+    "LEAKAGE_DOUBLING_C",
+    "NOMINAL_TEMP_C",
+    "standard_pvt_points",
     "scale_energy",
     "scale_leakage_power",
     "scale_area",

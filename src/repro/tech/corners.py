@@ -1,0 +1,116 @@
+"""Process/voltage/temperature (PVT) corner physics.
+
+The scaling tables in :mod:`repro.tech.nodes` describe the *typical*
+(TT, nominal VDD, 25 C) silicon every nominal simulation assumes.  Real
+silicon arrives spread around that point, and sign-off evaluates the
+spread at named corners: slow/fast process splits, +/-10% supply, and
+the hot/cold temperature extremes.  This module holds the physics that
+turns one such corner into multiplicative factors on the quantities the
+energy model actually consumes — dynamic energy, leakage power, and
+achievable clock — so higher layers (:mod:`repro.robust`) can map them
+onto concrete design parameters without re-deriving CMOS first
+principles.
+
+The factor models are the standard first-order ones:
+
+* dynamic energy follows ``C * V^2``, so a supply ratio ``v`` scales it
+  by ``v**2`` on top of a process capacitance spread;
+* subthreshold leakage is exponential in temperature — it roughly
+  doubles every :data:`LEAKAGE_DOUBLING_C` degrees — and strongly
+  process-split dependent (fast silicon means short channels and low
+  thresholds);
+* gate delay improves with overdrive, so clock scales roughly linearly
+  with the supply ratio around nominal, shifted by the process split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Recognized process splits: slow-slow, typical, fast-fast.
+PROCESS_SPLITS = ("ss", "tt", "ff")
+
+#: Temperature at which the leakage tables are characterized.
+NOMINAL_TEMP_C = 25.0
+
+#: Leakage roughly doubles for every this many degrees of heating.
+LEAKAGE_DOUBLING_C = 30.0
+
+#: Switched-capacitance spread of the process split (SS -> +8%).
+PROCESS_ENERGY_SPREAD = 0.08
+
+#: Achievable-frequency spread of the process split (SS -> -10%).
+PROCESS_SPEED_SPREAD = 0.10
+
+#: Leakage multiplier of the fast split (FF leaks ~2x TT; SS ~0.5x).
+PROCESS_LEAKAGE_SPREAD = 2.0
+
+#: Sign convention of a split: SS = +1 (slow, high-C, low-leak),
+#: FF = -1 (fast, low-C, high-leak).
+_SPLIT_SIGN = {"ss": 1.0, "tt": 0.0, "ff": -1.0}
+
+
+@dataclass(frozen=True)
+class PvtPoint:
+    """One named (process, voltage, temperature) operating point.
+
+    ``vdd_ratio`` is the supply relative to nominal (1.0 = nominal,
+    0.9 = -10%); ``temp_c`` is the junction temperature in Celsius.
+    """
+
+    name: str
+    process: str = "tt"
+    vdd_ratio: float = 1.0
+    temp_c: float = NOMINAL_TEMP_C
+
+    def __post_init__(self) -> None:
+        if self.process not in PROCESS_SPLITS:
+            raise ConfigurationError(
+                f"corner {self.name!r}: process must be one of "
+                f"{PROCESS_SPLITS}, got {self.process!r}")
+        if not self.vdd_ratio > 0:
+            raise ConfigurationError(
+                f"corner {self.name!r}: vdd_ratio must be > 0, "
+                f"got {self.vdd_ratio}")
+
+    # --- first-order factor models ---------------------------------------
+
+    def dynamic_energy_factor(self) -> float:
+        """Switching-energy multiplier: process C spread times ``V^2``."""
+        spread = 1.0 + _SPLIT_SIGN[self.process] * PROCESS_ENERGY_SPREAD
+        return spread * self.vdd_ratio ** 2
+
+    def leakage_power_factor(self) -> float:
+        """Static-power multiplier: exponential in T, split dependent."""
+        split = PROCESS_LEAKAGE_SPREAD ** (-_SPLIT_SIGN[self.process])
+        thermal = 2.0 ** ((self.temp_c - NOMINAL_TEMP_C)
+                          / LEAKAGE_DOUBLING_C)
+        return split * thermal * self.vdd_ratio
+
+    def clock_factor(self) -> float:
+        """Achievable-clock multiplier: overdrive and process speed."""
+        spread = 1.0 - _SPLIT_SIGN[self.process] * PROCESS_SPEED_SPREAD
+        return spread * self.vdd_ratio
+
+    def supply_factor(self) -> float:
+        """Analog supply/swing multiplier (rails track VDD directly)."""
+        return self.vdd_ratio
+
+
+def standard_pvt_points() -> Tuple[PvtPoint, ...]:
+    """The classic five-corner sign-off set.
+
+    Typical plus the four (process split x supply x temperature)
+    extremes: slow silicon at low supply brackets speed and dynamic
+    energy, fast silicon at high supply and heat brackets leakage.
+    """
+    return (
+        PvtPoint("TT", "tt", 1.0, NOMINAL_TEMP_C),
+        PvtPoint("SS-Vmin-hot", "ss", 0.9, 125.0),
+        PvtPoint("SS-Vmin-cold", "ss", 0.9, -40.0),
+        PvtPoint("FF-Vmax-hot", "ff", 1.1, 125.0),
+        PvtPoint("FF-Vmax-cold", "ff", 1.1, -40.0),
+    )

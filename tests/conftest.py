@@ -24,6 +24,26 @@ def _no_ambient_disk_cache(monkeypatch):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos(monkeypatch):
+    """Insulate every test from an operator's chaos/resilience env.
+
+    A shell still exporting ``REPRO_FAULTS`` (or retry/timeout tuning)
+    from a chaos-testing session would inject deterministic worker
+    kills — or reshape retry budgets — inside unrelated unit tests.
+    Scrub the variables and reset the cached fault injector so only
+    tests that set them explicitly see them.
+    """
+    from repro.resilience.faults import reset_injector
+
+    for variable in ("REPRO_FAULTS", "REPRO_RETRY_MAX_ATTEMPTS",
+                     "REPRO_RETRY_BASE_DELAY_S", "REPRO_TASK_TIMEOUT_S"):
+        monkeypatch.delenv(variable, raising=False)
+    reset_injector()
+    yield
+    reset_injector()
+
+
 @pytest.fixture
 def fig5_stages():
     return build_fig5_stages()
