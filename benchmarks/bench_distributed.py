@@ -1,0 +1,268 @@
+"""Distributed executor benchmark: fleet scaling and chaos completion.
+
+The ``distributed`` backend's pitch is that a coordinator can keep a
+fleet of ``repro worker`` processes saturated through the lease-based
+dispatch queue, and that worker crashes cost lease re-dispatches, not
+lost batches.  This bench prices both claims end to end over real HTTP
+on one machine:
+
+1. **Fleet scaling** — a 10k-point Ed-Gaze exploration runs through
+   ``repro serve --dispatch`` twice: one worker, then ``_FLEET``
+   workers.  Every task carries a deterministic injected latency
+   (``REPRO_FAULTS`` ``delay_s``, workers only) so per-point cost is
+   dominated by waiting, not by CPU the co-located processes would
+   fight over — what a single-core CI box can honestly measure is the
+   dispatch pipeline's ability to overlap N workers' latency, which is
+   exactly the quantity that transfers to real multi-machine fleets.
+   Asserted >= ``_MIN_SPEEDUP`` in full mode.
+2. **Chaos completion** — the same 10k-point exploration with workers
+   that SIGKILL themselves every ``_KILL_EVERY`` tasks (``kill_every``
+   suicides via ``os._exit``) under ``--respawn`` supervisors and a
+   short lease TTL.  Every point must still complete (expired leases
+   re-enter the queue and land on surviving or respawned workers), no
+   task may be quarantined, and the metrics must be identical to the
+   clean fleet's — crashes cost time, never answers.
+
+Measured quantities are emitted as ``BENCH_distributed.json``.  Under
+``REPRO_BENCH_SMOKE=1`` the space shrinks, the fleet shrinks to two
+workers, and the wall-clock/kill-count assertions are skipped; the
+completion and metric-equality assertions always run.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.serve import BackgroundServer
+from repro.explore.spec import exploration_spec_from_dict
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Injected per-task latency (workers only): stands in for expensive
+#: points so scaling measures dispatch concurrency, not single-core
+#: CPU contention between co-located worker processes.
+_DELAY_S = 0.005
+#: Every Nth task executed by one worker process SIGKILLs it
+#: (``os._exit``); respawned incarnations restart their count, so the
+#: fleet keeps losing workers throughout the run.  (A ``kill_rate``
+#: draw would key on the design hash — only 8 distinct designs here —
+#: so the per-process counter is the knob that actually injects kills
+#: into a wide option sweep.)
+_KILL_EVERY = 700
+#: Fault plan seed (fixed so runs replay identically).
+_SEED = 42
+#: Acceptance bar (full mode): fleet throughput over single-worker.
+_MIN_SPEEDUP = 2.5
+#: Chaos-phase lease TTL: short enough that expiry recovery, not the
+#: deadline, dominates the injected-crash costs.
+_LEASE_TTL_S = 2.0
+
+_FULL_RATES = 1250   # x 8 configs = 10,000 points
+_FULL_FLEET = 4
+_SMOKE_RATES = 8     # x 8 configs = 64 points
+_SMOKE_FLEET = 2
+_BATCH_SIZE = 32
+
+
+def _make_spec(n_rates):
+    """The Ed-Gaze grid: 8 placement/node configs x ``n_rates`` rates."""
+    return exploration_spec_from_dict({
+        "schema": "repro.explore-spec/1",
+        "name": "edgaze-distributed",
+        "usecase": "edgaze",
+        # The per-point object path: the auto engine would vectorize
+        # this frame-rate sweep in-process and dispatch nothing.
+        "engine": "object",
+        "space": {"product": [
+            {"name": "placement",
+             "values": ["2D-In", "2D-Off", "3D-In", "3D-In-STT"]},
+            {"name": "cis_node", "values": [130, 65]},
+            {"name": "options.frame_rate",
+             "values": [1.0 + rate / 10.0 for rate in range(n_rates)]},
+        ]},
+        "objectives": ["energy_per_frame"],
+    })
+
+
+def _spawn_workers(url, count, cache_dir, faults, respawn=False):
+    """Worker subprocesses with fault injection scoped to them only."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env["REPRO_FAULTS"] = json.dumps(faults)
+    argv = [sys.executable, "-m", "repro", "worker", "--connect", url,
+            "--batch-size", str(_BATCH_SIZE), "--cache-dir", cache_dir]
+    if respawn:
+        argv.append("--respawn")
+    return [subprocess.Popen(argv, env=env, cwd=_REPO_ROOT,
+                             stdout=subprocess.DEVNULL,
+                             stderr=subprocess.DEVNULL)
+            for _ in range(count)]
+
+
+def _await_fleet(client, count, timeout_s=90.0):
+    """Block until ``count`` workers are registered and heartbeating.
+
+    Python worker startup takes seconds; submitting before the fleet
+    connects would trip the coordinator's local-execution fallback and
+    benchmark the wrong backend.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        workers = client.stats()["dispatch"]["workers"]
+        if sum(1 for worker in workers if worker["alive"]) >= count:
+            return
+        assert time.monotonic() < deadline, \
+            f"fleet of {count} never registered: {workers}"
+        time.sleep(0.05)
+
+
+def _run_fleet(spec, total, count, faults, respawn=False,
+               lease_ttl_s=None):
+    """One exploration through a dispatch coordinator and ``count``
+    workers; returns ``(result, wall_s, dispatch_stats)``."""
+    cache_dir = tempfile.mkdtemp(prefix="bench-distributed-")
+    with BackgroundServer(dispatch=True, workers=1, cache_dir=cache_dir,
+                          lease_ttl_s=lease_ttl_s) as server:
+        host, port = server.address
+        url = f"http://{host}:{port}"
+        procs = _spawn_workers(url, count, cache_dir, faults,
+                               respawn=respawn)
+        try:
+            client = server.client(timeout=120.0)
+            _await_fleet(client, count)
+            started = time.perf_counter()
+            result = spec.run(server.app.simulator)
+            wall_s = time.perf_counter() - started
+            stats = client.stats()["dispatch"]
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=60)
+    assert len(result.points) == total
+    return result, wall_s, stats
+
+
+def _metrics_by_params(result):
+    return {json.dumps(point.params, sort_keys=True): point.metrics
+            for point in result.points}
+
+
+def test_distributed_fleet_scaling_and_chaos(benchmark, write_result,
+                                             write_bench_json,
+                                             bench_smoke):
+    rates = _SMOKE_RATES if bench_smoke else _FULL_RATES
+    fleet = _SMOKE_FLEET if bench_smoke else _FULL_FLEET
+    total = 8 * rates
+    spec = _make_spec(rates)
+    delay = {"seed": _SEED, "delay_s": _DELAY_S}
+
+    # Phase 1 — single-worker baseline.
+    single, single_s, single_stats = _run_fleet(spec, total, 1, delay)
+    assert all(point.feasible for point in single.points)
+    assert single_stats["completed_total"] == total
+    assert single_stats["expired_total"] == 0
+
+    # Phase 2 — the fleet, same workload, fresh cache.
+    clean, fleet_s, fleet_stats = _run_fleet(spec, total, fleet, delay)
+    assert all(point.feasible for point in clean.points)
+    assert fleet_stats["completed_total"] == total
+    speedup = single_s / fleet_s if fleet_s else float("inf")
+    # Distribution never changes answers: the fleet's metrics are
+    # bit-identical to the single worker's.
+    clean_metrics = _metrics_by_params(clean)
+    assert clean_metrics == _metrics_by_params(single)
+
+    # Phase 3 — the fleet under SIGKILL chaos: each worker process
+    # suicides on its _KILL_EVERY-th task, supervisors respawn the
+    # dead, expired leases re-enter the queue, and every point still
+    # completes.
+    chaos, chaos_s, chaos_stats = _run_fleet(
+        spec, total, fleet, {**delay, "kill_every": _KILL_EVERY},
+        respawn=True, lease_ttl_s=_LEASE_TTL_S)
+    completed = sum(1 for point in chaos.points if point.feasible)
+    assert completed == total, \
+        f"chaos run completed {completed}/{total}"
+    assert chaos_stats["quarantined_total"] == 0
+    assert _metrics_by_params(chaos) == clean_metrics
+    incarnations = len(chaos_stats["workers"])
+
+    # The benchmarked quantity: one dispatch-endpoint round trip (the
+    # protocol overhead every claim/complete cycle pays twice).
+    cache_dir = tempfile.mkdtemp(prefix="bench-distributed-rtt-")
+    with BackgroundServer(dispatch=True, workers=1,
+                          cache_dir=cache_dir) as server:
+        client = server.client(timeout=30.0)
+        worker_id = client._request("POST", "/dispatch/register",
+                                    {"pid": os.getpid()})["worker_id"]
+        benchmark.pedantic(
+            client._request, args=("POST", "/dispatch/claim",
+                                   {"worker_id": worker_id,
+                                    "max_tasks": _BATCH_SIZE}),
+            rounds=10 if bench_smoke else 50, iterations=1)
+
+    single_rate = total / single_s if single_s else float("inf")
+    fleet_rate = total / fleet_s if fleet_s else float("inf")
+    chaos_rate = total / chaos_s if chaos_s else float("inf")
+
+    lines = ["distributed executor — Ed-Gaze exploration over a "
+             "local worker fleet",
+             "",
+             f"{'explore points':<28} {total}"
+             f"  (8 configs x {rates} frame rates, "
+             f"{_DELAY_S * 1e3:.0f} ms injected task latency)",
+             f"{'single worker':<28} {single_s:8.2f} s"
+             f"  ({single_rate:7.1f} pt/s)",
+             f"{f'{fleet}-worker fleet':<28} {fleet_s:8.2f} s"
+             f"  ({fleet_rate:7.1f} pt/s, {speedup:.2f}x)",
+             f"{'fleet under SIGKILL chaos':<28} {chaos_s:8.2f} s"
+             f"  ({chaos_rate:7.1f} pt/s, kill every "
+             f"{_KILL_EVERY} tasks)",
+             f"{'chaos completion':<28} {completed}/{total}  (100%)",
+             f"{'lease expiries recovered':<28} "
+             f"{chaos_stats['expired_total']}",
+             f"{'worker incarnations':<28} {incarnations}"
+             f"  (fleet of {fleet}, respawn on kill)",
+             f"{'quarantined':<28} {chaos_stats['quarantined_total']}"]
+    write_result("distributed", "\n".join(lines))
+
+    benchmark.extra_info["fleet_speedup"] = round(speedup, 2)
+    benchmark.extra_info["chaos_completion"] = completed / total
+
+    write_bench_json("distributed", {
+        "explore_points": total,
+        "task_delay_s": _DELAY_S,
+        "fleet_workers": fleet,
+        "batch_size": _BATCH_SIZE,
+        "single_worker_wall_s": single_s,
+        "single_worker_points_per_s": single_rate,
+        "fleet_wall_s": fleet_s,
+        "fleet_points_per_s": fleet_rate,
+        "fleet_speedup": speedup,
+        "min_fleet_speedup": _MIN_SPEEDUP,
+        "chaos_kill_every": _KILL_EVERY,
+        "chaos_lease_ttl_s": _LEASE_TTL_S,
+        "chaos_wall_s": chaos_s,
+        "chaos_points_per_s": chaos_rate,
+        "chaos_completed": completed,
+        "chaos_completion_rate": completed / total,
+        "chaos_lease_expiries": chaos_stats["expired_total"],
+        "chaos_worker_incarnations": incarnations,
+        "chaos_quarantined": chaos_stats["quarantined_total"],
+        "fault_seed": _SEED,
+    })
+
+    # Wall-clock and kill-count bars (full mode only: a smoke space is
+    # too small to scale past startup noise or dodge zero kills).
+    if not bench_smoke:
+        assert speedup >= _MIN_SPEEDUP, \
+            f"fleet only {speedup:.2f}x over one worker"
+        assert chaos_stats["expired_total"] > 0, \
+            "chaos run killed no worker mid-lease"
+        assert incarnations > fleet, \
+            "no worker was respawned during the chaos run"

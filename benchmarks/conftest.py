@@ -71,7 +71,9 @@ def _no_ambient_chaos(monkeypatch):
     from repro.resilience.faults import reset_injector
 
     for variable in ("REPRO_FAULTS", "REPRO_RETRY_MAX_ATTEMPTS",
-                     "REPRO_RETRY_BASE_DELAY_S", "REPRO_TASK_TIMEOUT_S"):
+                     "REPRO_RETRY_BASE_DELAY_S", "REPRO_TASK_TIMEOUT_S",
+                     "REPRO_EXECUTOR", "REPRO_LEASE_TTL_S",
+                     "REPRO_HEARTBEAT_S"):
         monkeypatch.delenv(variable, raising=False)
     reset_injector()
     yield

@@ -22,6 +22,8 @@ Plus the serialized-scenario workflow of the session API:
     python -m repro cache info               # inspect the persistent cache
     python -m repro cache clear              # wipe the persistent cache
     python -m repro serve --port 8642        # long-lived simulation daemon
+    python -m repro dispatch --port 8642     # distributed coordinator
+    python -m repro worker --connect http://127.0.0.1:8642  # join it
 
 Setting ``REPRO_CACHE_DIR`` makes every command above read and write a
 persistent result cache, so repeated invocations over the same specs
@@ -437,8 +439,38 @@ def _cmd_serve(args) -> int:
     app = ServeApp(host=args.host, port=args.port, workers=args.workers,
                    chunk_size=args.chunk_size, cache_dir=args.cache_dir,
                    max_workers=args.max_workers, executor=args.executor,
-                   journal_dir=args.journal)
+                   journal_dir=args.journal,
+                   dispatch=getattr(args, "dispatch", False),
+                   lease_ttl_s=getattr(args, "lease_ttl", None),
+                   heartbeat_s=getattr(args, "heartbeat", None))
     app.run(ready_file=args.ready_file, announce=not _wants_json(args))
+    return 0
+
+
+def _cmd_dispatch(args) -> int:
+    """Run a dispatch coordinator: ``serve --dispatch`` in one word."""
+    args.dispatch = True
+    return _cmd_serve(args)
+
+
+def _cmd_worker(args) -> int:
+    """Attach a pull-based worker process to a dispatch coordinator."""
+    from repro.exec.worker import run_supervised, run_worker
+    if args.respawn:
+        child_argv = ["--connect", args.connect,
+                      "--batch-size", str(args.batch_size)]
+        if args.cache_dir:
+            child_argv += ["--cache-dir", args.cache_dir]
+        return run_supervised(child_argv,
+                              announce=not _wants_json(args))
+    summary = run_worker(args.connect, batch_size=args.batch_size,
+                         cache_dir=args.cache_dir,
+                         announce=not _wants_json(args))
+    if _wants_json(args):
+        return _emit_json(summary)
+    print(f"repro worker: done — {summary['completed']} task(s) "
+          f"completed in {summary['batches']} batch(es) over "
+          f"{summary['elapsed_s']:g}s")
     return 0
 
 
@@ -523,38 +555,77 @@ def build_parser() -> argparse.ArgumentParser:
                        help="what to do with the cache directory")
     cache.add_argument("--dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR)")
+    def _add_serve_flags(target: argparse.ArgumentParser) -> None:
+        target.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default: 127.0.0.1)")
+        target.add_argument("--port", type=int, default=8642,
+                            help="bind port; 0 picks an ephemeral one "
+                                 "(default: 8642)")
+        target.add_argument("--workers", type=int, default=2,
+                            help="concurrent job slots (default: 2)")
+        target.add_argument("--chunk-size", type=int, default=8,
+                            help="explore points per progress/cancellation "
+                                 "chunk (default: 8)")
+        target.add_argument("--cache-dir", default=None,
+                            help="persistent result-cache directory "
+                                 "(default: $REPRO_CACHE_DIR)")
+        target.add_argument("--max-workers", type=int, default=None,
+                            help="width of the shared session's simulation "
+                                 "pool (default: auto)")
+        target.add_argument("--ready-file", default=None,
+                            help="write the bound address here as JSON once "
+                                 "listening (ephemeral-port rendezvous)")
+        target.add_argument("--executor", default="thread",
+                            choices=("inline", "thread", "process"),
+                            help="shared session executor; 'process' "
+                                 "isolates simulations in pool workers "
+                                 "(survives worker crashes); ignored "
+                                 "under --dispatch (default: thread)")
+        target.add_argument("--journal", default=None,
+                            help="durable job-journal directory; submitted "
+                                 "jobs survive daemon crashes and are "
+                                 "recovered on restart (default: off)")
+        target.add_argument("--lease-ttl", type=float, default=None,
+                            help="dispatch lease deadline in seconds "
+                                 "(default: $REPRO_LEASE_TTL_S, then 15)")
+        target.add_argument("--heartbeat", type=float, default=None,
+                            help="dispatch worker heartbeat interval in "
+                                 "seconds (default: $REPRO_HEARTBEAT_S, "
+                                 "then a third of the lease TTL)")
+
     serve = sub.add_parser(
         "serve",
         help="run the long-lived simulation service daemon (HTTP/JSON)",
         parents=[common])
-    serve.add_argument("--host", default="127.0.0.1",
-                       help="bind address (default: 127.0.0.1)")
-    serve.add_argument("--port", type=int, default=8642,
-                       help="bind port; 0 picks an ephemeral one "
-                            "(default: 8642)")
-    serve.add_argument("--workers", type=int, default=2,
-                       help="concurrent job slots (default: 2)")
-    serve.add_argument("--chunk-size", type=int, default=8,
-                       help="explore points per progress/cancellation "
-                            "chunk (default: 8)")
-    serve.add_argument("--cache-dir", default=None,
-                       help="persistent result-cache directory "
-                            "(default: $REPRO_CACHE_DIR)")
-    serve.add_argument("--max-workers", type=int, default=None,
-                       help="width of the shared session's simulation "
-                            "pool (default: auto)")
-    serve.add_argument("--ready-file", default=None,
-                       help="write the bound address here as JSON once "
-                            "listening (ephemeral-port rendezvous)")
-    serve.add_argument("--executor", default="thread",
-                       choices=("thread", "process"),
-                       help="shared session executor; 'process' "
-                            "isolates simulations in pool workers "
-                            "(survives worker crashes) (default: thread)")
-    serve.add_argument("--journal", default=None,
-                       help="durable job-journal directory; submitted "
-                            "jobs survive daemon crashes and are "
-                            "recovered on restart (default: off)")
+    _add_serve_flags(serve)
+    serve.add_argument("--dispatch", action="store_true", default=False,
+                       help="coordinate remote `repro worker` processes: "
+                            "the shared session executes through a "
+                            "lease-based work queue served under "
+                            "/dispatch")
+    dispatch = sub.add_parser(
+        "dispatch",
+        help="run a distributed-execution coordinator "
+             "(serve --dispatch)",
+        parents=[common])
+    _add_serve_flags(dispatch)
+    worker = sub.add_parser(
+        "worker",
+        help="attach a pull-based worker process to a dispatch "
+             "coordinator",
+        parents=[common])
+    worker.add_argument("--connect", required=True, metavar="URL",
+                        help="coordinator base URL, e.g. "
+                             "http://127.0.0.1:8642")
+    worker.add_argument("--batch-size", type=int, default=32,
+                        help="tasks leased per claim (default: 32)")
+    worker.add_argument("--cache-dir", default=None,
+                        help="shared result-cache directory; point every "
+                             "worker and the coordinator at the same one "
+                             "(default: $REPRO_CACHE_DIR)")
+    worker.add_argument("--respawn", action="store_true", default=False,
+                        help="supervise: restart the worker child "
+                             "whenever it exits abnormally")
     return parser
 
 
@@ -574,6 +645,8 @@ _COMMANDS = {
     "robust": _cmd_robust,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "dispatch": _cmd_dispatch,
+    "worker": _cmd_worker,
 }
 
 
@@ -616,7 +689,9 @@ class _sigterm_as_interrupt:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        if args.command == "serve":
+        # serve/dispatch install loop-level signal handlers; worker
+        # installs its own graceful-stop handlers.
+        if args.command in ("serve", "dispatch", "worker"):
             return _COMMANDS[args.command](args)
         with _sigterm_as_interrupt():
             return _COMMANDS[args.command](args)

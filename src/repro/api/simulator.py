@@ -22,33 +22,31 @@ import os
 import threading
 import time
 import warnings
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass, replace
-from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
-                                ProcessPoolExecutor, ThreadPoolExecutor)
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures import wait as futures_wait
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+import repro.exec  # noqa: F401  (registers the built-in executor backends)
 from repro.api.design import Design
 from repro.api.diskcache import (CACHE_DIR_ENV, DiskResultCache,
                                  default_cache_dir)
 from repro.api.result import SimOptions, SimResult
 from repro.exceptions import (CamJError, ConfigurationError,
-                              ExecutionTimeoutError, SerializationError,
-                              WorkerCrashError)
+                              SerializationError)
+from repro.exec.base import UNCACHED, SimulationExecutor, cacheable_result
+from repro.exec.registry import resolve_executor
 from repro.resilience.faults import get_injector
-from repro.resilience.policy import (QUARANTINE_THRESHOLD, FailureClass,
-                                     RetryPolicy, classify)
+from repro.resilience.policy import RetryPolicy
 from repro.sim.simulator import PassCounters, PassMemo, _simulate_graph
 
 #: One batch item: a bare design (session options apply) or an explicit
 #: ``(design, options)`` pair.
 BatchItem = Union[Design, Tuple[Design, SimOptions]]
 
-#: Sentinel first element of batch keys for unserializable designs:
-#: such jobs still fan out to workers but bypass dedup and the cache.
-_UNCACHED = object()
+#: Back-compat aliases — the canonical homes are :mod:`repro.exec.base`.
+_UNCACHED = UNCACHED
+_cacheable = cacheable_result
 
 #: Sentinel for "no cache_dir argument given": fall back to
 #: ``REPRO_CACHE_DIR``.
@@ -82,7 +80,9 @@ class BatchStats:
     deadline expiries, process-pool heals after a worker death, and
     designs failed with a typed
     :class:`~repro.exceptions.WorkerCrashError` after repeatedly
-    killing workers.  All zero on a healthy batch.
+    killing workers.  ``lease_expiries`` counts distributed-executor
+    leases that timed out and were re-dispatched (a remote worker died
+    or stalled mid-task).  All zero on a healthy batch.
     """
 
     total: int
@@ -95,6 +95,7 @@ class BatchStats:
     timeouts: int = 0
     pool_rebuilds: int = 0
     quarantined: int = 0
+    lease_expiries: int = 0
 
 
 @dataclass(frozen=True)
@@ -138,13 +139,19 @@ class Simulator:
         ``(design.content_hash, options)``.  Designs containing custom,
         unserializable parts are simulated but never cached.
     executor:
-        ``"thread"`` (default) fans batches across a thread pool;
-        ``"process"`` ships each design's serialized payload to a
+        The batch execution backend: a registered name or a
+        :class:`~repro.exec.SimulationExecutor` instance.  ``"thread"``
+        (the default) fans batches across a thread pool; ``"process"``
+        ships each design's serialized payload to a
         :class:`~concurrent.futures.ProcessPoolExecutor` worker, which
-        sidesteps the GIL for CPU-bound batches on multi-core machines.
-        Either pool is created once and reused across batches; process
-        workers keep their initializer state (warmed imports) for the
-        lifetime of the session.
+        sidesteps the GIL for CPU-bound batches on multi-core machines;
+        ``"inline"`` runs sequentially in the calling thread.  Either
+        pool is created once and reused across batches; process workers
+        keep their initializer state (warmed imports) for the lifetime
+        of the session.  ``None`` defers to the ``REPRO_EXECUTOR``
+        environment variable, falling back to ``"thread"``.  Backends
+        needing construction arguments (the ``distributed`` executor
+        takes its work queue) are passed as instances.
     cache_dir:
         Directory of the persistent result-cache tier.  Unset: honor
         the ``REPRO_CACHE_DIR`` environment variable.  ``None``: disk
@@ -164,25 +171,20 @@ class Simulator:
     down on exit.
     """
 
-    _EXECUTORS = ("thread", "process")
-
     def __init__(self, options: Optional[SimOptions] = None, *,
                  max_workers: Optional[int] = None,
                  cache: bool = True,
-                 executor: str = "thread",
+                 executor: Union[str, SimulationExecutor, None] = None,
                  cache_dir: Any = _UNSET,
                  cache_max_bytes: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}")
-        if executor not in self._EXECUTORS:
-            raise ConfigurationError(
-                f"executor must be one of {self._EXECUTORS}, "
-                f"got {executor!r}")
         self.options = options if options is not None else SimOptions()
         self._max_workers = max_workers
-        self._executor_kind = executor
+        self._executor = resolve_executor(executor)
+        self._executor_kind = self._executor.name
         self._cache_enabled = cache
         self._cache: Dict[Tuple[str, SimOptions], SimResult] = {}
         self._cache_hits = 0
@@ -228,7 +230,8 @@ class Simulator:
         self._retry = retry if retry is not None else RetryPolicy.from_env()
         #: Session-lifetime resilience counters (sums of BatchStats).
         self._resilience_totals = {"retries": 0, "timeouts": 0,
-                                   "pool_rebuilds": 0, "quarantined": 0}
+                                   "pool_rebuilds": 0, "quarantined": 0,
+                                   "lease_expiries": 0}
         self._lock = threading.Lock()
         #: Guards pool creation/growth and submission, so a batch never
         #: submits into a pool another thread just retired by growing it.
@@ -273,6 +276,7 @@ class Simulator:
             self._thread_pool_width = 0
             self._process_pool = None
             self._process_pool_width = 0
+        self._executor.close(self)
 
     @property
     def closed(self) -> bool:
@@ -289,6 +293,15 @@ class Simulator:
                 "process_pool_width": self._process_pool_width,
                 "terminal": self._terminal,
             }
+
+    def executor_info(self) -> Dict[str, Any]:
+        """The session's execution backend, self-described.
+
+        The ``distributed`` backend folds in its work-queue and worker
+        liveness document; local backends report name and
+        serializability only.
+        """
+        return self._executor.describe()
 
     def resilience_info(self) -> Dict[str, Any]:
         """Session-lifetime fault-tolerance counters and policy."""
@@ -719,8 +732,8 @@ class Simulator:
         for index, (design, resolved) in enumerate(jobs):
             key = self._job_key(design, resolved)
             if key is None:
-                if self._executor_kind == "process":
-                    # Can't ship a payload to a worker process; the
+                if self._executor.requires_serializable:
+                    # Can't ship a payload to another process; the
                     # assembly loop below runs these in-line.
                     slots.append((None, design, resolved))
                     continue
@@ -758,16 +771,10 @@ class Simulator:
         counters = _BatchCounters()
 
         if pending:
-            if self._executor_kind == "process":
-                max_workers = max(max_workers,
-                                  self._process_pool_width or 0)
-                outcomes.update(self._run_unique_in_processes(
-                    pending, max_workers, worker_ids, counters))
-            else:
-                max_workers = max(max_workers,
-                                  self._thread_pool_width or 0)
-                outcomes.update(self._run_unique_in_threads(
-                    pending, max_workers, worker_ids, counters))
+            max_workers = max(max_workers,
+                              self._executor.pool_width_floor(self))
+            outcomes.update(self._executor.run_pending(
+                self, pending, max_workers, worker_ids, counters))
 
         results: List[SimResult] = []
         ran_inline = False
@@ -784,6 +791,8 @@ class Simulator:
             self._resilience_totals["pool_rebuilds"] += \
                 counters.pool_rebuilds
             self._resilience_totals["quarantined"] += counters.quarantined
+            self._resilience_totals["lease_expiries"] += \
+                counters.lease_expiries
         self.last_batch_stats = BatchStats(
             total=len(jobs), unique=len(jobs) - deduplicated,
             cache_hits=batch_hits,
@@ -792,7 +801,8 @@ class Simulator:
             elapsed_s=time.perf_counter() - started,
             retries=counters.retries, timeouts=counters.timeouts,
             pool_rebuilds=counters.pool_rebuilds,
-            quarantined=counters.quarantined)
+            quarantined=counters.quarantined,
+            lease_expiries=counters.lease_expiries)
         return results
 
     def _acquire_pool(self, kind: str, width: int):
@@ -816,6 +826,7 @@ class Simulator:
         if pool is not None:
             pool.shutdown(wait=False)
         if kind == "process":
+            from repro.exec.local import _init_worker
             pool = ProcessPoolExecutor(max_workers=width,
                                        initializer=_init_worker)
             self._process_pool, self._process_pool_width = pool, width
@@ -825,275 +836,6 @@ class Simulator:
                 thread_name_prefix="repro-simulator")
             self._thread_pool, self._thread_pool_width = pool, width
         return pool
-
-    def _run_unique_in_threads(self, pending, max_workers, worker_ids,
-                               counters: "_BatchCounters"
-                               ) -> Dict[Any, SimResult]:
-        policy = self._retry
-
-        def job(key: Any, design: Design,
-                resolved: SimOptions) -> SimResult:
-            worker_ids.add(threading.get_ident())
-            attempt = 0
-            while True:
-                # The batch already disk-probed this key; see
-                # _run_resolved.
-                result = self._run_resolved(design, resolved,
-                                            probe_disk=False,
-                                            attempt=attempt)
-                if result.ok or result.cached:
-                    return result
-                if attempt + 1 >= policy.max_attempts \
-                        or not policy.retryable(classify(result.error)):
-                    return result
-                counters.add("retries")
-                time.sleep(policy.backoff_s(attempt, key))
-                attempt += 1
-
-        with self._pools_lock:
-            pool = self._acquire_pool("thread", max_workers)
-            futures = {key: pool.submit(job, key, design, resolved)
-                       for key, (design, resolved) in pending.items()}
-
-        # A running thread cannot be interrupted, so in thread mode the
-        # deadline covers the whole task and is enforced at harvest: a
-        # late task is reported as a typed timeout while its thread is
-        # left to finish in the background (the stray result is simply
-        # dropped — never cached, because the store happens here).
-        outcomes: Dict[Any, SimResult] = {}
-        deadline = (time.monotonic() + policy.timeout_s
-                    if policy.timeout_s is not None else None)
-        for key, future in futures.items():
-            try:
-                if deadline is None:
-                    outcomes[key] = future.result()
-                else:
-                    outcomes[key] = future.result(timeout=max(
-                        deadline - time.monotonic(), 0.0))
-            except FuturesTimeoutError:
-                future.cancel()  # only helps tasks still queued
-                counters.add("timeouts")
-                design, resolved = pending[key]
-                design_hash = key[0] if key[0] is not _UNCACHED else None
-                outcomes[key] = SimResult(
-                    design_name=design.name, options=resolved,
-                    design_hash=design_hash,
-                    error=ExecutionTimeoutError(
-                        f"task {design.name!r} exceeded the "
-                        f"{policy.timeout_s:g}s deadline"),
-                    elapsed_s=policy.timeout_s)
-        return outcomes
-
-    def _run_unique_in_processes(self, pending, max_workers, worker_ids,
-                                 counters: "_BatchCounters"
-                                 ) -> Dict[Any, SimResult]:
-        """Fan cache-missing jobs out as serialized payloads.
-
-        Workers live as long as the session: the pool initializer runs
-        once per worker process (not per batch), and every batch after
-        the first reuses the already-warm workers.
-
-        Submission is *windowed* — at most ``max_workers`` tasks are in
-        flight — which is what makes worker deaths survivable: when a
-        dead worker poisons the executor (``BrokenProcessPool``), the
-        suspect set is exactly the in-flight window.  The pool is
-        rebuilt, the suspects are re-queued, and a task implicated in
-        :data:`~repro.resilience.policy.QUARANTINE_THRESHOLD` pool
-        deaths is failed with a typed
-        :class:`~repro.exceptions.WorkerCrashError` result instead of
-        sinking the whole batch.  Transient failures re-queue under the
-        retry policy's backoff; a per-attempt deadline expiry retires
-        the pool (reclaiming the hung slot; the stuck worker process is
-        abandoned and exits with its task).
-        """
-        policy = self._retry
-        outcomes: Dict[Any, SimResult] = {}
-        if self._cache_enabled:
-            with self._lock:
-                self._cache_misses += len(pending)
-
-        #: Work queue entries are (key, design, options, attempt).
-        ready = deque((key, design, resolved, 0)
-                      for key, (design, resolved) in pending.items())
-        #: Backoff parking lot: (ready_at, key, design, options, attempt).
-        delayed: List[Tuple] = []
-        #: Pool deaths each key has been implicated in.
-        crashes: Dict[Any, int] = {}
-        #: future -> (key, design, options, attempt, started_at).
-        in_flight: Dict[Any, Tuple] = {}
-        #: Heal rounds that neither settled nor implicated anything —
-        #: a pool that cannot even start is not healable by rebuilding.
-        barren_rebuilds = 0
-
-        def settle(entry, pid, result) -> None:
-            key, design, resolved, attempt = entry[:4]
-            worker_ids.add(pid)
-            result = replace(result, design_hash=key[0])
-            if not result.ok and policy.retryable(classify(result.error)) \
-                    and attempt + 1 < policy.max_attempts:
-                counters.add("retries")
-                delayed.append((
-                    time.monotonic() + policy.backoff_s(attempt, key),
-                    key, design, resolved, attempt + 1))
-                return
-            if self._cache_enabled and _cacheable(result):
-                self._store(key, result)
-            outcomes[key] = result
-
-        while ready or delayed or in_flight:
-            _promote_due(delayed, ready)
-            broken: Optional[BaseException] = None
-
-            # Fill the in-flight window from the ready queue.  A crash
-            # suspect (implicated in a previous pool death) reruns
-            # *alone* in the window: if it kills its worker again the
-            # blast radius is just itself, so innocent neighbours are
-            # never implicated twice into quarantine by riding along.
-            try:
-                with self._pools_lock:
-                    pool = self._acquire_pool("process", max_workers)
-                    solo = any(crashes.get(entry[0])
-                               for entry in in_flight.values())
-                    while ready and not solo \
-                            and len(in_flight) < max_workers:
-                        key, design, resolved, attempt = ready[0]
-                        if crashes.get(key):
-                            if in_flight:
-                                break  # wait for the window to drain
-                            solo = True
-                        future = pool.submit(
-                            _subprocess_job, design.to_dict(), resolved,
-                            attempt, key[0])
-                        ready.popleft()
-                        in_flight[future] = (key, design, resolved,
-                                             attempt, time.monotonic())
-            except BrokenExecutor as error:
-                broken = error
-
-            if broken is None and not in_flight:
-                # Everything left is waiting out a backoff delay.
-                if delayed:
-                    time.sleep(max(
-                        min(entry[0] for entry in delayed)
-                        - time.monotonic(), 0.0))
-                continue
-
-            if broken is None:
-                # Wake on the first completion — or in time to promote
-                # delayed work / expire the nearest per-attempt deadline.
-                wait_s = 0.05 if delayed else None
-                if policy.timeout_s is not None:
-                    slack = max(
-                        min(entry[4] for entry in in_flight.values())
-                        + policy.timeout_s - time.monotonic(), 0.0)
-                    wait_s = slack if wait_s is None \
-                        else min(wait_s, slack)
-                done, _ = futures_wait(set(in_flight), timeout=wait_s,
-                                       return_when=FIRST_COMPLETED)
-                for future in done:
-                    entry = in_flight.pop(future)
-                    try:
-                        pid, result = future.result()
-                    except BrokenExecutor as error:
-                        broken = error
-                        # This future's task was in flight when the
-                        # worker died: it is a suspect like the rest.
-                        in_flight[future] = entry
-                        break
-                    settle(entry, pid, result)
-                    barren_rebuilds = 0
-                if broken is None and done:
-                    continue
-                if broken is None and policy.timeout_s is not None:
-                    expired = self._expire_process_attempts(
-                        in_flight, pool, policy, counters, ready,
-                        outcomes)
-                    if expired:
-                        continue
-                if broken is None:
-                    continue
-
-            # --- heal a broken pool -----------------------------------
-            # Every in-flight future is either already failed with
-            # BrokenProcessPool or carries a result computed before the
-            # death; drain both kinds, then rebuild.
-            suspects = []
-            for future in list(in_flight):
-                entry = in_flight.pop(future)
-                try:
-                    pid, result = future.result(timeout=1.0)
-                except (BrokenExecutor, FuturesTimeoutError, OSError):
-                    suspects.append(entry)
-                    continue
-                settle(entry, pid, result)
-                barren_rebuilds = 0
-            counters.add("pool_rebuilds")
-            stale = self._process_pool
-            if stale is not None:
-                self._retire_pool("process", stale)
-            if suspects:
-                barren_rebuilds = 0
-            else:
-                barren_rebuilds += 1
-                if barren_rebuilds > 3:
-                    # Rebuilding is not helping (workers die before
-                    # taking any work): surface the infrastructure
-                    # failure instead of spinning forever.
-                    raise broken
-            for entry in suspects:
-                key, design, resolved, attempt = entry[:4]
-                count = crashes.get(key, 0) + 1
-                crashes[key] = count
-                if count >= QUARANTINE_THRESHOLD:
-                    counters.add("quarantined")
-                    outcomes[key] = SimResult(
-                        design_name=design.name, options=resolved,
-                        design_hash=key[0],
-                        error=WorkerCrashError(
-                            f"design {design.name!r} was in flight for "
-                            f"{count} worker-process deaths and is "
-                            f"quarantined"))
-                else:
-                    # Re-queue on the healed pool.  The bumped attempt
-                    # number also tells the fault injector this is a
-                    # retry, so kill_rate faults (first attempt only by
-                    # default) let recovery be measured.
-                    ready.append((key, design, resolved, attempt + 1))
-        return outcomes
-
-    def _expire_process_attempts(self, in_flight, pool, policy, counters,
-                                 ready, outcomes) -> bool:
-        """Time out in-flight attempts past the per-attempt deadline.
-
-        Process mode cannot interrupt a busy worker either — but it can
-        retire the whole pool, which reclaims the hung slot for the
-        rebuilt pool while the abandoned worker process dies with its
-        task.  Non-expired in-flight futures stay harvestable: a pool
-        shutdown without cancellation lets running tasks finish.
-        """
-        now = time.monotonic()
-        expired = [future for future, entry in in_flight.items()
-                   if now - entry[4] >= policy.timeout_s]
-        if not expired:
-            return False
-        for future in expired:
-            key, design, resolved, attempt = in_flight.pop(future)[:4]
-            future.cancel()
-            counters.add("timeouts")
-            if policy.retry_timeouts and attempt + 1 < policy.max_attempts:
-                counters.add("retries")
-                ready.append((key, design, resolved, attempt + 1))
-            else:
-                outcomes[key] = SimResult(
-                    design_name=design.name, options=resolved,
-                    design_hash=key[0],
-                    error=ExecutionTimeoutError(
-                        f"task {design.name!r} exceeded the "
-                        f"{policy.timeout_s:g}s per-attempt deadline"),
-                    elapsed_s=policy.timeout_s)
-        counters.add("pool_rebuilds")
-        self._retire_pool("process", pool)
-        return True
 
     def _retire_pool(self, kind: str, pool) -> None:
         """Drop a broken executor so the next batch recreates one."""
@@ -1176,7 +918,7 @@ class _BatchCounters:
     """
 
     __slots__ = ("lock", "retries", "timeouts", "pool_rebuilds",
-                 "quarantined")
+                 "quarantined", "lease_expiries")
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
@@ -1184,86 +926,11 @@ class _BatchCounters:
         self.timeouts = 0
         self.pool_rebuilds = 0
         self.quarantined = 0
+        self.lease_expiries = 0
 
     def add(self, field: str, count: int = 1) -> None:
         with self.lock:
             setattr(self, field, getattr(self, field) + count)
-
-
-def _cacheable(result: SimResult) -> bool:
-    """Whether a result is a property of its ``(design, options)`` key.
-
-    Reports and permanent failures are; transient, timeout, and
-    worker-crash outcomes describe one unlucky execution, and caching
-    them would turn a recoverable hiccup into a sticky failure that
-    every retry would then hit.
-    """
-    return result.ok or classify(result.error) is FailureClass.PERMANENT
-
-
-def _promote_due(delayed: List[Tuple], ready: deque) -> None:
-    """Move backoff entries whose delay has elapsed onto the ready queue."""
-    now = time.monotonic()
-    due = [entry for entry in delayed if entry[0] <= now]
-    if not due:
-        return
-    delayed[:] = [entry for entry in delayed if entry[0] > now]
-    due.sort(key=lambda entry: entry[0])
-    for _, key, design, resolved, attempt in due:
-        ready.append((key, design, resolved, attempt))
-
-
-def _init_worker() -> None:
-    """Process-pool initializer: warm each worker exactly once.
-
-    Runs when a worker process starts — not per batch — and the state it
-    creates (imported engine modules, populated caches) persists for the
-    session's lifetime, which is what makes pool reuse pay off in
-    ``executor="process"`` mode.
-
-    Fork-started workers also inherit the parent's signal plumbing.
-    Under an asyncio host (the serve daemon), that includes the event
-    loop's wakeup fd — a socketpair *shared* with the parent — so a
-    SIGTERM delivered to a worker (e.g. by the executor terminating
-    siblings while healing a crashed pool) would echo into the parent's
-    loop and be handled as the daemon's own shutdown signal.  Detach
-    the wakeup fd and restore default dispositions so signals aimed at
-    a worker stay in that worker.
-    """
-    import signal
-
-    try:
-        signal.set_wakeup_fd(-1)
-    except (ValueError, OSError):  # pragma: no cover - non-main thread
-        pass
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        try:
-            signal.signal(signum, signal.SIG_DFL)
-        except (ValueError, OSError):  # pragma: no cover
-            pass
-    import repro.api.design  # noqa: F401  (pulls in the whole engine)
-    import repro.sim.simulator  # noqa: F401
-
-
-def _subprocess_job(payload: Dict[str, Any], options: SimOptions,
-                    attempt: int = 0,
-                    design_hash: Optional[str] = None
-                    ) -> Tuple[int, SimResult]:
-    """Worker body of the process executor: rebuild, simulate, return.
-
-    The design travels as its serialized payload (always picklable),
-    so worker processes never depend on pickling user-built objects.
-    ``attempt`` reaches the fault injector (inherited via the
-    environment), which is how retried tasks stop being re-killed;
-    ``design_hash`` travels alongside so the injector keys its
-    decisions on the same content identity in every executor mode
-    instead of degrading to the (possibly shared) design name.
-    """
-    design = Design.from_dict(payload)
-    key = (design_hash, options) if design_hash is not None else None
-    result = Simulator(cache=False)._execute(design, options, key,
-                                             attempt=attempt)
-    return os.getpid(), result
 
 
 def run_design(design: Design,

@@ -69,6 +69,20 @@ class WorkerCrashError(CamJError):
     """
 
 
+class LeaseExpiredError(CamJError):
+    """A distributed task's lease ran out before its worker reported back.
+
+    The coordinator hands every dispatched task to exactly one worker
+    under a lease (task id + worker id + deadline).  When heartbeats
+    stop and the deadline passes — a SIGKILLed worker, a network
+    partition, a hung host — the lease expires: the task re-enters the
+    queue with a strike against its identity, and a task that expires
+    :data:`~repro.resilience.policy.QUARANTINE_THRESHOLD` times is
+    failed with a typed :class:`WorkerCrashError` result instead of
+    cycling forever.
+    """
+
+
 class VectorUnsupported(Exception):
     """A design or group cannot take the vectorized explore fast path.
 

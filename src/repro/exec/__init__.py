@@ -1,0 +1,34 @@
+"""Pluggable execution backends for :meth:`repro.api.Simulator.run_many`.
+
+``inline``, ``thread``, and ``process`` run in (or from) the calling
+process and reproduce the pre-registry pool semantics bit-identically;
+``distributed`` shards batches across ``repro worker`` processes through
+a lease-based work queue served over HTTP (see :mod:`repro.exec.queue`
+and :mod:`repro.exec.distributed`).
+"""
+
+from repro.exec.base import (EXECUTOR_ENV, UNCACHED, SimulationExecutor,
+                             cacheable_result)
+from repro.exec.local import InlineExecutor, ProcessExecutor, ThreadExecutor
+from repro.exec.registry import (DEFAULT_EXECUTOR, available_executors,
+                                 create_executor, register_executor,
+                                 resolve_executor)
+
+register_executor("inline", InlineExecutor)
+register_executor("thread", ThreadExecutor)
+register_executor("process", ProcessExecutor)
+
+__all__ = [
+    "DEFAULT_EXECUTOR",
+    "EXECUTOR_ENV",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "SimulationExecutor",
+    "ThreadExecutor",
+    "UNCACHED",
+    "available_executors",
+    "cacheable_result",
+    "create_executor",
+    "register_executor",
+    "resolve_executor",
+]

@@ -1,0 +1,82 @@
+"""Name → backend registry for :class:`~repro.exec.SimulationExecutor`.
+
+The built-in backends (``inline``, ``thread``, ``process``) register
+themselves when :mod:`repro.exec` is imported; external code may add
+its own with :func:`register_executor` and sessions pick them up by
+name — ``Simulator(executor="mybackend")`` — or by instance for
+backends that need construction arguments (the ``distributed``
+executor takes its work queue that way).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.exec.base import EXECUTOR_ENV, SimulationExecutor
+
+#: Factories producing a fresh executor per session, keyed by name.
+_FACTORIES: Dict[str, Callable[[], SimulationExecutor]] = {}
+
+#: The backend used when neither the session nor the environment
+#: names one.
+DEFAULT_EXECUTOR = "thread"
+
+
+def register_executor(name: str,
+                      factory: Callable[[], SimulationExecutor], *,
+                      replace: bool = False) -> None:
+    """Register a backend factory under ``name``.
+
+    Re-registering an existing name raises unless ``replace=True`` —
+    silently shadowing a built-in is almost always a bug.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"executor name must be a non-empty string, got {name!r}")
+    if name in _FACTORIES and not replace:
+        raise ConfigurationError(
+            f"executor {name!r} is already registered; "
+            f"pass replace=True to shadow it")
+    _FACTORIES[name] = factory
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def create_executor(name: str) -> SimulationExecutor:
+    """A fresh executor instance for ``name``.
+
+    Unknown names raise :class:`~repro.exceptions.ConfigurationError`
+    listing what is available (``distributed`` is deliberately not
+    name-constructible: it needs a work queue, so it is passed to the
+    session as an instance).
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"executor must be one of {available_executors()}, "
+            f"got {name!r}")
+    return factory()
+
+
+def resolve_executor(spec: Union[str, SimulationExecutor, None]
+                     ) -> SimulationExecutor:
+    """The executor a session should use for ``spec``.
+
+    ``None`` defers to the ``REPRO_EXECUTOR`` environment variable and
+    falls back to the ``thread`` default; strings resolve through the
+    registry; instances pass through untouched.
+    """
+    if spec is None:
+        spec = os.environ.get(EXECUTOR_ENV, "").strip() or DEFAULT_EXECUTOR
+    if isinstance(spec, SimulationExecutor):
+        return spec
+    if isinstance(spec, str):
+        return create_executor(spec)
+    raise ConfigurationError(
+        f"executor must be a backend name or a SimulationExecutor, "
+        f"got {type(spec).__name__}")

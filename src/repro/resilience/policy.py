@@ -22,8 +22,8 @@ from dataclasses import dataclass, replace
 from typing import Any, Optional
 
 from repro.exceptions import (CamJError, ConfigurationError,
-                              ExecutionTimeoutError, TransientSimError,
-                              WorkerCrashError)
+                              ExecutionTimeoutError, LeaseExpiredError,
+                              TransientSimError, WorkerCrashError)
 
 #: How many pool deaths one task may be implicated in before it is
 #: quarantined as a :class:`repro.exceptions.WorkerCrashError` result.
@@ -50,6 +50,10 @@ class FailureClass(enum.Enum):
     #: A worker process died underneath the task.  Retried on a healed
     #: pool until :data:`QUARANTINE_THRESHOLD` strikes.
     POOL_CRASH = "pool_crash"
+    #: A distributed task's lease expired before its worker reported
+    #: back (SIGKILL, partition, hang).  Re-dispatched with a strike
+    #: against the task identity, like a pool crash.
+    LEASE_EXPIRED = "lease_expired"
 
 
 def classify(failure: Optional[BaseException]) -> FailureClass:
@@ -64,6 +68,8 @@ def classify(failure: Optional[BaseException]) -> FailureClass:
         return FailureClass.TRANSIENT
     if isinstance(failure, ExecutionTimeoutError):
         return FailureClass.TIMEOUT
+    if isinstance(failure, LeaseExpiredError):
+        return FailureClass.LEASE_EXPIRED
     if isinstance(failure, WorkerCrashError):
         return FailureClass.POOL_CRASH
     if isinstance(failure, BrokenExecutor):
@@ -128,7 +134,9 @@ class RetryPolicy:
             return True
         if failure_class is FailureClass.TIMEOUT:
             return self.retry_timeouts
-        return False  # PERMANENT and POOL_CRASH follow their own paths
+        # PERMANENT is terminal; POOL_CRASH and LEASE_EXPIRED follow
+        # the strike/quarantine path instead of plain retries.
+        return False
 
     def backoff_s(self, attempt: int, key: Any = None) -> float:
         """Delay before re-running ``key`` after failed attempt ``attempt``.

@@ -66,11 +66,24 @@ class ServeApp:
                  cache_dir: Optional[str] = None,
                  max_workers: Optional[int] = None,
                  executor: str = "thread",
-                 journal_dir: Optional[str] = None) -> None:
+                 journal_dir: Optional[str] = None,
+                 dispatch: bool = False,
+                 lease_ttl_s: Optional[float] = None,
+                 heartbeat_s: Optional[float] = None) -> None:
         self.host = host
         self.port = port
+        self.dispatch = None
         simulator_kwargs: Dict[str, Any] = {"max_workers": max_workers,
                                             "executor": executor}
+        if dispatch:
+            # Coordinator mode: the shared session executes through the
+            # lease-based work queue that the /dispatch endpoints feed.
+            from repro.exec.distributed import DistributedExecutor
+            from repro.exec.queue import WorkQueue
+            self.dispatch = WorkQueue(lease_ttl_s=lease_ttl_s,
+                                      heartbeat_s=heartbeat_s)
+            simulator_kwargs["executor"] = \
+                DistributedExecutor(self.dispatch)
         if cache_dir is not None:
             simulator_kwargs["cache_dir"] = cache_dir
         self.simulator = Simulator(options, **simulator_kwargs)
@@ -141,8 +154,9 @@ class ServeApp:
                 pass  # non-main thread / platforms without loop signals
         try:
             if announce:
+                mode = "dispatch, " if self.dispatch is not None else ""
                 print(f"repro serve listening on {self.url} "
-                      f"(workers={self.queue.workers}, "
+                      f"({mode}workers={self.queue.workers}, "
                       f"pid={os.getpid()})", flush=True)
             if ready_file:
                 self._write_ready_file(ready_file)

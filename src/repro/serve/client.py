@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import time
 import urllib.parse
 from typing import Any, Dict, Iterator, List, Optional
@@ -53,10 +54,15 @@ class ServeClient:
     """Programmatic surface over one daemon address."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, stream_reconnects: int = 5,
+                 stream_backoff_s: float = 0.05,
+                 stream_backoff_max_s: float = 2.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.stream_reconnects = stream_reconnects
+        self.stream_backoff_s = stream_backoff_s
+        self.stream_backoff_max_s = stream_backoff_max_s
 
     @classmethod
     def from_url(cls, url: str, *, timeout: float = 30.0) -> "ServeClient":
@@ -70,10 +76,24 @@ class ServeClient:
 
     # --- plumbing ---------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[Any] = None) -> Any:
+    def _connect(self) -> http.client.HTTPConnection:
+        """A fresh connection with Nagle's algorithm disabled.
+
+        ``http.client`` sends request headers and body in separate
+        writes; with Nagle on, the body write stalls behind the peer's
+        delayed ACK (~40 ms) on every POST — which is most of a
+        dispatch worker's claim/complete cycle on a fast network.
+        """
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
+        connection.connect()
+        connection.sock.setsockopt(socket.IPPROTO_TCP,
+                                   socket.TCP_NODELAY, 1)
+        return connection
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Any] = None) -> Any:
+        connection = self._connect()
         try:
             body = None
             headers = {}
@@ -156,35 +176,47 @@ class ServeClient:
         Explore jobs yield ``{"event": "point", ...}`` per finished
         point (in space order) and finally ``{"event": "done", ...}``
         carrying the terminal job document.  A connection dropped
-        mid-stream is retried **once**, resuming at the server-side
-        cursor of the last event consumed (so nothing is replayed or
-        lost); a second drop raises :class:`ServeError`.
+        mid-stream is retried up to ``stream_reconnects`` consecutive
+        times under capped exponential backoff (``stream_backoff_s``
+        doubling up to ``stream_backoff_max_s``), resuming each time at
+        the server-side cursor of the last event consumed — nothing is
+        replayed or lost.  The budget resets whenever a reconnection
+        actually makes progress, so a long stream over a flaky link
+        survives any number of *spread-out* drops; only
+        ``stream_reconnects + 1`` failures in a row with no event in
+        between raise the typed ``ConnectionLost`` :class:`ServeError`.
         """
         seen = 0  # real events consumed (cursor currency; see handlers)
-        reconnected = False
+        drops = 0  # consecutive transport failures since last progress
         while True:
+            progressed = False
             try:
                 for event in self._stream_once(job_id, cursor=seen):
                     if event.get("event") != "truncated":
                         seen += 1
+                        progressed = True
                     yield event
                 return
             except (http.client.HTTPException, OSError) as error:
                 # ServeError (a typed daemon response) is not caught
-                # here and propagates on the first occurrence; only
-                # transport-level drops earn the one reconnect.
-                if reconnected:
+                # here and propagates immediately; only transport-level
+                # drops draw from the reconnect budget.
+                if progressed:
+                    drops = 0
+                drops += 1
+                if drops > self.stream_reconnects:
                     raise ServeError(
                         0, "ConnectionLost",
-                        f"stream for {job_id} dropped twice: "
-                        f"{error}") from error
-                reconnected = True
+                        f"stream for {job_id} dropped {drops} times "
+                        f"without progress: {error}") from error
+                time.sleep(min(
+                    self.stream_backoff_s * (2.0 ** (drops - 1)),
+                    self.stream_backoff_max_s))
 
     def _stream_once(self, job_id: str,
                      cursor: int = 0) -> Iterator[Dict[str, Any]]:
         """One streaming connection, resumed from ``cursor``."""
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout)
+        connection = self._connect()
         try:
             connection.request(
                 "GET",

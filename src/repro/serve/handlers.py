@@ -18,6 +18,16 @@ Endpoints::
     POST   /jobs/<id>/cancel    request cancellation
     DELETE /jobs/<id>           alias for cancel
 
+With ``--dispatch`` the daemon additionally coordinates remote
+``repro worker`` processes (404 ``DispatchDisabled`` otherwise)::
+
+    GET    /dispatch            work queue + worker liveness document
+    POST   /dispatch/register   admit a worker -> id + lease protocol
+    POST   /dispatch/claim      lease a task batch to a worker
+    POST   /dispatch/complete   accept results for still-held leases
+    POST   /dispatch/heartbeat  renew worker liveness + listed leases
+    POST   /dispatch/deregister graceful goodbye, leases released
+
 Every error body is typed JSON: ``{"error": {"type", "message"}}``.
 """
 
@@ -117,6 +127,8 @@ async def dispatch(app, request: Request) -> Response:
             _require_method(request, "GET")
             return stream_response(job, _stream_format(request),
                                    _stream_cursor(request))
+    if parts and parts[0] == "dispatch" and len(parts) <= 2:
+        return Response(payload=handle_dispatch(app, request, parts[1:]))
     raise ApiError(404, "NotFound", f"no such endpoint: {request.path}")
 
 
@@ -189,7 +201,87 @@ def handle_stats(app) -> Dict[str, Any]:
         "resilience": simulator.resilience_info(),
         "engines": app.queue.engine_totals(),
         "journal": app.queue.journal_info(),
+        "executor": simulator.executor_info(),
+        "dispatch": (app.dispatch.describe()
+                     if getattr(app, "dispatch", None) is not None
+                     else None),
     }
+
+
+def handle_dispatch(app, request: Request, parts) -> Dict[str, Any]:
+    """The worker-facing lease protocol endpoints.
+
+    All queue methods are fast lock-protected operations, safe to run
+    on the event loop.  An unknown (or superseded) worker id is a typed
+    409 ``UnknownWorker`` — the worker's cue to re-register, which is
+    how the fleet survives a coordinator restart.
+    """
+    queue = getattr(app, "dispatch", None)
+    if queue is None:
+        raise ApiError(404, "DispatchDisabled",
+                       "this daemon was started without --dispatch")
+    if not parts:
+        _require_method(request, "GET")
+        return queue.describe()
+    action = parts[0]
+    if action not in ("register", "claim", "complete", "heartbeat",
+                      "deregister"):
+        raise ApiError(404, "NotFound",
+                       f"no such endpoint: {request.path}")
+    _require_method(request, "POST")
+    payload = _dispatch_payload(request)
+    try:
+        if action == "register":
+            return queue.register_worker(payload.get("meta") or {
+                key: value for key, value in payload.items()
+                if key in ("pid", "host", "executor")})
+        worker_id = payload.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ApiError(400, "InvalidSpec",
+                           "'worker_id' (string) is required")
+        if action == "claim":
+            max_tasks = payload.get("max_tasks", 1)
+            if not isinstance(max_tasks, int) or max_tasks < 1:
+                raise ApiError(400, "InvalidSpec",
+                               f"'max_tasks' must be a positive integer, "
+                               f"got {max_tasks!r}")
+            return {"tasks": queue.claim(worker_id, max_tasks)}
+        if action == "complete":
+            results = payload.get("results")
+            if not isinstance(results, list) or any(
+                    not isinstance(item, dict) or "task_id" not in item
+                    or "result" not in item for item in results):
+                raise ApiError(400, "InvalidSpec",
+                               "'results' must be a list of objects with "
+                               "'task_id' and 'result'")
+            return queue.complete(worker_id, results)
+        if action == "heartbeat":
+            task_ids = payload.get("task_ids") or []
+            if not isinstance(task_ids, list):
+                raise ApiError(400, "InvalidSpec",
+                               "'task_ids' must be a list")
+            return queue.heartbeat(worker_id, task_ids)
+        return queue.deregister_worker(worker_id)
+    except KeyError as error:
+        raise ApiError(409, "UnknownWorker",
+                       f"no such worker: {error.args[0]}; "
+                       f"re-register") from error
+
+
+def _dispatch_payload(request: Request) -> Dict[str, Any]:
+    if not request.body:
+        return {}
+    try:
+        payload = json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ApiError(400, "InvalidJSON",
+                       f"request body is not valid JSON: {error}") \
+            from error
+    if not isinstance(payload, dict):
+        raise ApiError(400, "InvalidSpec",
+                       f"dispatch body must be a JSON object, "
+                       f"got {type(payload).__name__}")
+    return payload
 
 
 def job_document(job: Job) -> Dict[str, Any]:

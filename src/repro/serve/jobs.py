@@ -439,8 +439,7 @@ class JobQueue:
         self._counter = itertools.count(max_seen + 1)
         # Startup compaction: fold the replayed history (plus any
         # unrecoverable-job terminals just appended) into its bound.
-        self.journal.compact(self.journal.replay_jobs(),
-                             max_terminal=self._max_jobs_kept)
+        self.journal.compact(max_terminal=self._max_jobs_kept)
         self._recovery = summary
         return summary
 

@@ -46,7 +46,11 @@ class JobJournal:
         import pathlib
         self.directory = pathlib.Path(directory)
         self._journal = JsonlJournal(self.directory / JOURNAL_FILENAME)
-        self._lock = threading.Lock()
+        #: One reentrant lock over every append, replay, and rewrite.
+        #: Compaction replays and rewrites under the same critical
+        #: section an append takes, so a record landing concurrently
+        #: with a compaction can never be erased by the rewrite.
+        self._lock = threading.RLock()
         self._appends_since_compact = 0
 
     # --- writing ------------------------------------------------------------
@@ -67,8 +71,9 @@ class JobJournal:
             "created_at": job.created_at,
             "spec": self._serialize_payload(job),
         }
-        self._journal.append(record, sync=True)
-        self._count_append()
+        with self._lock:
+            self._journal.append(record, sync=True)
+            self._appends_since_compact += 1
 
     def record_terminal(self, job) -> None:
         """Durably journal one terminal transition (with its result)."""
@@ -83,8 +88,9 @@ class JobJournal:
                 "result": job.result,
                 "error": dict(job.error) if job.error else None,
             }
-        self._journal.append(record, sync=True)
-        self._count_append()
+        with self._lock:
+            self._journal.append(record, sync=True)
+            self._appends_since_compact += 1
 
     def _serialize_payload(self, job) -> Optional[Dict[str, Any]]:
         try:
@@ -96,10 +102,6 @@ class JobJournal:
         except SerializationError:
             return None
 
-    def _count_append(self) -> None:
-        with self._lock:
-            self._appends_since_compact += 1
-
     # --- replay -------------------------------------------------------------
 
     def replay_jobs(self) -> "Dict[str, Dict[str, Any]]":
@@ -110,7 +112,9 @@ class JobJournal:
         records without a preceding submit, are ignored.
         """
         snapshots: Dict[str, Dict[str, Any]] = {}
-        for record in self._journal.replay():
+        with self._lock:
+            records = list(self._journal.replay())
+        for record in records:
             if record.get("schema") != JOB_JOURNAL_SCHEMA:
                 continue
             job_id = record.get("id")
@@ -124,30 +128,41 @@ class JobJournal:
 
     # --- maintenance --------------------------------------------------------
 
-    def compact(self, snapshots: "Dict[str, Dict[str, Any]]",
+    def compact(self,
+                snapshots: "Optional[Dict[str, Dict[str, Any]]]" = None,
                 max_terminal: Optional[int] = None) -> int:
-        """Rewrite the journal to these job snapshots, oldest-first.
+        """Rewrite the journal down to one snapshot per job, oldest-first.
+
+        With ``snapshots=None`` (the live-daemon path) the replay and
+        the rewrite happen under one critical section with every
+        append, so records landing from concurrent submitters are
+        either part of the snapshot or appended after the rewrite —
+        never erased by it.  Passing explicit ``snapshots`` is for
+        single-threaded maintenance (tests, offline tools); the caller
+        then owns the staleness risk.
 
         ``max_terminal`` bounds how many *terminal* jobs survive (the
         oldest beyond it are dropped, mirroring the in-memory
         registry's retention); non-terminal jobs are always kept.
         """
-        retained = list(snapshots.values())
-        if max_terminal is not None:
-            terminal = [snapshot for snapshot in retained
-                        if snapshot["state"] is not None]
-            excess = len(terminal) - max_terminal
-            if excess > 0:
-                dropped = set(map(id, terminal[:excess]))
-                retained = [snapshot for snapshot in retained
-                            if id(snapshot) not in dropped]
-        records: List[Dict[str, Any]] = []
-        for snapshot in retained:
-            records.append(snapshot["submit"])
-            if snapshot["state"] is not None:
-                records.append(snapshot["state"])
-        count = self._journal.rewrite(records)
         with self._lock:
+            if snapshots is None:
+                snapshots = self.replay_jobs()
+            retained = list(snapshots.values())
+            if max_terminal is not None:
+                terminal = [snapshot for snapshot in retained
+                            if snapshot["state"] is not None]
+                excess = len(terminal) - max_terminal
+                if excess > 0:
+                    dropped = set(map(id, terminal[:excess]))
+                    retained = [snapshot for snapshot in retained
+                                if id(snapshot) not in dropped]
+            records: List[Dict[str, Any]] = []
+            for snapshot in retained:
+                records.append(snapshot["submit"])
+                if snapshot["state"] is not None:
+                    records.append(snapshot["state"])
+            count = self._journal.rewrite(records)
             self._appends_since_compact = 0
         return count
 
@@ -162,7 +177,7 @@ class JobJournal:
         with self._lock:
             if self._appends_since_compact < COMPACT_EVERY_APPENDS:
                 return False
-        self.compact(self.replay_jobs(), max_terminal=max_terminal)
+            self.compact(max_terminal=max_terminal)
         return True
 
     def close(self) -> None:

@@ -450,6 +450,57 @@ class TestJobJournal:
         assert survivors["job-000009"]["state"] is None
         journal.close()
 
+    def test_compaction_races_active_writers_losslessly(self, tmp_path):
+        """Concurrent submits during compaction never lose a record.
+
+        Compaction replays the file and rewrites it; before the
+        journal-wide lock, a record appended between those two steps
+        was silently erased by the rewrite.  Hammer compact() from one
+        thread while writers append terminal jobs, then check every
+        job survived with its terminal state intact.
+        """
+        import threading
+
+        journal = JobJournal(tmp_path)
+        errors = []
+        stop = threading.Event()
+
+        def write(base):
+            try:
+                for number in range(base, base + 20):
+                    job = self._terminal_job(number)
+                    journal.record_submit(job)
+                    journal.record_terminal(job)
+            except Exception as error:  # pragma: no cover - fail loud
+                errors.append(error)
+
+        def compactor():
+            try:
+                while not stop.is_set():
+                    journal.compact()
+            except Exception as error:  # pragma: no cover - fail loud
+                errors.append(error)
+
+        writers = [threading.Thread(target=write, args=(base,))
+                   for base in (100, 200, 300)]
+        sweeper = threading.Thread(target=compactor)
+        sweeper.start()
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=60.0)
+        stop.set()
+        sweeper.join(timeout=60.0)
+        assert errors == []
+        survivors = journal.replay_jobs()
+        expected = {f"job-{number:06d}" for base in (100, 200, 300)
+                    for number in range(base, base + 20)}
+        assert set(survivors) == expected
+        assert all(snapshot["state"] is not None
+                   and snapshot["state"]["state"] == "done"
+                   for snapshot in survivors.values())
+        journal.close()
+
 
 # --- serve: bounded streams, client reconnect, restart recovery -------------
 
@@ -503,8 +554,8 @@ class TestClientResilience:
                            poll_s=0.05)["state"] == "done"
         assert fake_time.sleeps == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
 
-    def test_stream_reconnects_once_at_the_cursor(self, monkeypatch):
-        client = ServeClient(port=1)
+    def test_stream_reconnects_at_the_cursor(self, monkeypatch):
+        client = ServeClient(port=1, stream_backoff_s=0.0)
         cursors = []
 
         def fake_stream_once(job_id, cursor=0):
@@ -525,10 +576,14 @@ class TestClientResilience:
                 if event.get("event") == "point"] == [0, 1, 2]
         assert events[-1] == {"event": "done"}
 
-    def test_second_drop_raises_typed_connection_lost(self, monkeypatch):
-        client = ServeClient(port=1)
+    def test_exhausted_budget_raises_typed_connection_lost(
+            self, monkeypatch):
+        client = ServeClient(port=1, stream_reconnects=1,
+                             stream_backoff_s=0.0)
+        attempts = []
 
         def always_drops(job_id, cursor=0):
+            attempts.append(cursor)
             raise ConnectionResetError("gone")
             yield  # pragma: no cover - makes this a generator
 
@@ -536,6 +591,53 @@ class TestClientResilience:
         with pytest.raises(ServeError) as excinfo:
             list(client.stream("job-000001"))
         assert excinfo.value.error_type == "ConnectionLost"
+        # A budget of 1 reconnect = 2 connection attempts in total.
+        assert len(attempts) == 2
+
+    def test_reconnect_budget_resets_on_progress(self, monkeypatch):
+        # Three separate drops against a budget of one reconnect: fine,
+        # because every reconnection delivers an event before dying —
+        # only *consecutive* fruitless drops exhaust the budget.
+        client = ServeClient(port=1, stream_reconnects=1,
+                             stream_backoff_s=0.0)
+        calls = []
+
+        def flaky_stream(job_id, cursor=0):
+            calls.append(cursor)
+            if len(calls) <= 3:
+                yield {"event": "point", "i": cursor}
+                raise ConnectionResetError("flaky link")
+            yield {"event": "done"}
+
+        monkeypatch.setattr(client, "_stream_once", flaky_stream)
+        events = list(client.stream("job-000001"))
+        assert calls == [0, 1, 2, 3]
+        assert events[-1] == {"event": "done"}
+
+    def test_stream_backoff_is_capped_exponential(self, monkeypatch):
+        import repro.serve.client as client_module
+
+        class _FakeTime:
+            def __init__(self):
+                self.sleeps = []
+
+            def sleep(self, seconds):
+                self.sleeps.append(seconds)
+
+        fake_time = _FakeTime()
+        monkeypatch.setattr(client_module, "time", fake_time)
+        client = ServeClient(port=1, stream_reconnects=4,
+                             stream_backoff_s=0.05,
+                             stream_backoff_max_s=0.1)
+
+        def always_drops(job_id, cursor=0):
+            raise ConnectionResetError("gone")
+            yield  # pragma: no cover - makes this a generator
+
+        monkeypatch.setattr(client, "_stream_once", always_drops)
+        with pytest.raises(ServeError):
+            list(client.stream("job-000001"))
+        assert fake_time.sleeps == [0.05, 0.1, 0.1, 0.1]
 
 
 def _run_spec(frame_rate):
